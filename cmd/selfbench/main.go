@@ -1,0 +1,106 @@
+// Command selfbench regenerates the performance tables of Chambers &
+// Ungar (PLDI'90) §6 and Appendices A-C on the selfgo reproduction.
+//
+// Usage:
+//
+//	selfbench                          # every table
+//	selfbench -table speed-summary     # §6.1 speed table
+//	selfbench -table compile-summary   # §6.2/§6.3 compile time & code size
+//	selfbench -table speed             # Appendix A
+//	selfbench -table size              # Appendix B
+//	selfbench -table compile           # Appendix C
+//	selfbench -table ablation          # per-technique ablation
+//	selfbench -bench richards          # one benchmark across all systems
+//	selfbench -list                    # list benchmarks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"selfgo"
+	"selfgo/internal/bench"
+)
+
+func main() {
+	table := flag.String("table", "all", "table to print: all, speed-summary, compile-summary, speed, size, compile, ablation, json")
+	one := flag.String("bench", "", "run a single benchmark across every system")
+	list := flag.Bool("list", false, "list benchmarks and exit")
+	quiet := flag.Bool("q", false, "suppress progress output")
+	flag.Parse()
+
+	if *list {
+		for _, b := range bench.All() {
+			fmt.Printf("%-12s [%s]\n", b.Name, b.Group)
+		}
+		return
+	}
+
+	r := bench.NewRunner()
+	if !*quiet {
+		r.Progress = os.Stderr
+	}
+
+	if *one != "" {
+		b, ok := bench.ByName(*one)
+		if !ok {
+			fatal(fmt.Errorf("unknown benchmark %q (try -list)", *one))
+		}
+		fmt.Printf("%s [%s]\n", b.Name, b.Group)
+		fmt.Printf("%-32s %12s %10s %10s %10s %12s %10s\n",
+			"system", "cycles", "sends", "tests", "ovfl", "compile", "code kB")
+		for _, cfg := range selfgo.Configs() {
+			m, err := r.Get(b, cfg)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%-32s %12d %10d %10d %10d %12s %9.1f\n",
+				cfg.Name, m.Cycles, m.Run.Sends, m.Run.TypeTests, m.Run.OvflChecks,
+				m.CompileTime.Round(10*time.Microsecond), float64(m.CodeBytes)/1024)
+		}
+		return
+	}
+
+	emit := func(f func() (*bench.Table, error)) {
+		t, err := f()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(t.String())
+	}
+	switch *table {
+	case "json":
+		data, err := r.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(data))
+	case "all":
+		out, err := r.AllTables()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(out)
+	case "speed-summary":
+		emit(r.SpeedSummaryTable)
+	case "compile-summary":
+		emit(r.CompileSummaryTable)
+	case "speed":
+		emit(r.SpeedTable)
+	case "size":
+		emit(r.CodeSizeTable)
+	case "compile":
+		emit(r.CompileTimeTable)
+	case "ablation":
+		emit(r.AblationTable)
+	default:
+		fatal(fmt.Errorf("unknown table %q", *table))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "selfbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,90 @@
+// Command selfrun loads selfgo source files and runs a method on the
+// lobby, reporting the result and the dynamic cost statistics.
+//
+// Usage:
+//
+//	selfrun [-config new] [-args 1,2,3] [-stats] file.self... selector
+//	selfrun -e '| s <- 0 | 1 to: 10 Do: [ :i | s: s + i ]. s'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"selfgo"
+	"selfgo/internal/cli"
+)
+
+func main() {
+	configName := flag.String("config", "new", "compiler: new, new-multi, old89, old90, st80, c")
+	expr := flag.String("e", "", "evaluate an expression sequence instead of calling a selector")
+	argList := flag.String("args", "", "comma-separated integer arguments for the selector")
+	stats := flag.Bool("stats", false, "print run statistics")
+	flag.Parse()
+
+	cfg, err := cli.ConfigByName(*configName)
+	if err != nil {
+		fatal(err)
+	}
+	sys, err := selfgo.NewSystem(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	files := flag.Args()
+	var sel string
+	if *expr == "" {
+		if len(files) < 2 {
+			fatal(fmt.Errorf("usage: selfrun [flags] file.self... selector (or -e 'code')"))
+		}
+		sel, files = files[len(files)-1], files[:len(files)-1]
+	}
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			fatal(err)
+		}
+		if err := sys.LoadSource(string(data)); err != nil {
+			fatal(fmt.Errorf("%s: %w", f, err))
+		}
+	}
+
+	var res *selfgo.Result
+	if *expr != "" {
+		res, err = sys.Eval(*expr)
+	} else {
+		var args []selfgo.Value
+		if *argList != "" {
+			for _, a := range strings.Split(*argList, ",") {
+				n, err := strconv.ParseInt(strings.TrimSpace(a), 10, 64)
+				if err != nil {
+					fatal(fmt.Errorf("bad argument %q: %w", a, err))
+				}
+				args = append(args, selfgo.IntValue(n))
+			}
+		}
+		res, err = sys.Call(sel, args...)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Println(res.Value)
+	if *stats {
+		fmt.Printf("cycles=%d instrs=%d sends=%d (ic hits=%d misses=%d) calls=%d\n",
+			res.Run.Cycles, res.Run.Instrs, res.Run.Sends, res.Run.ICHits, res.Run.ICMisses, res.Run.Calls)
+		fmt.Printf("typeTests=%d ovflChecks=%d boundsChecks=%d blockValues=%d allocs=%d maxDepth=%d\n",
+			res.Run.TypeTests, res.Run.OvflChecks, res.Run.BoundsChecks, res.Run.BlockValues, res.Run.Allocs, res.Run.MaxDepth)
+		fmt.Printf("compiled %d methods, %d code bytes, in %v\n",
+			res.Compile.Methods, res.Compile.CodeBytes, res.CompileTime.Round(time.Microsecond))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "selfrun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,117 @@
+package selfgo
+
+import "testing"
+
+// These tests pin the soundness rules around escaped closures: the
+// paper's type chart lists "up-level assignments" as a source of the
+// unknown type, and our compiler must never constant-fold through a
+// variable a closure may assign.
+
+// TestEscapedBlockInvalidatesConstant: a closure captured by a real
+// send mutates x between the compiler's constant view and its use.
+func TestEscapedBlockInvalidatesConstant(t *testing.T) {
+	src := `
+	"runTwice: is deliberately recursive so it compiles as a real call
+	 and its block argument becomes a true closure."
+	runTwice: blk Depth: d = (
+		(d = 0) ifTrue: [ ^ nil ].
+		blk value.
+		runTwice: blk Depth: d - 1 ).
+	go = ( | x <- 0 |
+		runTwice: [ x: x + 5 ] Depth: 2.
+		(x = 10) ifTrue: [ 1 ] False: [ 0 ] ).`
+	for _, cfg := range Configs() {
+		sys := newSys(t, cfg, src)
+		if got := callInt(t, sys, "go"); got != 1 {
+			t.Errorf("[%s] got %d, want 1 (x must be 10 after the closure ran twice)", cfg.Name, got)
+		}
+	}
+}
+
+// TestEscapedBlockSeesLaterWrites: the closure reads the variable's
+// current value, not a snapshot.
+func TestEscapedBlockSeesLaterWrites(t *testing.T) {
+	src := `
+	call: blk = ( (blk isNil) ifTrue: [ ^ 0 ]. blk value ).
+	go = ( | x <- 1. b |
+		b: [ x * 100 ].
+		x: 7.
+		call: b ).`
+	for _, cfg := range Configs() {
+		sys := newSys(t, cfg, src)
+		if got := callInt(t, sys, "go"); got != 700 {
+			t.Errorf("[%s] got %d, want 700", cfg.Name, got)
+		}
+	}
+}
+
+// TestConditionalEscape: the closure escapes on one path only; the
+// other path's knowledge must still be discarded conservatively after
+// the merge.
+func TestConditionalEscape(t *testing.T) {
+	src := `
+	invoke: blk = ( (blk isNil) ifTrue: [ ^ 0 ]. blk value ).
+	go: c = ( | x <- 3. b |
+		b: [ x: x + 1 ].
+		(c = 0) ifTrue: [ invoke: b ].
+		x ).`
+	for _, cfg := range Configs() {
+		sys := newSys(t, cfg, src)
+		if got := callInt(t, sys, "go:", IntValue(0)); got != 4 {
+			t.Errorf("[%s] go: 0 = %d, want 4", cfg.Name, got)
+		}
+		if got := callInt(t, sys, "go:", IntValue(1)); got != 3 {
+			t.Errorf("[%s] go: 1 = %d, want 3", cfg.Name, got)
+		}
+	}
+}
+
+// TestBlockInVectorInvoked: closures stored into data structures stay
+// live and mutate their captures when pulled back out.
+func TestBlockInVectorInvoked(t *testing.T) {
+	src := `
+	go = ( | v. total <- 0 |
+		v: vector copySize: 3.
+		0 upTo: 3 Do: [ :i | v at: i Put: [ total: total + i ] ].
+		v do: [ :blk | blk value ].
+		total ).`
+	for _, cfg := range Configs() {
+		sys := newSys(t, cfg, src)
+		if got := callInt(t, sys, "go"); got != 3 { // 0+1+2
+			t.Errorf("[%s] got %d, want 3", cfg.Name, got)
+		}
+	}
+}
+
+// TestNestedClosureCapture: a block created inside another escaped
+// block reaches through two closure levels.
+func TestNestedClosureCapture(t *testing.T) {
+	src := `
+	invoke: blk = ( (blk isNil) ifTrue: [ ^ 0 ]. blk value ).
+	go = ( | x <- 5. outer |
+		outer: [ | inner | inner: [ x * 2 ]. invoke: inner ].
+		invoke: outer ).`
+	for _, cfg := range Configs() {
+		sys := newSys(t, cfg, src)
+		if got := callInt(t, sys, "go"); got != 10 {
+			t.Errorf("[%s] got %d, want 10", cfg.Name, got)
+		}
+	}
+}
+
+// TestLoopWithEscapingBody: the loop body escapes as a closure to a
+// non-inlined runner — the volatile rule must kill folding of the
+// accumulator across iterations.
+func TestLoopWithEscapingBody(t *testing.T) {
+	src := `
+	times: n Run: blk = ( (n = 0) ifTrue: [ ^ nil ]. blk value. times: n - 1 Run: blk ).
+	go = ( | acc <- 1 |
+		times: 4 Run: [ acc: acc * 2 ].
+		acc ).`
+	for _, cfg := range Configs() {
+		sys := newSys(t, cfg, src)
+		if got := callInt(t, sys, "go"); got != 16 {
+			t.Errorf("[%s] got %d, want 16", cfg.Name, got)
+		}
+	}
+}

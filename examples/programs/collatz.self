@@ -1,0 +1,16 @@
+"Longest Collatz chain below a bound — run with:
+   go run ./cmd/selfrun -stats examples/programs/collatz.self -args 1000 longestBelow:"
+chainLength: start = ( | n. len <- 1 |
+    n: start.
+    [ n != 1 ] whileTrue: [
+        (n even)
+            ifTrue: [ n: n / 2 ]
+            False: [ n: ((3 * n) + 1) % 1000000 ].
+        len: len + 1 ].
+    len ).
+longestBelow: bound = ( | best <- 0. bestN <- 1 |
+    1 upTo: bound Do: [ :i |
+        | l |
+        l: (chainLength: i).
+        (l > best) ifTrue: [ best: l. bestN: i ] ].
+    (bestN * 1000) + best ).

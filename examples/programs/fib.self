@@ -1,0 +1,4 @@
+"Recursive Fibonacci — run with:
+   go run ./cmd/selfrun -stats examples/programs/fib.self -args 20 fib:"
+fib: n = (
+    (n < 2) ifTrue: [ n ] False: [ (fib: n - 1) + (fib: n - 2) ] ).

@@ -1,0 +1,28 @@
+"N-queens solution counter (8x8 board) — run with:
+   go run ./cmd/selfrun -stats examples/programs/nqueens.self queens"
+board = (| parent* = lobby.
+    rowFree. diagA. diagB.
+    solutions <- 0.
+    init = (
+        rowFree: vector copySize: 8 FillWith: 1.
+        diagA: vector copySize: 15 FillWith: 1.
+        diagB: vector copySize: 15 FillWith: 1.
+        solutions: 0.
+        self ).
+    free: r Col: c = (
+        ((rowFree at: r) = 1) and: [
+            ((diagA at: r + c) = 1) and: [ (diagB at: (r - c) + 7) = 1 ] ] ).
+    set: r Col: c To: v = (
+        rowFree at: r Put: v.
+        diagA at: r + c Put: v.
+        diagB at: (r - c) + 7 Put: v ).
+    try: col = (
+        0 upTo: 8 Do: [ :row |
+            (free: row Col: col) ifTrue: [
+                set: row Col: col To: 0.
+                (col = 7)
+                    ifTrue: [ solutions: solutions + 1 ]
+                    False: [ try: col + 1 ].
+                set: row Col: col To: 1 ] ] ).
+|).
+queens = ( | b | b: board _Clone init. b try: 0. b solutions ).

@@ -1,0 +1,68 @@
+// Quickstart: define a small SELF program, run it under the paper's
+// "new SELF" compiler, and look at what the optimizer did.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"selfgo"
+)
+
+const program = `
+"A bank account prototype: clones carry their own balance."
+account = (| parent* = lobby.
+    balance <- 0.
+    deposit: amount = ( balance: balance + amount. self ).
+    withdraw: amount = (
+        (amount > balance) ifTrue: [ ^ self ].
+        balance: balance - amount.
+        self ).
+|).
+
+demo = ( | acct |
+    acct: account _Clone.
+    1 to: 100 Do: [ :i | acct deposit: i ].
+    acct withdraw: 1000.
+    acct withdraw: 50.
+    acct balance ).
+`
+
+func main() {
+	sys, err := selfgo.NewSystem(selfgo.NewSELF)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.LoadSource(program); err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := sys.Call("demo")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("demo => %s\n\n", res.Value)
+	fmt.Printf("executed %d instructions in %d modelled cycles\n", res.Run.Instrs, res.Run.Cycles)
+	fmt.Printf("dynamic sends: %d (inline-cache hits %d, misses %d)\n",
+		res.Run.Sends, res.Run.ICHits, res.Run.ICMisses)
+	fmt.Printf("run-time type tests: %d, overflow checks: %d\n",
+		res.Run.TypeTests, res.Run.OvflChecks)
+	fmt.Printf("compiled %d methods (%d bytes of code) in %v\n\n",
+		res.Compile.Methods, res.Compile.CodeBytes, res.CompileTime)
+
+	// The same program under the 1984-style Smalltalk-80 system: every
+	// send is dynamic.
+	st80, err := selfgo.NewSystem(selfgo.ST80)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := st80.LoadSource(program); err != nil {
+		log.Fatal(err)
+	}
+	res80, err := st80.Call("demo")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("under ST-80: %d cycles (%.1fx slower), %d dynamic sends\n",
+		res80.Run.Cycles, float64(res80.Run.Cycles)/float64(res.Run.Cycles), res80.Run.Sends)
+}

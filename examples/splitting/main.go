@@ -1,0 +1,67 @@
+// Extended message splitting (§4): after a conditional assigns x one
+// of two integers, intervening statements separate the merge point
+// from the send "x + 10". Local splitting cannot see that far back;
+// extended splitting copies the intervening nodes so each path keeps
+// its exact type and the + compiles to a raw add on both arms.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"selfgo"
+)
+
+const src = `
+classify: c = ( | x. pad <- 0 |
+    (c = 0) ifTrue: [ x: 3 ] False: [ x: 4 ].
+    "intervening work separates the merge from the use of x:"
+    pad: pad + 1.
+    pad: pad + 2.
+    x + 10 ).
+`
+
+func main() {
+	variants := []struct {
+		label string
+		cfg   func() selfgo.Config
+	}{
+		{"extended splitting (new SELF)", func() selfgo.Config { return selfgo.NewSELF }},
+		{"local splitting only (old SELF)", func() selfgo.Config {
+			c := selfgo.NewSELF
+			c.Name = "new SELF - extended splitting"
+			c.ExtendedSplitting = false
+			return c
+		}},
+	}
+
+	for _, v := range variants {
+		cfg := v.cfg()
+		sys, err := selfgo.NewSystem(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.LoadSource(src); err != nil {
+			log.Fatal(err)
+		}
+		g, st, err := sys.GraphFor("classify:")
+		if err != nil {
+			log.Fatal(err)
+		}
+		gs := g.ComputeStats()
+		res, err := sys.Call("classify:", selfgo.IntValue(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== %s ===\n", v.label)
+		fmt.Printf("result=%s  static type tests=%d  splits kept=%d  nodes=%d\n",
+			res.Value, gs.TypeTests, st.Splits, gs.Nodes)
+		fmt.Print(g.Dump())
+		fmt.Println()
+	}
+
+	fmt.Println(`With extended splitting the graph carries two copies of the padded
+region — the paper's "after extended splitting" figure — and "x + 10"
+folds on each arm. Without it, the merge forms the merge type {3, 4}'s
+generalization and the + must re-test x at run time.`)
+}

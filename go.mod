@@ -1,0 +1,3 @@
+module selfgo
+
+go 1.22

@@ -1,0 +1,124 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+
+	"selfgo/internal/token"
+)
+
+func TestSplitSelector(t *testing.T) {
+	cases := map[string][]string{
+		"at:":          {"at:"},
+		"at:Put:":      {"at:", "Put:"},
+		"upTo:Do:":     {"upTo:", "Do:"},
+		"a:B:C:":       {"a:", "B:", "C:"},
+		"size":         {"size"},
+		"+":            {"+"},
+		"_IntAdd:":     {"_IntAdd:"},
+		"value:Value:": {"value:", "Value:"},
+	}
+	for sel, want := range cases {
+		got := SplitSelector(sel)
+		if len(got) != len(want) {
+			t.Errorf("SplitSelector(%q) = %v", sel, got)
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("SplitSelector(%q)[%d] = %q, want %q", sel, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestNumArgs(t *testing.T) {
+	cases := map[string]int{
+		"size": 0, "+": 1, "<=": 1, "at:": 1, "at:Put:": 2,
+		"_Clone": 0, "_IntAdd:IfFail:": 2, "a:B:C:": 3,
+	}
+	for sel, want := range cases {
+		if got := NumArgs(sel); got != want {
+			t.Errorf("NumArgs(%q) = %d, want %d", sel, got, want)
+		}
+	}
+}
+
+func TestExprStrings(t *testing.T) {
+	p := token.Pos{Line: 1, Col: 1}
+	five := &IntLit{P: p, Value: 5}
+	x := &Ident{P: p, Name: "x"}
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{five, "5"},
+		{&StrLit{P: p, Value: "hi"}, "'hi'"},
+		{x, "x"},
+		{&UnaryMsg{P: p, Recv: x, Sel: "size"}, "(x size)"},
+		{&BinMsg{P: p, Recv: x, Op: "+", Arg: five}, "(x + 5)"},
+		{&KeywordMsg{P: p, Recv: x, Sel: "at:", Args: []Expr{five}}, "(x at: 5)"},
+		{&KeywordMsg{P: p, Sel: "x:", Args: []Expr{five}}, "(<implicit> x: 5)"},
+		{&PrimCall{P: p, Recv: x, Sel: "_Clone"}, "(x _Clone)"},
+		{&Return{P: p, E: five}, "^5"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("%T.String() = %q, want %q", c.e, got, c.want)
+		}
+	}
+}
+
+func TestBlockAndObjectStrings(t *testing.T) {
+	p := token.Pos{}
+	blk := &Block{P: p, Params: []string{"i"}, Body: []Expr{&Ident{P: p, Name: "i"}}}
+	if s := blk.String(); !strings.Contains(s, ":i") || !strings.HasPrefix(s, "[") {
+		t.Errorf("block string %q", s)
+	}
+	o := &ObjectLit{P: p, Slots: []*Slot{
+		{Kind: DataSlot, Name: "x", Init: &IntLit{Value: 1}},
+		{Kind: ConstSlot, Name: "k", Init: &IntLit{Value: 2}},
+		{Kind: ParentSlot, Name: "p", Init: &Ident{Name: "lobby"}},
+		{Kind: MethodSlot, Name: "m", Method: &Method{Sel: "m", Body: []Expr{&IntLit{Value: 3}}}},
+	}}
+	s := o.String()
+	for _, want := range []string{"x <- 1", "k = 2", "p* = lobby", "m = ( 3. )"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("object string %q missing %q", s, want)
+		}
+	}
+}
+
+func TestSlotKindString(t *testing.T) {
+	want := map[SlotKind]string{ConstSlot: "const", DataSlot: "data", ParentSlot: "parent", MethodSlot: "method"}
+	for k, w := range want {
+		if k.String() != w {
+			t.Errorf("%v", k)
+		}
+	}
+}
+
+func TestWalkVisitsEverything(t *testing.T) {
+	p := token.Pos{}
+	inner := &BinMsg{P: p, Recv: &Ident{Name: "a"}, Op: "+", Arg: &IntLit{Value: 1}}
+	blk := &Block{P: p, Locals: []*Local{{Name: "t", Init: &IntLit{Value: 2}}}, Body: []Expr{inner}}
+	obj := &ObjectLit{P: p, Slots: []*Slot{
+		{Kind: ConstSlot, Name: "c", Init: &IntLit{Value: 3}},
+		{Kind: MethodSlot, Name: "m", Method: &Method{Sel: "m",
+			Locals: []*Local{{Name: "u", Init: &IntLit{Value: 4}}},
+			Body:   []Expr{&Return{P: p, E: &IntLit{Value: 5}}}}},
+	}}
+	top := &KeywordMsg{P: p, Recv: blk, Sel: "foo:", Args: []Expr{obj}}
+
+	ints := map[int64]bool{}
+	Walk(top, func(e Expr) {
+		if n, ok := e.(*IntLit); ok {
+			ints[n.Value] = true
+		}
+	})
+	for _, v := range []int64{1, 2, 3, 4, 5} {
+		if !ints[v] {
+			t.Errorf("Walk missed literal %d", v)
+		}
+	}
+}

@@ -1,0 +1,23 @@
+package bench
+
+import (
+	"testing"
+
+	"selfgo"
+)
+
+// TestAllBenchmarksNewSELF runs every benchmark once under the headline
+// configuration, checking known values.
+func TestAllBenchmarksNewSELF(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			m, err := Run(b, selfgo.NewSELF)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%-12s value=%-10d cycles=%-10d sends=%-7d tests=%-7d compile=%v bytes=%d",
+				b.Name, m.Value, m.Cycles, m.Run.Sends, m.Run.TypeTests, m.CompileTime, m.CodeBytes)
+		})
+	}
+}

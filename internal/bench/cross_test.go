@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"selfgo"
+)
+
+// TestCrossConfigConsistency runs every benchmark under every compiler
+// configuration: all six systems must compute identical results (the
+// optimizations must preserve semantics), and the known check values
+// must hold.
+func TestCrossConfigConsistency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full cross-product is slow")
+	}
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			var ref int64
+			var refCfg string
+			for i, cfg := range selfgo.Configs() {
+				m, err := Run(b, cfg)
+				if err != nil {
+					t.Fatalf("%s under %s: %v", b.Name, cfg.Name, err)
+				}
+				if i == 0 {
+					ref, refCfg = m.Value, cfg.Name
+				} else if m.Value != ref {
+					t.Errorf("%s: %s computed %d but %s computed %d",
+						b.Name, cfg.Name, m.Value, refCfg, ref)
+				}
+			}
+		})
+	}
+}
+
+// TestSpeedOrdering spot-checks the paper's headline ordering on a
+// representative subset: optimized C fastest, then new SELF, old
+// SELF-89, old SELF-90, with ST-80 slowest.
+func TestSpeedOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	for _, name := range []string{"sumTo", "bubble", "queens", "richards", "towers-oo"} {
+		b, ok := ByName(name)
+		if !ok {
+			t.Fatalf("missing benchmark %s", name)
+		}
+		cycles := map[string]int64{}
+		for _, cfg := range selfgo.Configs() {
+			m, err := Run(b, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cycles[cfg.Name] = m.Cycles
+		}
+		line := name + ":"
+		for _, cfg := range selfgo.Configs() {
+			line += fmt.Sprintf(" %s=%.0f%%", cfg.Name, 100*float64(cycles["optimized C"])/float64(cycles[cfg.Name]))
+		}
+		t.Log(line)
+		if !(cycles["optimized C"] <= cycles["new SELF"]) {
+			t.Errorf("%s: C (%d) should beat new SELF (%d)", name, cycles["optimized C"], cycles["new SELF"])
+		}
+		if !(cycles["new SELF"] <= cycles["ST-80"]) {
+			t.Errorf("%s: new SELF (%d) should beat ST-80 (%d)", name, cycles["new SELF"], cycles["ST-80"])
+		}
+		if !(cycles["old SELF-89"] <= cycles["old SELF-90"]) {
+			t.Errorf("%s: SELF-89 (%d) should beat SELF-90 (%d)", name, cycles["old SELF-89"], cycles["old SELF-90"])
+		}
+	}
+}

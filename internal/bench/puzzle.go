@@ -1,0 +1,106 @@
+package bench
+
+// puzzleSource is Forest Baskett's 3-D packing puzzle from the Stanford
+// suite: a 5x5x5 cavity in an 8x8x8 cube is packed with 13 pieces of 4
+// classes by exhaustive search. The C original reports "success in 2005
+// trials"; kount is the check value. (§6 notes puzzle was not rewritten
+// for the -oo group; Appendix C shows it as the compile-time worst
+// case.)
+const puzzleSource = `
+pzD = 8.
+pzSize = 511.
+pzTypeMax = 12.
+pzPuzzle <- nil.
+pzP <- nil.
+pzClass <- nil.
+pzPieceMax <- nil.
+pzCount <- nil.
+pzKount <- 0.
+
+pzIndex: i J: j K: k = ( i + (pzD * (j + (pzD * k))) ).
+
+pzFit: i At: j = ( | pm. pi |
+    pm: pzPieceMax at: i.
+    pi: pzP at: i.
+    0 upTo: pm + 1 Do: [ :k |
+        ((pi at: k) = 1) ifTrue: [
+            ((pzPuzzle at: j + k) = 1) ifTrue: [ ^ 0 ] ] ].
+    1 ).
+
+pzPlace: i At: j = ( | pm. pi |
+    pm: pzPieceMax at: i.
+    pi: pzP at: i.
+    0 upTo: pm + 1 Do: [ :k |
+        ((pi at: k) = 1) ifTrue: [ pzPuzzle at: j + k Put: 1 ] ].
+    pzCount at: (pzClass at: i) Put: ((pzCount at: (pzClass at: i)) - 1).
+    j upTo: pzSize + 1 Do: [ :k |
+        ((pzPuzzle at: k) = 0) ifTrue: [ ^ k ] ].
+    0 ).
+
+pzRemove: i At: j = ( | pm. pi |
+    pm: pzPieceMax at: i.
+    pi: pzP at: i.
+    0 upTo: pm + 1 Do: [ :k |
+        ((pi at: k) = 1) ifTrue: [ pzPuzzle at: j + k Put: 0 ] ].
+    pzCount at: (pzClass at: i) Put: ((pzCount at: (pzClass at: i)) + 1).
+    self ).
+
+pzTrial: j = ( | k |
+    pzKount: pzKount + 1.
+    0 upTo: pzTypeMax + 1 Do: [ :i |
+        ((pzCount at: (pzClass at: i)) != 0) ifTrue: [
+            ((pzFit: i At: j) = 1) ifTrue: [
+                k: (pzPlace: i At: j).
+                (((pzTrial: k) = 1) or: [ k = 0 ])
+                    ifTrue: [ ^ 1 ]
+                    False: [ pzRemove: i At: j ] ] ] ].
+    0 ).
+
+pzDefine: idx I: im J: jm K: km Class: c = ( | pi |
+    pi: pzP at: idx.
+    0 upTo: im + 1 Do: [ :i |
+        0 upTo: jm + 1 Do: [ :j |
+            0 upTo: km + 1 Do: [ :k |
+                pi at: (pzIndex: i J: j K: k) Put: 1 ] ] ].
+    pzClass at: idx Put: c.
+    pzPieceMax at: idx Put: (pzIndex: im J: jm K: km).
+    self ).
+
+puzzleBench = ( | n |
+    pzPuzzle: vector copySize: pzSize + 1 FillWith: 1.
+    1 upTo: 6 Do: [ :i |
+        1 upTo: 6 Do: [ :j |
+            1 upTo: 6 Do: [ :k |
+                pzPuzzle at: (pzIndex: i J: j K: k) Put: 0 ] ] ].
+    pzP: vector copySize: pzTypeMax + 1.
+    0 upTo: pzTypeMax + 1 Do: [ :i |
+        pzP at: i Put: (vector copySize: pzSize + 1 FillWith: 0) ].
+    pzClass: vector copySize: pzTypeMax + 1 FillWith: 0.
+    pzPieceMax: vector copySize: pzTypeMax + 1 FillWith: 0.
+    pzDefine: 0 I: 3 J: 1 K: 0 Class: 0.
+    pzDefine: 1 I: 1 J: 0 K: 3 Class: 0.
+    pzDefine: 2 I: 0 J: 3 K: 1 Class: 0.
+    pzDefine: 3 I: 1 J: 3 K: 0 Class: 0.
+    pzDefine: 4 I: 3 J: 0 K: 1 Class: 0.
+    pzDefine: 5 I: 0 J: 1 K: 3 Class: 0.
+    pzDefine: 6 I: 2 J: 0 K: 0 Class: 1.
+    pzDefine: 7 I: 0 J: 2 K: 0 Class: 1.
+    pzDefine: 8 I: 0 J: 0 K: 2 Class: 1.
+    pzDefine: 9 I: 1 J: 1 K: 0 Class: 2.
+    pzDefine: 10 I: 1 J: 0 K: 1 Class: 2.
+    pzDefine: 11 I: 0 J: 1 K: 1 Class: 2.
+    pzDefine: 12 I: 1 J: 1 K: 1 Class: 3.
+    pzCount: vector copySize: 4.
+    pzCount at: 0 Put: 13.
+    pzCount at: 1 Put: 3.
+    pzCount at: 2 Put: 1.
+    pzCount at: 3 Put: 1.
+    n: (pzIndex: 1 J: 1 K: 1).
+    ((pzFit: 0 At: n) = 1)
+        ifTrue: [ n: (pzPlace: 0 At: n) ]
+        False: [ error: 'cannot place first piece' ].
+    pzKount: 0.
+    ((pzTrial: n) = 1)
+        ifTrue: [ pzKount ]
+        False: [ 0 - 1 ] ).
+`

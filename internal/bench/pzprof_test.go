@@ -1,0 +1,26 @@
+package bench
+
+import (
+	"testing"
+
+	"selfgo"
+)
+
+func TestPuzzleCompileOnly(t *testing.T) {
+	b, _ := ByName("puzzle")
+	sys, _ := selfgo.NewSystem(selfgo.NewSELF)
+	if err := sys.LoadSource(b.Source); err != nil {
+		t.Fatal(err)
+	}
+	g, st, err := sys.GraphFor("pzTrial:")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("pzTrial: %v nodes=%d iters=%d splits=%d forced=%d", st.Duration, st.Nodes, st.LoopIterations, st.Splits, st.ForcedMerges)
+	_ = g
+	g2, st2, err := sys.GraphFor("puzzleBench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("puzzleBench: %v nodes=%d iters=%d splits=%d forced=%d allocatedNodes=%d", st2.Duration, st2.Nodes, st2.LoopIterations, st2.Splits, st2.ForcedMerges, len(g2.Nodes()))
+}

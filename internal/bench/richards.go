@@ -1,0 +1,240 @@
+package bench
+
+// Richards returns the operating-system-simulation benchmark of §6:
+// Martin Richards' task scheduler (the structure follows the classic
+// Smalltalk/Java ports — idle, worker, two handler and two device
+// tasks exchanging packets). The "runPacket:" send in the scheduler
+// loop is the polymorphic call site the paper blames for richards'
+// relatively poor showing (§6.1): a different task kind runs almost
+// every time, defeating the monomorphic inline cache.
+//
+// With an idle count of 1000 the correct totals are queueCount = 2322
+// and holdCount = 928 (the published check values for this
+// configuration); the benchmark returns queueCount*10000 + holdCount.
+func Richards() Benchmark {
+	return Benchmark{
+		Name:      "richards",
+		Group:     "richards",
+		Entry:     "richardsBench",
+		Expect:    23220928,
+		HasExpect: true,
+		Source:    richardsSource,
+	}
+}
+
+const richardsSource = `
+"Task ids: 0 idle, 1 worker, 2 handlerA, 3 handlerB, 4 deviceA, 5 deviceB.
+ Packet kinds: 0 device, 1 work. States: 0 running, 1 runnable,
+ 2 suspended, 3 suspended+runnable, bit 4 = held."
+
+richPacket = (| parent* = lobby.
+    link.
+    ident <- 0.
+    kind <- 0.
+    datum <- 0.
+    data.
+    initLink: l Id: i Kind: k = (
+        link: l.
+        ident: i.
+        kind: k.
+        datum: 0.
+        data: vector copySize: 4 FillWith: 0.
+        self ).
+    addTo: queue = ( | peek. next |
+        link: nil.
+        queue isNil ifTrue: [ ^ self ].
+        peek: queue.
+        [ next: peek link. next notNil ] whileTrue: [ peek: next ].
+        peek link: self.
+        queue ).
+|).
+
+richTCB = (| parent* = lobby.
+    link.
+    ident <- 0.
+    priority <- 0.
+    queue.
+    state <- 0.
+    task.
+    initLink: l Id: i Priority: p Queue: q Task: t = (
+        link: l.
+        ident: i.
+        priority: p.
+        queue: q.
+        task: t.
+        q isNil ifTrue: [ state: 2 ] False: [ state: 3 ].
+        self ).
+    setRunning = ( state: 0 ).
+    markAsNotHeld = ( state: (state bitAnd: 3) ).
+    markAsHeld = ( state: (state bitOr: 4) ).
+    markAsSuspended = ( state: (state bitOr: 2) ).
+    markAsRunnable = ( state: (state bitOr: 1) ).
+    isHeldOrSuspended = ( ((state bitAnd: 4) != 0) or: [ state = 2 ] ).
+    runTCB = ( | pkt |
+        (state = 3)
+            ifTrue: [
+                pkt: queue.
+                queue: pkt link.
+                queue isNil ifTrue: [ state: 0 ] False: [ state: 1 ] ]
+            False: [ pkt: nil ].
+        task runPacket: pkt ).
+    checkPriorityAdd: t Packet: pkt = (
+        queue isNil
+            ifTrue: [
+                queue: pkt.
+                markAsRunnable.
+                (priority > t priority) ifTrue: [ ^ self ] ]
+            False: [ queue: (pkt addTo: queue) ].
+        t ).
+|).
+
+richScheduler = (| parent* = lobby.
+    taskList.
+    currentTcb.
+    currentId <- 0.
+    blocks.
+    qCount <- 0.
+    hCount <- 0.
+    init = (
+        blocks: vector copySize: 6.
+        qCount: 0.
+        hCount: 0.
+        self ).
+    addTask: i Priority: p Queue: q Task: t = (
+        currentTcb: (richTCB _Clone initLink: taskList Id: i Priority: p Queue: q Task: t).
+        taskList: currentTcb.
+        blocks at: i Put: currentTcb ).
+    addRunningTask: i Priority: p Queue: q Task: t = (
+        addTask: i Priority: p Queue: q Task: t.
+        currentTcb setRunning ).
+    schedule = (
+        currentTcb: taskList.
+        [ currentTcb notNil ] whileTrue: [
+            currentTcb isHeldOrSuspended
+                ifTrue: [ currentTcb: currentTcb link ]
+                False: [
+                    currentId: currentTcb ident.
+                    currentTcb: currentTcb runTCB ] ] ).
+    queuePacket: pkt = ( | t |
+        t: blocks at: pkt ident.
+        t isNil ifTrue: [ ^ nil ].
+        qCount: qCount + 1.
+        pkt link: nil.
+        pkt ident: currentId.
+        t checkPriorityAdd: currentTcb Packet: pkt ).
+    holdCurrent = (
+        hCount: hCount + 1.
+        currentTcb markAsHeld.
+        currentTcb link ).
+    release: i = ( | t |
+        t: blocks at: i.
+        t isNil ifTrue: [ ^ nil ].
+        t markAsNotHeld.
+        (t priority > currentTcb priority) ifTrue: [ t ] False: [ currentTcb ] ).
+    suspendCurrent = (
+        currentTcb markAsSuspended.
+        currentTcb ).
+|).
+
+richIdleTask = (| parent* = lobby.
+    sched.
+    v1 <- 1.
+    count <- 0.
+    initSched: s V1: v Count: c = ( sched: s. v1: v. count: c. self ).
+    runPacket: pkt = (
+        count: count - 1.
+        (count = 0) ifTrue: [ ^ sched holdCurrent ].
+        ((v1 bitAnd: 1) = 0)
+            ifTrue: [
+                v1: v1 / 2.
+                sched release: 4 ]
+            False: [
+                v1: ((v1 / 2) bitXor: 53256).
+                sched release: 5 ] ).
+|).
+
+richWorkerTask = (| parent* = lobby.
+    sched.
+    v1 <- 2.
+    v2 <- 0.
+    initSched: s = ( sched: s. v1: 2. v2: 0. self ).
+    runPacket: pkt = (
+        pkt isNil ifTrue: [ ^ sched suspendCurrent ].
+        (v1 = 2) ifTrue: [ v1: 3 ] False: [ v1: 2 ].
+        pkt ident: v1.
+        pkt datum: 0.
+        0 upTo: 4 Do: [ :i |
+            v2: v2 + 1.
+            (v2 > 26) ifTrue: [ v2: 1 ].
+            pkt data at: i Put: v2 ].
+        sched queuePacket: pkt ).
+|).
+
+richHandlerTask = (| parent* = lobby.
+    sched.
+    workQ.
+    deviceQ.
+    initSched: s = ( sched: s. workQ: nil. deviceQ: nil. self ).
+    runPacket: pkt = ( | work. count. dev |
+        pkt notNil ifTrue: [
+            (pkt kind = 1)
+                ifTrue: [ workQ: (pkt addTo: workQ) ]
+                False: [ deviceQ: (pkt addTo: deviceQ) ] ].
+        workQ notNil ifTrue: [
+            work: workQ.
+            count: work datum.
+            (count < 4)
+                ifTrue: [
+                    deviceQ notNil ifTrue: [
+                        dev: deviceQ.
+                        deviceQ: dev link.
+                        dev datum: (work data at: count).
+                        work datum: count + 1.
+                        ^ sched queuePacket: dev ] ]
+                False: [
+                    workQ: work link.
+                    ^ sched queuePacket: work ] ].
+        sched suspendCurrent ).
+|).
+
+richDeviceTask = (| parent* = lobby.
+    sched.
+    pending.
+    initSched: s = ( sched: s. pending: nil. self ).
+    runPacket: pkt = ( | v |
+        pkt isNil
+            ifTrue: [
+                pending isNil ifTrue: [ ^ sched suspendCurrent ].
+                v: pending.
+                pending: nil.
+                sched queuePacket: v ]
+            False: [
+                pending: pkt.
+                sched holdCurrent ] ).
+|).
+
+richardsBench = ( | s. q |
+    s: richScheduler _Clone init.
+    s addRunningTask: 0 Priority: 0 Queue: nil
+        Task: (richIdleTask _Clone initSched: s V1: 1 Count: 1000).
+    q: (richPacket _Clone initLink: nil Id: 1 Kind: 1).
+    q: (richPacket _Clone initLink: q Id: 1 Kind: 1).
+    s addTask: 1 Priority: 1000 Queue: q
+        Task: (richWorkerTask _Clone initSched: s).
+    q: (richPacket _Clone initLink: nil Id: 4 Kind: 0).
+    q: (richPacket _Clone initLink: q Id: 4 Kind: 0).
+    q: (richPacket _Clone initLink: q Id: 4 Kind: 0).
+    s addTask: 2 Priority: 2000 Queue: q
+        Task: (richHandlerTask _Clone initSched: s).
+    q: (richPacket _Clone initLink: nil Id: 5 Kind: 0).
+    q: (richPacket _Clone initLink: q Id: 5 Kind: 0).
+    q: (richPacket _Clone initLink: q Id: 5 Kind: 0).
+    s addTask: 3 Priority: 3000 Queue: q
+        Task: (richHandlerTask _Clone initSched: s).
+    s addTask: 4 Priority: 4000 Queue: nil
+        Task: (richDeviceTask _Clone initSched: s).
+    s addTask: 5 Priority: 5000 Queue: nil
+        Task: (richDeviceTask _Clone initSched: s).
+    s schedule.
+    (s qCount * 10000) + s hCount ).
+`

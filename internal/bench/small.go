@@ -1,0 +1,81 @@
+package bench
+
+// Small returns the "small" micro-benchmark group of §6: the initial
+// test suite used while implementing the new techniques.
+func Small() []Benchmark {
+	return []Benchmark{
+		{
+			Name:  "sieve",
+			Group: "small",
+			// Sieve of Eratosthenes over 1..8190 (the classic Byte
+			// benchmark size), counting primes.
+			Source: `
+sieveSize = 8190.
+sieveBench = ( | flags. count <- 0. size <- 0 |
+    size: sieveSize.
+    flags: vector copySize: size + 1 FillWith: 1.
+    2 upTo: size + 1 Do: [ :i |
+        ((flags at: i) = 1) ifTrue: [
+            | k |
+            count: count + 1.
+            k: i + i.
+            [ k <= size ] whileTrue: [
+                flags at: k Put: 0.
+                k: k + i ] ] ].
+    count ).`,
+			Entry:     "sieveBench",
+			Expect:    1027, // primes up to 8190
+			HasExpect: true,
+		},
+		{
+			Name:  "sumTo",
+			Group: "small",
+			Source: `
+sumToBody: n = ( | sum <- 0 |
+    1 to: n Do: [ :i | sum: sum + i ].
+    sum ).
+sumToBench = ( sumToBody: 10000 ).`,
+			Entry:     "sumToBench",
+			Expect:    50005000,
+			HasExpect: true,
+		},
+		{
+			Name:  "sumFromTo",
+			Group: "small",
+			Source: `
+sumFrom: a To: b = ( | sum <- 0 |
+    a to: b Do: [ :i | sum: sum + i ].
+    sum ).
+sumFromToBench = ( sumFrom: 100 To: 10000 ).`,
+			Entry:     "sumFromToBench",
+			Expect:    50000050, // 50005000 - 4950
+			HasExpect: true,
+		},
+		{
+			Name:  "sumToConst",
+			Group: "small",
+			// The bound is a compile-time constant, so range analysis
+			// can discharge even more checks.
+			Source: `
+sumToConstBench = ( | sum <- 0 |
+    1 to: 10000 Do: [ :i | sum: sum + i ].
+    sum ).`,
+			Entry:     "sumToConstBench",
+			Expect:    50005000,
+			HasExpect: true,
+		},
+		{
+			Name:  "atAllPut",
+			Group: "small",
+			Source: `
+atAllPutBench = ( | v. check <- 0 |
+    v: vector copySize: 2000.
+    1 to: 10 Do: [ :pass | v atAllPut: pass ].
+    v do: [ :e | check: check + e ].
+    check ).`,
+			Entry:     "atAllPutBench",
+			Expect:    20000,
+			HasExpect: true,
+		},
+	}
+}

@@ -1,0 +1,281 @@
+package bench
+
+// Stanford returns the eight Stanford integer benchmarks (Hennessy's
+// suite, as used in §6), written procedurally: methods live on the
+// lobby and operate on explicitly passed or global data structures,
+// mirroring the C originals.
+func Stanford() []Benchmark {
+	return []Benchmark{
+		{
+			Name:  "perm",
+			Group: "stanford",
+			// Permutation generator; one run of the 7-element
+			// permuter performs 8660 calls (Stanford's pctr per run).
+			Source: `
+permCount <- 0.
+permSwap: a I: i J: j = ( | t |
+    t: (a at: i).
+    a at: i Put: (a at: j).
+    a at: j Put: t ).
+permGen: a N: n = ( | n1 |
+    permCount: permCount + 1.
+    (n != 0) ifTrue: [
+        n1: n - 1.
+        permGen: a N: n1.
+        n1 downTo: 0 Do: [ :i |
+            permSwap: a I: n1 J: i.
+            permGen: a N: n1.
+            permSwap: a I: n1 J: i ] ] ).
+permBench = ( | a |
+    permCount: 0.
+    a: vector copySize: 7.
+    0 upTo: 7 Do: [ :i | a at: i Put: i + 1 ].
+    permGen: a N: 6.
+    permCount ).`,
+			Entry:     "permBench",
+			Expect:    8660,
+			HasExpect: true,
+		},
+		{
+			Name:  "towers",
+			Group: "stanford",
+			// Towers of Hanoi with explicit stack vectors and disc
+			// legality checks, as in the C original; 14 discs.
+			Source: `
+towStacks <- nil.
+towTops <- nil.
+towMoves <- 0.
+towPush: d On: s = ( | stack. top |
+    stack: towStacks at: s.
+    top: towTops at: s.
+    (top > 0) ifTrue: [
+        ((stack at: top - 1) <= d) ifTrue: [ error: 'disc size error' ] ].
+    stack at: top Put: d.
+    towTops at: s Put: top + 1 ).
+towPopFrom: s = ( | stack. top |
+    stack: towStacks at: s.
+    top: (towTops at: s) - 1.
+    (top < 0) ifTrue: [ error: 'nothing to pop' ].
+    towTops at: s Put: top.
+    stack at: top ).
+towMove: n From: a To: b Via: c = (
+    (n = 1) ifTrue: [
+        towPush: (towPopFrom: a) On: b.
+        towMoves: towMoves + 1 ]
+    False: [
+        towMove: n - 1 From: a To: c Via: b.
+        towPush: (towPopFrom: a) On: b.
+        towMoves: towMoves + 1.
+        towMove: n - 1 From: c To: b Via: a ] ).
+towersBench = ( | discs <- 14 |
+    towStacks: vector copySize: 3.
+    0 upTo: 3 Do: [ :i | towStacks at: i Put: (vector copySize: 15) ].
+    towTops: vector copySize: 3 FillWith: 0.
+    towMoves: 0.
+    discs downTo: 1 Do: [ :d | towPush: d On: 0 ].
+    towMove: discs From: 0 To: 2 Via: 1.
+    towMoves ).`,
+			Entry:     "towersBench",
+			Expect:    16383, // 2^14 - 1
+			HasExpect: true,
+		},
+		{
+			Name:  "queens",
+			Group: "stanford",
+			// Eight queens, counting all solutions.
+			Source: `
+qnRowFree <- nil.
+qnDiagA <- nil.
+qnDiagB <- nil.
+qnSolutions <- 0.
+qnTry: col = (
+    0 upTo: 8 Do: [ :row |
+        (((qnRowFree at: row) = 1) and: [
+            ((qnDiagA at: row + col) = 1) and: [
+                (qnDiagB at: (row - col) + 7) = 1 ] ])
+        ifTrue: [
+            qnRowFree at: row Put: 0.
+            qnDiagA at: row + col Put: 0.
+            qnDiagB at: (row - col) + 7 Put: 0.
+            (col = 7)
+                ifTrue: [ qnSolutions: qnSolutions + 1 ]
+                False: [ qnTry: col + 1 ].
+            qnRowFree at: row Put: 1.
+            qnDiagA at: row + col Put: 1.
+            qnDiagB at: (row - col) + 7 Put: 1 ] ] ).
+queensBench = (
+    qnRowFree: vector copySize: 8 FillWith: 1.
+    qnDiagA: vector copySize: 15 FillWith: 1.
+    qnDiagB: vector copySize: 15 FillWith: 1.
+    qnSolutions: 0.
+    qnTry: 0.
+    qnSolutions ).`,
+			Entry:     "queensBench",
+			Expect:    92,
+			HasExpect: true,
+		},
+		{
+			Name:  "intmm",
+			Group: "stanford",
+			// Integer matrix multiply, 24x24, entries from the
+			// Stanford linear congruential generator.
+			Source: `
+imSeed <- 0.
+imRand = (
+    imSeed: ((imSeed * 1309) + 13849) % 65536.
+    imSeed ).
+imMakeMatrix: n = ( | m |
+    m: vector copySize: n.
+    0 upTo: n Do: [ :i |
+        | row |
+        row: vector copySize: n.
+        0 upTo: n Do: [ :j | row at: j Put: (imRand % 120) - 60 ].
+        m at: i Put: row ].
+    m ).
+imInner: rowA B: b J: j N: n = ( | sum <- 0 |
+    0 upTo: n Do: [ :k | sum: sum + ((rowA at: k) * ((b at: k) at: j)) ].
+    sum ).
+intmmBench = ( | n <- 24. a. b. c. check <- 0 |
+    imSeed: 74755.
+    a: imMakeMatrix: n.
+    b: imMakeMatrix: n.
+    c: vector copySize: n.
+    0 upTo: n Do: [ :i |
+        | row. rowA |
+        row: vector copySize: n.
+        rowA: a at: i.
+        0 upTo: n Do: [ :j | row at: j Put: (imInner: rowA B: b J: j N: n) ].
+        c at: i Put: row ].
+    0 upTo: n Do: [ :i |
+        0 upTo: n Do: [ :j | check: check + (((c at: i) at: j) % 1000) ] ].
+    check ).`,
+			Entry: "intmmBench",
+		},
+		{
+			Name:  "puzzle",
+			Group: "stanford",
+			// Forest Baskett's 3-D packing puzzle, the compile-time
+			// stress test of Appendix C. Faithful port of the C
+			// original (size 511, 13 piece classes); kount = 2005.
+			Source: puzzleSource,
+			Entry:  "puzzleBench",
+			Expect: 2005, HasExpect: true,
+		},
+		{
+			Name:  "quick",
+			Group: "stanford",
+			// Recursive quicksort of 1000 pseudo-random elements.
+			Source: `
+qsSeed <- 0.
+qsRand = (
+    qsSeed: ((qsSeed * 1309) + 13849) % 65536.
+    qsSeed ).
+qsSort: a Lo: lo Hi: hi = ( | i. j. pivot. t |
+    i: lo.
+    j: hi.
+    pivot: a at: (lo + hi) / 2.
+    [ i <= j ] whileTrue: [
+        [ (a at: i) < pivot ] whileTrue: [ i: i + 1 ].
+        [ pivot < (a at: j) ] whileTrue: [ j: j - 1 ].
+        (i <= j) ifTrue: [
+            t: a at: i.
+            a at: i Put: (a at: j).
+            a at: j Put: t.
+            i: i + 1.
+            j: j - 1 ] ].
+    (lo < j) ifTrue: [ qsSort: a Lo: lo Hi: j ].
+    (i < hi) ifTrue: [ qsSort: a Lo: i Hi: hi ] ).
+quickBench = ( | n <- 1000. a. bad <- 0 |
+    qsSeed: 74755.
+    a: vector copySize: n.
+    0 upTo: n Do: [ :i | a at: i Put: qsRand ].
+    qsSort: a Lo: 0 Hi: n - 1.
+    0 upTo: n - 1 Do: [ :i |
+        ((a at: i) > (a at: i + 1)) ifTrue: [ bad: bad + 1 ] ].
+    (a at: 0) + (a at: n - 1) + bad ).`,
+			Entry: "quickBench",
+		},
+		{
+			Name:  "bubble",
+			Group: "stanford",
+			// Bubble sort of 175 pseudo-random elements.
+			Source: `
+bbSeed <- 0.
+bbRand = (
+    bbSeed: ((bbSeed * 1309) + 13849) % 65536.
+    bbSeed ).
+bubbleBench = ( | n <- 175. a. top. bad <- 0 |
+    bbSeed: 74755.
+    a: vector copySize: n.
+    0 upTo: n Do: [ :i | a at: i Put: bbRand ].
+    top: n - 1.
+    [ top > 0 ] whileTrue: [
+        | i <- 0 |
+        [ i < top ] whileTrue: [
+            ((a at: i) > (a at: i + 1)) ifTrue: [
+                | t |
+                t: a at: i.
+                a at: i Put: (a at: i + 1).
+                a at: i + 1 Put: t ].
+            i: i + 1 ].
+        top: top - 1 ].
+    0 upTo: n - 1 Do: [ :i |
+        ((a at: i) > (a at: i + 1)) ifTrue: [ bad: bad + 1 ] ].
+    (a at: 0) + (a at: n - 1) + bad ).`,
+			Entry: "bubbleBench",
+		},
+		{
+			Name:  "tree",
+			Group: "stanford",
+			// Binary search tree of 1000 pseudo-random keys stored in
+			// parallel vectors (the procedural representation), then
+			// probed.
+			Source: `
+trSeed <- 0.
+trRand = (
+    trSeed: ((trSeed * 1309) + 13849) % 65536.
+    trSeed ).
+trKey <- nil.
+trLeft <- nil.
+trRight <- nil.
+trNext <- 0.
+trNewNode: k = ( | idx |
+    idx: trNext.
+    trNext: trNext + 1.
+    trKey at: idx Put: k.
+    trLeft at: idx Put: -1.
+    trRight at: idx Put: -1.
+    idx ).
+trInsert: k At: idx = (
+    (k < (trKey at: idx))
+        ifTrue: [
+            ((trLeft at: idx) < 0)
+                ifTrue: [ trLeft at: idx Put: (trNewNode: k) ]
+                False: [ trInsert: k At: (trLeft at: idx) ] ]
+        False: [
+            ((trRight at: idx) < 0)
+                ifTrue: [ trRight at: idx Put: (trNewNode: k) ]
+                False: [ trInsert: k At: (trRight at: idx) ] ] ).
+trFind: k At: idx = (
+    (idx < 0) ifTrue: [ ^ 0 ].
+    (k = (trKey at: idx)) ifTrue: [ ^ 1 ].
+    (k < (trKey at: idx))
+        ifTrue: [ trFind: k At: (trLeft at: idx) ]
+        False: [ trFind: k At: (trRight at: idx) ] ).
+treeBench = ( | n <- 1000. found <- 0 |
+    trSeed: 74755.
+    trKey: vector copySize: n + 1.
+    trLeft: vector copySize: n + 1.
+    trRight: vector copySize: n + 1.
+    trNext: 0.
+    trNewNode: trRand.
+    1 upTo: n Do: [ :i | trInsert: trRand At: 0 ].
+    trSeed: 74755.
+    0 upTo: n Do: [ :i | found: found + (trFind: trRand At: 0) ].
+    found ).`,
+			Entry:     "treeBench",
+			Expect:    1000,
+			HasExpect: true,
+		},
+	}
+}

@@ -1,0 +1,285 @@
+package bench
+
+// StanfordOO returns the object-oriented rewrites of the Stanford
+// benchmarks (§6): "the changes are chiefly to redirect the target of
+// messages from the benchmark object to the data structures
+// manipulated by the benchmark"; algorithms are unchanged. puzzle was
+// not rewritten but the paper includes it in this group's summaries —
+// the table harness does the same.
+func StanfordOO() []Benchmark {
+	return []Benchmark{
+		{
+			Name:  "perm-oo",
+			Group: "stanford-oo",
+			Source: `
+permuter = (| parent* = lobby.
+    items.
+    count <- 0.
+    init: n = (
+        items: vector copySize: n + 1.
+        0 upTo: n + 1 Do: [ :i | items at: i Put: i + 1 ].
+        count: 0.
+        self ).
+    swap: i With: j = ( | t |
+        t: items at: i.
+        items at: i Put: (items at: j).
+        items at: j Put: t ).
+    permute: n = ( | n1 |
+        count: count + 1.
+        (n != 0) ifTrue: [
+            n1: n - 1.
+            permute: n1.
+            n1 downTo: 0 Do: [ :i |
+                swap: n1 With: i.
+                permute: n1.
+                swap: n1 With: i ] ] ).
+|).
+permOOBench = ( | p |
+    p: permuter _Clone.
+    p init: 6.
+    p permute: 6.
+    p count ).`,
+			Entry:     "permOOBench",
+			Expect:    8660,
+			HasExpect: true,
+		},
+		{
+			Name:  "towers-oo",
+			Group: "stanford-oo",
+			Source: `
+towerStack = (| parent* = lobby.
+    cells.
+    top <- 0.
+    init = ( cells: vector copySize: 15. top: 0. self ).
+    push: d = (
+        (top > 0) ifTrue: [
+            ((cells at: top - 1) <= d) ifTrue: [ error: 'disc size error' ] ].
+        cells at: top Put: d.
+        top: top + 1 ).
+    pop = (
+        (top < 1) ifTrue: [ error: 'nothing to pop' ].
+        top: top - 1.
+        cells at: top ).
+|).
+towersGame = (| parent* = lobby.
+    stacks.
+    moves <- 0.
+    init: n = (
+        stacks: vector copySize: 3.
+        0 upTo: 3 Do: [ :i | stacks at: i Put: towerStack _Clone init ].
+        moves: 0.
+        n downTo: 1 Do: [ :d | (stacks at: 0) push: d ].
+        self ).
+    move: n From: a To: b Via: c = (
+        (n = 1)
+            ifTrue: [
+                (stacks at: b) push: ((stacks at: a) pop).
+                moves: moves + 1 ]
+            False: [
+                move: n - 1 From: a To: c Via: b.
+                (stacks at: b) push: ((stacks at: a) pop).
+                moves: moves + 1.
+                move: n - 1 From: c To: b Via: a ] ).
+|).
+towersOOBench = ( | g |
+    g: towersGame _Clone init: 14.
+    g move: 14 From: 0 To: 2 Via: 1.
+    g moves ).`,
+			Entry:     "towersOOBench",
+			Expect:    16383,
+			HasExpect: true,
+		},
+		{
+			Name:  "queens-oo",
+			Group: "stanford-oo",
+			Source: `
+queensBoard = (| parent* = lobby.
+    rowFree. diagA. diagB.
+    solutions <- 0.
+    init = (
+        rowFree: vector copySize: 8 FillWith: 1.
+        diagA: vector copySize: 15 FillWith: 1.
+        diagB: vector copySize: 15 FillWith: 1.
+        solutions: 0.
+        self ).
+    rowOK: r Col: c = (
+        ((rowFree at: r) = 1) and: [
+            ((diagA at: r + c) = 1) and: [
+                (diagB at: (r - c) + 7) = 1 ] ] ).
+    place: r Col: c = (
+        rowFree at: r Put: 0.
+        diagA at: r + c Put: 0.
+        diagB at: (r - c) + 7 Put: 0 ).
+    unplace: r Col: c = (
+        rowFree at: r Put: 1.
+        diagA at: r + c Put: 1.
+        diagB at: (r - c) + 7 Put: 1 ).
+    try: col = (
+        0 upTo: 8 Do: [ :row |
+            (rowOK: row Col: col) ifTrue: [
+                place: row Col: col.
+                (col = 7)
+                    ifTrue: [ solutions: solutions + 1 ]
+                    False: [ try: col + 1 ].
+                unplace: row Col: col ] ] ).
+|).
+queensOOBench = ( | b |
+    b: queensBoard _Clone init.
+    b try: 0.
+    b solutions ).`,
+			Entry:     "queensOOBench",
+			Expect:    92,
+			HasExpect: true,
+		},
+		{
+			Name:  "intmm-oo",
+			Group: "stanford-oo",
+			Source: `
+imooSeed <- 0.
+imooRand = (
+    imooSeed: ((imooSeed * 1309) + 13849) % 65536.
+    imooSeed ).
+imMatrix = (| parent* = lobby.
+    rows.
+    n <- 0.
+    init: size = (
+        n: size.
+        rows: vector copySize: size.
+        0 upTo: size Do: [ :i | rows at: i Put: (vector copySize: size FillWith: 0) ].
+        self ).
+    r: i C: j = ( (rows at: i) at: j ).
+    r: i C: j Put: v = ( (rows at: i) at: j Put: v ).
+    fillRandom = (
+        0 upTo: n Do: [ :i |
+            0 upTo: n Do: [ :j | r: i C: j Put: (imooRand % 120) - 60 ] ].
+        self ).
+    times: other Into: result = (
+        0 upTo: n Do: [ :i |
+            0 upTo: n Do: [ :j |
+                | sum <- 0 |
+                0 upTo: n Do: [ :k |
+                    sum: sum + ((r: i C: k) * (other r: k C: j)) ].
+                result r: i C: j Put: sum ] ] ).
+|).
+intmmOOBench = ( | a. b. c. check <- 0. n <- 24 |
+    imooSeed: 74755.
+    a: imMatrix _Clone init: n. a fillRandom.
+    b: imMatrix _Clone init: n. b fillRandom.
+    c: imMatrix _Clone init: n.
+    a times: b Into: c.
+    0 upTo: n Do: [ :i |
+        0 upTo: n Do: [ :j | check: check + ((c r: i C: j) % 1000) ] ].
+    check ).`,
+			Entry: "intmmOOBench",
+		},
+		{
+			Name:  "quick-oo",
+			Group: "stanford-oo",
+			Source: sortableSource + `
+quickOOBench = ( | s |
+    s: sortable _Clone init: 1000 Seed: 74755.
+    s quickSort.
+    (s at: 0) + (s at: 999) + s disorder ).`,
+			Entry: "quickOOBench",
+		},
+		{
+			Name:  "bubble-oo",
+			Group: "stanford-oo",
+			Source: sortableSource + `
+bubbleOOBench = ( | s |
+    s: sortable _Clone init: 175 Seed: 74755.
+    s bubbleSort.
+    (s at: 0) + (s at: 174) + s disorder ).`,
+			Entry: "bubbleOOBench",
+		},
+		{
+			Name:  "tree-oo",
+			Group: "stanford-oo",
+			Source: `
+treeNode = (| parent* = lobby.
+    key <- 0.
+    left. right.
+    setKey: k = ( key: k. self ).
+    insert: k = (
+        (k < key)
+            ifTrue: [
+                left isNil
+                    ifTrue: [ left: (treeNode _Clone setKey: k) ]
+                    False: [ left insert: k ] ]
+            False: [
+                right isNil
+                    ifTrue: [ right: (treeNode _Clone setKey: k) ]
+                    False: [ right insert: k ] ] ).
+    find: k = (
+        (k = key) ifTrue: [ ^ 1 ].
+        (k < key)
+            ifTrue: [ left isNil ifTrue: [ 0 ] False: [ left find: k ] ]
+            False: [ right isNil ifTrue: [ 0 ] False: [ right find: k ] ] ).
+|).
+trooSeed <- 0.
+trooRand = (
+    trooSeed: ((trooSeed * 1309) + 13849) % 65536.
+    trooSeed ).
+treeOOBench = ( | root. found <- 0. n <- 1000 |
+    trooSeed: 74755.
+    root: treeNode _Clone setKey: trooRand.
+    1 upTo: n Do: [ :i | root insert: trooRand ].
+    trooSeed: 74755.
+    0 upTo: n Do: [ :i | found: found + (root find: trooRand) ].
+    found ).`,
+			Entry:     "treeOOBench",
+			Expect:    1000,
+			HasExpect: true,
+		},
+	}
+}
+
+// sortableSource is the shared sortable-collection prototype of the
+// quick-oo and bubble-oo benchmarks: the sort methods live on the data
+// structure itself.
+const sortableSource = `
+sortable = (| parent* = lobby.
+    data.
+    size <- 0.
+    init: n Seed: s = ( | seed |
+        size: n.
+        data: vector copySize: n.
+        seed: s.
+        0 upTo: n Do: [ :i |
+            seed: ((seed * 1309) + 13849) % 65536.
+            data at: i Put: seed ].
+        self ).
+    at: i = ( data at: i ).
+    at: i Put: v = ( data at: i Put: v ).
+    swap: i With: j = ( | t |
+        t: data at: i.
+        data at: i Put: (data at: j).
+        data at: j Put: t ).
+    quickLo: lo Hi: hi = ( | i. j. pivot |
+        i: lo.
+        j: hi.
+        pivot: (at: (lo + hi) / 2).
+        [ i <= j ] whileTrue: [
+            [ (at: i) < pivot ] whileTrue: [ i: i + 1 ].
+            [ pivot < (at: j) ] whileTrue: [ j: j - 1 ].
+            (i <= j) ifTrue: [
+                swap: i With: j.
+                i: i + 1.
+                j: j - 1 ] ].
+        (lo < j) ifTrue: [ quickLo: lo Hi: j ].
+        (i < hi) ifTrue: [ quickLo: i Hi: hi ] ).
+    quickSort = ( quickLo: 0 Hi: size - 1 ).
+    bubbleSort = ( | top |
+        top: size - 1.
+        [ top > 0 ] whileTrue: [
+            | i <- 0 |
+            [ i < top ] whileTrue: [
+                ((at: i) > (at: i + 1)) ifTrue: [ swap: i With: i + 1 ].
+                i: i + 1 ].
+            top: top - 1 ] ).
+    disorder = ( | bad <- 0 |
+        0 upTo: size - 1 Do: [ :i |
+            ((at: i) > (at: i + 1)) ifTrue: [ bad: bad + 1 ] ].
+        bad ).
+|).
+`

@@ -1,0 +1,44 @@
+// Package cli holds the helpers shared by the selfc, selfrun and
+// selfbench commands.
+package cli
+
+import (
+	"fmt"
+	"strings"
+
+	"selfgo"
+)
+
+// ConfigByName resolves a command-line configuration name.
+//
+//	new        the paper's new SELF compiler (§6's measured system)
+//	new-multi  new SELF with multi-version loops repaired (§5.2)
+//	new-ext    new-multi plus §7's comparison facts
+//	old89      the original compiler, early-1989 tuning
+//	old90      the 1990 production system
+//	st80       ParcPlace Smalltalk-80 V2.4
+//	c          the optimized-C stand-in (static ideal)
+func ConfigByName(name string) (selfgo.Config, error) {
+	switch strings.ToLower(name) {
+	case "new", "newself", "new-self":
+		return selfgo.NewSELF, nil
+	case "new-multi", "multi":
+		return selfgo.NewSELFMultiLoop, nil
+	case "new-ext", "ext", "extended":
+		return selfgo.NewSELFExtended, nil
+	case "old89", "self89":
+		return selfgo.OldSELF89, nil
+	case "old90", "self90":
+		return selfgo.OldSELF90, nil
+	case "st80", "smalltalk":
+		return selfgo.ST80, nil
+	case "c", "static", "ideal":
+		return selfgo.OptimizedC, nil
+	}
+	return selfgo.Config{}, fmt.Errorf("unknown config %q (want new, new-multi, new-ext, old89, old90, st80 or c)", name)
+}
+
+// Names lists the accepted primary configuration names.
+func Names() []string {
+	return []string{"new", "new-multi", "new-ext", "old89", "old90", "st80", "c"}
+}

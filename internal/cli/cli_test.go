@@ -1,0 +1,34 @@
+package cli
+
+import "testing"
+
+func TestConfigByName(t *testing.T) {
+	for _, name := range Names() {
+		cfg, err := ConfigByName(name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if cfg.Name == "" {
+			t.Errorf("%s: empty config", name)
+		}
+	}
+	// Aliases and case-insensitivity.
+	for alias, want := range map[string]string{
+		"NEW":      "new SELF",
+		"static":   "optimized C",
+		"Multi":    "new SELF (multi-version loops)",
+		"extended": "new SELF (extended)",
+	} {
+		cfg, err := ConfigByName(alias)
+		if err != nil {
+			t.Errorf("%s: %v", alias, err)
+			continue
+		}
+		if cfg.Name != want {
+			t.Errorf("%s resolved to %q, want %q", alias, cfg.Name, want)
+		}
+	}
+	if _, err := ConfigByName("nope"); err == nil {
+		t.Error("expected error for unknown name")
+	}
+}

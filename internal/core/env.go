@@ -1,0 +1,319 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"selfgo/internal/ir"
+	"selfgo/internal/types"
+)
+
+// env is the variable→type mapping of §3: the compiler's knowledge at
+// one point on one control-flow path, keyed by virtual register.
+type env map[ir.Reg]types.Type
+
+func (e env) clone() env {
+	out := make(env, len(e))
+	for k, v := range e {
+		out[k] = v
+	}
+	return out
+}
+
+// get returns the type bound to r; absent bindings are unknown.
+func (e env) get(r ir.Reg) types.Type {
+	if t, ok := e[r]; ok {
+		return t
+	}
+	return types.Unknown{}
+}
+
+func (e env) set(r ir.Reg, t types.Type) {
+	if r == ir.NoReg {
+		return
+	}
+	e[r] = t
+}
+
+// equalOn reports whether two envs agree on every register in regs.
+func (e env) equalOn(o env, regs []ir.Reg) bool {
+	for _, r := range regs {
+		if !types.Equal(e.get(r), o.get(r)) {
+			return false
+		}
+	}
+	return true
+}
+
+func (e env) String() string {
+	keys := make([]int, 0, len(e))
+	for k := range e {
+		keys = append(keys, int(k))
+	}
+	sort.Ints(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("r%d:%s", k, e[ir.Reg(k)]))
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}
+
+// flow is one control-flow path under construction: an attachment point
+// in the graph plus the type environment along that path. The compiler
+// carries a set of flows; deferring the merge of flows whose envs
+// differ is our forward formulation of extended message splitting (see
+// DESIGN.md §4).
+type flow struct {
+	from *ir.Node // node whose successor slot `slot` is the open edge
+	slot int
+	env  env
+
+	// uncommon marks paths downstream of primitive failures or failed
+	// type tests; splitting never keeps extra copies of them (§4).
+	uncommon bool
+
+	// copied counts nodes emitted on this flow while other common
+	// flows were alive — the "number of copied nodes" of the paper's
+	// splitting threshold.
+	copied int
+
+	// facts, lens and copies implement the §7 future-work extension
+	// (Config.ComparisonFacts): facts records "a < b" relations proved
+	// by taken branches, lens maps a vector register to a register
+	// already holding its length, and copies canonicalizes registers
+	// across Moves so a fact proved about a copy matches. All three are
+	// path knowledge: merges drop them, assignments invalidate them.
+	facts  map[factKey]bool
+	lens   map[ir.Reg]ir.Reg
+	copies map[ir.Reg]ir.Reg
+}
+
+// factKey is a proved strict "A < B" relation between registers.
+type factKey struct {
+	a, b ir.Reg
+}
+
+func (f *flow) clone() *flow {
+	nf := &flow{from: f.from, slot: f.slot, env: f.env.clone(), uncommon: f.uncommon, copied: f.copied}
+	nf.copyFacts(f)
+	return nf
+}
+
+// copyFacts copies path knowledge from another flow (used when a branch
+// creates successor flows).
+func (f *flow) copyFacts(from *flow) {
+	if len(from.facts) > 0 {
+		f.facts = make(map[factKey]bool, len(from.facts))
+		for k := range from.facts {
+			f.facts[k] = true
+		}
+	}
+	if len(from.lens) > 0 {
+		f.lens = make(map[ir.Reg]ir.Reg, len(from.lens))
+		for k, v := range from.lens {
+			f.lens[k] = v
+		}
+	}
+	if len(from.copies) > 0 {
+		f.copies = make(map[ir.Reg]ir.Reg, len(from.copies))
+		for k, v := range from.copies {
+			f.copies[k] = v
+		}
+	}
+}
+
+// canon follows the copy chain to the defining register.
+func (f *flow) canon(r ir.Reg) ir.Reg {
+	for i := 0; i < 32; i++ {
+		c, ok := f.copies[r]
+		if !ok {
+			return r
+		}
+		r = c
+	}
+	return r
+}
+
+// noteCopy records that dst is a copy of src.
+func (f *flow) noteCopy(dst, src ir.Reg) {
+	if f.copies == nil {
+		f.copies = map[ir.Reg]ir.Reg{}
+	}
+	f.copies[dst] = f.canon(src)
+}
+
+// addFact records a proved "a < b" (registers canonicalized).
+func (f *flow) addFact(a, b ir.Reg) {
+	if f.facts == nil {
+		f.facts = map[factKey]bool{}
+	}
+	f.facts[factKey{f.canon(a), f.canon(b)}] = true
+}
+
+// hasFact reports a proved "a < b" (registers canonicalized).
+func (f *flow) hasFact(a, b ir.Reg) bool {
+	return f.facts[factKey{f.canon(a), f.canon(b)}]
+}
+
+// invalidateReg drops all knowledge involving register r (called when r
+// is reassigned).
+func (f *flow) invalidateReg(r ir.Reg) {
+	for k := range f.facts {
+		if k.a == r || k.b == r {
+			delete(f.facts, k)
+		}
+	}
+	for vec, ln := range f.lens {
+		if vec == r || ln == r {
+			delete(f.lens, vec)
+		}
+	}
+	delete(f.copies, r)
+	for k, v := range f.copies {
+		if v == r {
+			delete(f.copies, k)
+		}
+	}
+}
+
+// dropFacts clears all path knowledge (merges, escapes).
+func (f *flow) dropFacts() {
+	f.facts = nil
+	f.lens = nil
+}
+
+// aliasReg records that dst now holds the same value as src (a Move).
+func (f *flow) aliasReg(dst, src ir.Reg) {
+	f.noteCopy(dst, src)
+	if ln, ok := f.lens[f.canon(src)]; ok {
+		if f.lens == nil {
+			f.lens = map[ir.Reg]ir.Reg{}
+		}
+		f.lens[dst] = ln
+	}
+}
+
+// setSucc wires slot s of node n to t, growing the successor list.
+func setSucc(n *ir.Node, s int, t *ir.Node) {
+	for len(n.Succ) <= s {
+		n.Succ = append(n.Succ, nil)
+	}
+	n.Succ[s] = t
+}
+
+// scopeKind distinguishes method scopes (which ^ returns from) from
+// block scopes.
+type scopeKind uint8
+
+const (
+	methodScope scopeKind = iota
+	blockScope
+)
+
+// scope is one lexical contour during compilation: a source method or
+// block, possibly inlined into an enclosing scope.
+type scope struct {
+	kind   scopeKind
+	parent *scope
+
+	vars   map[string]ir.Reg // params and locals declared here
+	params map[string]bool   // subset of vars that are parameters (immutable)
+
+	selfReg  ir.Reg
+	selfType types.Type
+
+	// ret collects the flows produced by ^ expressions targeting this
+	// method scope (nil for block scopes — blocks delegate to their
+	// lexically enclosing method scope).
+	ret *retCollector
+
+	// nlrLanding, created on demand, is the merge node where run-time
+	// non-local returns from this (inlined) method scope's escaped
+	// blocks land; it feeds the scope's return collector.
+	nlrLanding *ir.Node
+
+	// stackDepth is the inline-stack depth at which this scope's source
+	// text lives. Inlining a block body masks the stack back to the
+	// block's defining depth: the intervening inlined methods (e.g.
+	// ifTrue:False: itself) are not lexical ancestors of the block's
+	// code, so sends inside it may still inline them.
+	stackDepth int
+
+	// compiledBlock is set when this scope is the body of a block
+	// being compiled out-of-line (a runtime closure): names in upNames
+	// resolve to up-level accesses through the closure; anything else
+	// unresolved is an implicit-self send as usual.
+	compiledBlock bool
+	upNames       map[string]bool
+}
+
+// retCollector gathers early-return flows for a method scope so they
+// merge with the fall-through result at the end of the method.
+type retCollector struct {
+	resultReg ir.Reg
+	flows     []*flow
+}
+
+// lookupVar resolves a name through the scope chain. It reports the
+// register and true, or — when crossing into an out-of-line block
+// compilation — NoReg with upLevel=true, meaning the variable lives in
+// the closure's captured environment.
+func (s *scope) lookupVar(name string) (reg ir.Reg, upLevel, ok bool) {
+	for cur := s; cur != nil; cur = cur.parent {
+		if r, found := cur.vars[name]; found {
+			return r, false, true
+		}
+		if cur.compiledBlock && cur.parent == nil {
+			// Out-of-line block: captured names resolve through the
+			// closure; anything else is not a variable.
+			if cur.upNames[name] {
+				return ir.NoReg, true, true
+			}
+			return ir.NoReg, false, false
+		}
+	}
+	return ir.NoReg, false, false
+}
+
+// isParam reports whether name resolves to a parameter. Parameters are
+// immutable in SELF; inlining exploits this by aliasing them to the
+// caller's argument registers, so type refinements on a parameter
+// propagate to the variable the caller passed.
+func (s *scope) isParam(name string) bool {
+	for cur := s; cur != nil; cur = cur.parent {
+		if _, found := cur.vars[name]; found {
+			return cur.params[name]
+		}
+		if cur.compiledBlock && cur.parent == nil {
+			return false
+		}
+	}
+	return false
+}
+
+// homeMethod returns the nearest enclosing method scope (where ^
+// returns to), or nil when the home is outside this compilation (an
+// out-of-line block: ^ becomes a non-local return instruction).
+func (s *scope) homeMethod() *scope {
+	for cur := s; cur != nil; cur = cur.parent {
+		if cur.kind == methodScope {
+			return cur
+		}
+		if cur.compiledBlock && cur.parent == nil {
+			return nil
+		}
+	}
+	return nil
+}
+
+// selfScope returns the scope defining the current receiver: blocks
+// share the self of their lexically enclosing method.
+func (s *scope) selfScope() *scope {
+	for cur := s; cur != nil; cur = cur.parent {
+		if cur.kind == methodScope || (cur.compiledBlock && cur.parent == nil) {
+			return cur
+		}
+	}
+	return s
+}

@@ -1,0 +1,264 @@
+// Package lexer turns SELF-like source text into a token stream.
+package lexer
+
+import (
+	"fmt"
+	"strings"
+
+	"selfgo/internal/token"
+)
+
+// Lexer scans one source buffer.
+type Lexer struct {
+	src  string
+	off  int // byte offset of the next unread character
+	line int
+	col  int
+
+	errs []error
+}
+
+// New returns a Lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Errors returns the scan errors collected so far.
+func (l *Lexer) Errors() []error { return l.errs }
+
+func (l *Lexer) errorf(p token.Pos, format string, args ...any) {
+	l.errs = append(l.errs, fmt.Errorf("%s: %s", p, fmt.Sprintf(format, args...)))
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) pos() token.Pos { return token.Pos{Line: l.line, Col: l.col} }
+
+func isLetter(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentPart(c byte) bool { return isLetter(c) || isDigit(c) || c == '_' }
+
+func isBinOpChar(c byte) bool {
+	switch c {
+	case '+', '-', '*', '/', '%', '<', '>', '=', '!', '&', '@':
+		return true
+	}
+	return false
+}
+
+// skipSpace consumes whitespace and "double quoted comments".
+func (l *Lexer) skipSpace() {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '"':
+			p := l.pos()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.advance() == '"' {
+					closed = true
+					break
+				}
+			}
+			if !closed {
+				l.errorf(p, "unterminated comment")
+			}
+		default:
+			return
+		}
+	}
+}
+
+// Next returns the next token in the stream.
+func (l *Lexer) Next() token.Token {
+	l.skipSpace()
+	p := l.pos()
+	if l.off >= len(l.src) {
+		return token.Token{Kind: token.EOF, Pos: p}
+	}
+	c := l.peek()
+	switch {
+	case isDigit(c):
+		return l.lexNumber(p)
+	case c == '_' || isLetter(c):
+		return l.lexName(p)
+	case c == '\'':
+		return l.lexString(p)
+	}
+	l.advance()
+	switch c {
+	case '(':
+		if l.peek() == '|' {
+			l.advance()
+			return token.Token{Kind: token.LSlotList, Text: "(|", Pos: p}
+		}
+		return token.Token{Kind: token.LParen, Text: "(", Pos: p}
+	case ')':
+		return token.Token{Kind: token.RParen, Text: ")", Pos: p}
+	case '[':
+		return token.Token{Kind: token.LBracket, Text: "[", Pos: p}
+	case ']':
+		return token.Token{Kind: token.RBracket, Text: "]", Pos: p}
+	case '|':
+		return token.Token{Kind: token.VBar, Text: "|", Pos: p}
+	case '.':
+		return token.Token{Kind: token.Dot, Text: ".", Pos: p}
+	case ';':
+		return token.Token{Kind: token.Semi, Text: ";", Pos: p}
+	case '^':
+		return token.Token{Kind: token.Caret, Text: "^", Pos: p}
+	case ':':
+		// ":name" introduces a block argument; a bare ':' is illegal
+		// elsewhere (keyword colons are attached to the identifier).
+		return token.Token{Kind: token.Colon, Text: ":", Pos: p}
+	}
+	if c == '<' && l.peek() == '-' {
+		l.advance()
+		return token.Token{Kind: token.Arrow, Text: "<-", Pos: p}
+	}
+	if isBinOpChar(c) {
+		text := string(c)
+		// Multi-character operators: <= >= != ==.
+		if (c == '<' || c == '>' || c == '!' || c == '=') && l.peek() == '=' {
+			l.advance()
+			text += "="
+		}
+		switch text {
+		case "=":
+			return token.Token{Kind: token.Eq, Text: "=", Pos: p}
+		case "*":
+			return token.Token{Kind: token.Star, Text: "*", Pos: p}
+		}
+		return token.Token{Kind: token.BinOp, Text: text, Pos: p}
+	}
+	l.errorf(p, "illegal character %q", c)
+	return token.Token{Kind: token.Illegal, Text: string(c), Pos: p}
+}
+
+func (l *Lexer) lexNumber(p token.Pos) token.Token {
+	start := l.off
+	for l.off < len(l.src) && isDigit(l.peek()) {
+		l.advance()
+	}
+	// Radix literal 16r1F (SELF style).
+	if l.peek() == 'r' && l.off+1 < len(l.src) && isHexDigit(l.peek2()) {
+		l.advance()
+		for l.off < len(l.src) && isHexDigit(l.peek()) {
+			l.advance()
+		}
+	}
+	return token.Token{Kind: token.Int, Text: l.src[start:l.off], Pos: p}
+}
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}
+
+func (l *Lexer) lexString(p token.Pos) token.Token {
+	l.advance() // opening quote
+	var b strings.Builder
+	for {
+		if l.off >= len(l.src) {
+			l.errorf(p, "unterminated string")
+			return token.Token{Kind: token.Illegal, Text: b.String(), Pos: p}
+		}
+		c := l.advance()
+		if c == '\'' {
+			if l.peek() == '\'' { // doubled quote escapes a quote
+				l.advance()
+				b.WriteByte('\'')
+				continue
+			}
+			break
+		}
+		if c == '\\' && l.off < len(l.src) {
+			e := l.advance()
+			switch e {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '\\', '\'':
+				b.WriteByte(e)
+			default:
+				l.errorf(p, "unknown escape \\%c", e)
+			}
+			continue
+		}
+		b.WriteByte(c)
+	}
+	return token.Token{Kind: token.String, Text: b.String(), Pos: p}
+}
+
+func (l *Lexer) lexName(p token.Pos) token.Token {
+	start := l.off
+	prim := l.peek() == '_'
+	if prim {
+		l.advance()
+	}
+	for l.off < len(l.src) && isIdentPart(l.peek()) {
+		l.advance()
+	}
+	text := l.src[start:l.off]
+	if l.peek() == ':' && l.peek2() != '=' {
+		l.advance()
+		text += ":"
+		switch {
+		case prim:
+			return token.Token{Kind: token.PrimKeyword, Text: text, Pos: p}
+		case text[0] >= 'A' && text[0] <= 'Z':
+			return token.Token{Kind: token.CapKeyword, Text: text, Pos: p}
+		default:
+			return token.Token{Kind: token.Keyword, Text: text, Pos: p}
+		}
+	}
+	if prim {
+		return token.Token{Kind: token.Primitive, Text: text, Pos: p}
+	}
+	return token.Token{Kind: token.Ident, Text: text, Pos: p}
+}
+
+// All scans the entire buffer and returns every token up to and
+// including EOF. It is a convenience for tests and the parser.
+func All(src string) []token.Token {
+	l := New(src)
+	var out []token.Token
+	for {
+		t := l.Next()
+		out = append(out, t)
+		if t.Kind == token.EOF {
+			return out
+		}
+	}
+}

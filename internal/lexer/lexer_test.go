@@ -1,0 +1,176 @@
+package lexer
+
+import (
+	"testing"
+
+	"selfgo/internal/token"
+)
+
+func kinds(src string) []token.Kind {
+	var ks []token.Kind
+	for _, t := range All(src) {
+		ks = append(ks, t.Kind)
+	}
+	return ks
+}
+
+func TestBasicTokens(t *testing.T) {
+	toks := All("sum: sum + i.")
+	want := []struct {
+		k token.Kind
+		s string
+	}{
+		{token.Keyword, "sum:"},
+		{token.Ident, "sum"},
+		{token.BinOp, "+"},
+		{token.Ident, "i"},
+		{token.Dot, "."},
+		{token.EOF, ""},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens %v, want %d", len(toks), toks, len(want))
+	}
+	for i, w := range want {
+		if toks[i].Kind != w.k || toks[i].Text != w.s {
+			t.Errorf("tok %d = %v, want %v %q", i, toks[i], w.k, w.s)
+		}
+	}
+}
+
+func TestSlotListToken(t *testing.T) {
+	toks := All("(| x <- 0 |)")
+	if toks[0].Kind != token.LSlotList {
+		t.Fatalf("got %v, want LSlotList", toks[0])
+	}
+	if toks[1].Kind != token.Ident || toks[2].Kind != token.Arrow {
+		t.Fatalf("got %v %v", toks[1], toks[2])
+	}
+}
+
+func TestCapitalizedKeyword(t *testing.T) {
+	toks := All("1 upTo: n Do: [ :i | x ]")
+	var caps, kws int
+	for _, tk := range toks {
+		switch tk.Kind {
+		case token.CapKeyword:
+			caps++
+			if tk.Text != "Do:" {
+				t.Errorf("CapKeyword text = %q", tk.Text)
+			}
+		case token.Keyword:
+			kws++
+			if tk.Text != "upTo:" {
+				t.Errorf("Keyword text = %q", tk.Text)
+			}
+		}
+	}
+	if caps != 1 || kws != 1 {
+		t.Errorf("caps=%d kws=%d, want 1,1", caps, kws)
+	}
+}
+
+func TestPrimitiveTokens(t *testing.T) {
+	toks := All("a _IntAdd: b IfFail: [ :e | 0 ]. v _Clone")
+	if toks[1].Kind != token.PrimKeyword || toks[1].Text != "_IntAdd:" {
+		t.Fatalf("got %v", toks[1])
+	}
+	var sawClone bool
+	for _, tk := range toks {
+		if tk.Kind == token.Primitive && tk.Text == "_Clone" {
+			sawClone = true
+		}
+	}
+	if !sawClone {
+		t.Error("missing _Clone primitive token")
+	}
+}
+
+func TestComments(t *testing.T) {
+	toks := All(`x "this is a comment" y`)
+	if len(toks) != 3 || toks[0].Text != "x" || toks[1].Text != "y" {
+		t.Fatalf("got %v", toks)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	toks := All(`'hello ''world'' \n'`)
+	if toks[0].Kind != token.String {
+		t.Fatalf("got %v", toks[0])
+	}
+	if toks[0].Text != "hello 'world' \n" {
+		t.Fatalf("text = %q", toks[0].Text)
+	}
+}
+
+func TestOperators(t *testing.T) {
+	ks := kinds("a <= b >= c != d = e * f <- g")
+	want := []token.Kind{
+		token.Ident, token.BinOp, token.Ident, token.BinOp, token.Ident,
+		token.BinOp, token.Ident, token.Eq, token.Ident, token.Star,
+		token.Ident, token.Arrow, token.Ident, token.EOF,
+	}
+	if len(ks) != len(want) {
+		t.Fatalf("got %v", ks)
+	}
+	for i := range want {
+		if ks[i] != want[i] {
+			t.Errorf("tok %d = %v, want %v", i, ks[i], want[i])
+		}
+	}
+}
+
+func TestRadixInteger(t *testing.T) {
+	toks := All("16r1F 2r101")
+	if toks[0].Text != "16r1F" || toks[0].Kind != token.Int {
+		t.Fatalf("got %v", toks[0])
+	}
+	if toks[1].Text != "2r101" {
+		t.Fatalf("got %v", toks[1])
+	}
+}
+
+func TestUnterminatedCommentAndString(t *testing.T) {
+	l := New(`"never closed`)
+	l.Next()
+	if len(l.Errors()) == 0 {
+		t.Error("expected error for unterminated comment")
+	}
+	l2 := New(`'never closed`)
+	l2.Next()
+	if len(l2.Errors()) == 0 {
+		t.Error("expected error for unterminated string")
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks := All("a\n  b")
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("a at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("b at %v", toks[1].Pos)
+	}
+}
+
+func TestIllegalCharacter(t *testing.T) {
+	l := New("a ~ b")
+	for {
+		tk := l.Next()
+		if tk.Kind == token.EOF {
+			break
+		}
+	}
+	if len(l.Errors()) == 0 {
+		t.Error("expected error for ~")
+	}
+}
+
+func TestBlockArgColon(t *testing.T) {
+	ks := kinds("[ :i | i ]")
+	want := []token.Kind{token.LBracket, token.Colon, token.Ident, token.VBar, token.Ident, token.RBracket, token.EOF}
+	for i := range want {
+		if ks[i] != want[i] {
+			t.Fatalf("tok %d = %v, want %v (all: %v)", i, ks[i], want[i], ks)
+		}
+	}
+}

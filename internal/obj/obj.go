@@ -1,0 +1,276 @@
+// Package obj implements the SELF-style prototype object model:
+// objects are bags of slots, clones share *maps* (the user-transparent
+// hidden classes of Chambers & Ungar §3.1, footnote 2), and method
+// lookup walks constant parent slots.
+//
+// Non-object values — small integers, strings, blocks, nil, true and
+// false — also have maps, so every value has a well-defined "class"
+// that customization and class types can key on.
+package obj
+
+import (
+	"fmt"
+	"strings"
+
+	"selfgo/internal/ast"
+)
+
+// Small-integer bounds. The SELF system of the paper ran on 32-bit
+// SPARCs with 30-bit tagged small integers; we keep the same bounds so
+// overflow checks and range analysis behave exactly as described.
+const (
+	MinSmallInt = -1 << 29
+	MaxSmallInt = 1<<29 - 1
+)
+
+// Kind discriminates the immediate value representations.
+type Kind uint8
+
+// Value kinds.
+const (
+	KNil Kind = iota
+	KInt
+	KStr
+	KObj
+	KBlock
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KNil:
+		return "nil"
+	case KInt:
+		return "int"
+	case KStr:
+		return "string"
+	case KObj:
+		return "object"
+	case KBlock:
+		return "block"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Value is a runtime value. The zero Value is nil.
+type Value struct {
+	K   Kind
+	I   int64    // KInt
+	S   string   // KStr
+	Obj *Object  // KObj
+	Blk *Closure // KBlock
+}
+
+// Convenience constructors.
+func Nil() Value           { return Value{K: KNil} }
+func Int(i int64) Value    { return Value{K: KInt, I: i} }
+func Str(s string) Value   { return Value{K: KStr, S: s} }
+func Obj(o *Object) Value  { return Value{K: KObj, Obj: o} }
+func Blk(c *Closure) Value { return Value{K: KBlock, Blk: c} }
+
+// IsNil reports whether v is the nil object.
+func (v Value) IsNil() bool { return v.K == KNil }
+
+// Eq is identity equality: equal small integers, identical strings,
+// the same object.
+func (v Value) Eq(w Value) bool {
+	if v.K != w.K {
+		return false
+	}
+	switch v.K {
+	case KNil:
+		return true
+	case KInt:
+		return v.I == w.I
+	case KStr:
+		return v.S == w.S
+	case KObj:
+		return v.Obj == w.Obj
+	case KBlock:
+		return v.Blk == w.Blk
+	}
+	return false
+}
+
+// String renders the value for diagnostics and the _Print primitive.
+func (v Value) String() string {
+	switch v.K {
+	case KNil:
+		return "nil"
+	case KInt:
+		return fmt.Sprintf("%d", v.I)
+	case KStr:
+		return v.S
+	case KObj:
+		return v.Obj.String()
+	case KBlock:
+		return "[block]"
+	}
+	return "<?>"
+}
+
+// SlotKind classifies map slots.
+type SlotKind uint8
+
+// Slot kinds. AssignSlot is the auto-generated "x:" setter paired with
+// each data slot.
+const (
+	ConstSlot SlotKind = iota
+	DataSlot
+	AssignSlot
+	ParentSlot
+	MethodSlot
+)
+
+// Slot describes one slot in a map.
+type Slot struct {
+	Name  string
+	Kind  SlotKind
+	Index int     // DataSlot/AssignSlot: index into Object.Fields
+	Value Value   // ConstSlot/ParentSlot: the constant value
+	Meth  *Method // MethodSlot
+}
+
+// Method is the code object held in a method slot.
+type Method struct {
+	Sel    string
+	Ast    *ast.Method
+	Holder *Map // the map of the object the method was defined in
+}
+
+func (m *Method) String() string {
+	if m.Holder != nil {
+		return m.Holder.Name + ">>" + m.Sel
+	}
+	return m.Sel
+}
+
+// Map is the hidden class shared by all clones of one prototype.
+type Map struct {
+	ID     int
+	Name   string
+	Slots  []Slot
+	byName map[string]int
+
+	// NFields is the number of assignable data slots (the length of
+	// each instance's Fields).
+	NFields int
+
+	// Indexable marks vector maps: instances carry Elems.
+	Indexable bool
+}
+
+func (m *Map) String() string { return m.Name }
+
+// SlotNamed returns the local slot with the given name, or nil.
+func (m *Map) SlotNamed(name string) *Slot {
+	if i, ok := m.byName[name]; ok {
+		return &m.Slots[i]
+	}
+	return nil
+}
+
+// Parents returns the values of all parent slots, in declaration order.
+func (m *Map) Parents() []Value {
+	var out []Value
+	for i := range m.Slots {
+		if m.Slots[i].Kind == ParentSlot {
+			out = append(out, m.Slots[i].Value)
+		}
+	}
+	return out
+}
+
+// Object is a heap object: a map plus assignable-slot storage, plus
+// element storage for indexable objects (vectors).
+type Object struct {
+	Map    *Map
+	Fields []Value
+	Elems  []Value // only for indexable maps
+}
+
+func (o *Object) String() string {
+	if o == nil {
+		return "<nil object>"
+	}
+	if o.Map.Indexable {
+		return fmt.Sprintf("a %s(%d)", o.Map.Name, len(o.Elems))
+	}
+	return "a " + strings.TrimPrefix(o.Map.Name, "a ")
+}
+
+// Clone returns a shallow copy sharing the receiver's map.
+func (o *Object) Clone() *Object {
+	c := &Object{Map: o.Map}
+	if len(o.Fields) > 0 {
+		c.Fields = make([]Value, len(o.Fields))
+		copy(c.Fields, o.Fields)
+	}
+	if o.Map.Indexable {
+		c.Elems = make([]Value, len(o.Elems))
+		copy(c.Elems, o.Elems)
+	}
+	return c
+}
+
+// Closure is a runtime block: code plus the captured home context.
+// Home identifies the activation of the lexically enclosing method for
+// non-local return and up-level variable access; its representation is
+// owned by the VM (an activation token), stored here as an opaque
+// pointer.
+type Closure struct {
+	Ast  *ast.Block
+	Map  *Map
+	Home any
+	// UpLocals exposes the enclosing activation's variables by name;
+	// set by the VM when the closure is created.
+	UpLocals map[string]*Value
+}
+
+// LookupResult is the outcome of message lookup. Holder is the object
+// whose storage an inherited data/assignment slot lives in (nil when
+// the slot is the receiver's own): in SELF, a data slot found through a
+// parent is the parent's storage, shared by every inheritor.
+type LookupResult struct {
+	Slot   *Slot
+	Map    *Map // map in which the slot was found
+	Holder *Object
+}
+
+// Lookup performs SELF message lookup starting at map m: the receiver's
+// own slots first, then its parents depth-first in slot order. The
+// first match wins; cycles are tolerated. Returns nil when the
+// message is not understood.
+func Lookup(m *Map, sel string) *LookupResult {
+	seen := make(map[*Map]bool)
+	return lookup(m, sel, seen)
+}
+
+func lookup(m *Map, sel string, seen map[*Map]bool) *LookupResult {
+	if m == nil || seen[m] {
+		return nil
+	}
+	seen[m] = true
+	if s := m.SlotNamed(sel); s != nil {
+		return &LookupResult{Slot: s, Map: m}
+	}
+	for i := range m.Slots {
+		if m.Slots[i].Kind != ParentSlot {
+			continue
+		}
+		pv := m.Slots[i].Value
+		var pm *Map
+		switch pv.K {
+		case KObj:
+			pm = pv.Obj.Map
+		default:
+			continue
+		}
+		if r := lookup(pm, sel, seen); r != nil {
+			if r.Holder == nil {
+				r.Holder = pv.Obj
+			}
+			return r
+		}
+	}
+	return nil
+}

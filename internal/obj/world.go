@@ -1,0 +1,261 @@
+package obj
+
+import (
+	"fmt"
+
+	"selfgo/internal/ast"
+)
+
+// World is an object universe: the lobby (global namespace), the
+// built-in maps for immediate values, and the well-known singletons.
+type World struct {
+	nextMapID int
+
+	Lobby *Object
+
+	NilMap   *Map
+	IntMap   *Map
+	StrMap   *Map
+	BlockMap *Map
+	VecMap   *Map
+
+	TrueObj  *Object
+	FalseObj *Object
+
+	// VectorProto is the clonable empty vector bound to the lobby slot
+	// "vector".
+	VectorProto *Object
+}
+
+// NewWorld creates a world with the built-in maps and singletons but an
+// otherwise empty lobby. Callers normally load the prelude next.
+func NewWorld() *World {
+	w := &World{}
+	w.NilMap = w.newMap("nil")
+	w.IntMap = w.newMap("smallInt")
+	w.StrMap = w.newMap("string")
+	w.BlockMap = w.newMap("block")
+	w.VecMap = w.newMap("vector")
+	w.VecMap.Indexable = true
+
+	// Builtin maps get one patchable parent slot so the prelude can
+	// attach traits objects (see Finalize).
+	for _, m := range []*Map{w.NilMap, w.IntMap, w.StrMap, w.BlockMap, w.VecMap} {
+		w.addSlot(m, Slot{Name: "parent", Kind: ParentSlot, Value: Nil()})
+	}
+
+	trueMap := w.newMap("true")
+	falseMap := w.newMap("false")
+	w.addSlot(trueMap, Slot{Name: "parent", Kind: ParentSlot, Value: Nil()})
+	w.addSlot(falseMap, Slot{Name: "parent", Kind: ParentSlot, Value: Nil()})
+	w.TrueObj = &Object{Map: trueMap}
+	w.FalseObj = &Object{Map: falseMap}
+
+	lobbyMap := w.newMap("lobby")
+	w.Lobby = &Object{Map: lobbyMap}
+	w.VectorProto = &Object{Map: w.VecMap}
+
+	// Well-known constants, visible from any object that inherits from
+	// the lobby.
+	w.DefineConst("lobby", Value{K: KObj, Obj: w.Lobby})
+	w.DefineConst("nil", Nil())
+	w.DefineConst("true", Value{K: KObj, Obj: w.TrueObj})
+	w.DefineConst("false", Value{K: KObj, Obj: w.FalseObj})
+	w.DefineConst("vector", Value{K: KObj, Obj: w.VectorProto})
+	return w
+}
+
+func (w *World) newMap(name string) *Map {
+	w.nextMapID++
+	return &Map{ID: w.nextMapID, Name: name, byName: map[string]int{}}
+}
+
+// addSlot appends a slot to a map, assigning field indices to data
+// slots and keeping the name index current.
+func (w *World) addSlot(m *Map, s Slot) *Slot {
+	if s.Kind == DataSlot {
+		s.Index = m.NFields
+		m.NFields++
+	}
+	if i, ok := m.byName[s.Name]; ok {
+		m.Slots[i] = s // redefinition replaces
+		return &m.Slots[i]
+	}
+	m.byName[s.Name] = len(m.Slots)
+	m.Slots = append(m.Slots, s)
+	return &m.Slots[len(m.Slots)-1]
+}
+
+// DefineConst installs a constant slot in the lobby.
+func (w *World) DefineConst(name string, v Value) {
+	w.addSlot(w.Lobby.Map, Slot{Name: name, Kind: ConstSlot, Value: v})
+}
+
+// MapOf returns the map of any value.
+func (w *World) MapOf(v Value) *Map {
+	switch v.K {
+	case KNil:
+		return w.NilMap
+	case KInt:
+		return w.IntMap
+	case KStr:
+		return w.StrMap
+	case KObj:
+		return v.Obj.Map
+	case KBlock:
+		return w.BlockMap
+	}
+	return nil
+}
+
+// NewVector returns a fresh vector of n elements, each initialized to
+// fill.
+func (w *World) NewVector(n int, fill Value) *Object {
+	e := make([]Value, n)
+	for i := range e {
+		e[i] = fill
+	}
+	return &Object{Map: w.VecMap, Elems: e}
+}
+
+// Load installs a parsed file's slots into the lobby. Slot initializers
+// are evaluated at load time (literals, lobby references, object
+// literals). Definitions are processed in order, so files may refer to
+// anything defined earlier.
+func (w *World) Load(f *ast.File) error {
+	for _, s := range f.Slots {
+		if err := w.installSlot(w.Lobby, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadSource parses src and loads it. Exposed for convenience;
+// the parse error, if any, is returned.
+func (w *World) installSlot(target *Object, s *ast.Slot) error {
+	m := target.Map
+	switch s.Kind {
+	case ast.MethodSlot:
+		meth := &Method{Sel: s.Name, Ast: s.Method, Holder: m}
+		w.addSlot(m, Slot{Name: s.Name, Kind: MethodSlot, Meth: meth})
+	case ast.ConstSlot:
+		v, err := w.evalInit(s.Init)
+		if err != nil {
+			return fmt.Errorf("slot %s: %w", s.Name, err)
+		}
+		w.addSlot(m, Slot{Name: s.Name, Kind: ConstSlot, Value: v})
+	case ast.ParentSlot:
+		v, err := w.evalInit(s.Init)
+		if err != nil {
+			return fmt.Errorf("slot %s: %w", s.Name, err)
+		}
+		w.addSlot(m, Slot{Name: s.Name, Kind: ParentSlot, Value: v})
+	case ast.DataSlot:
+		v, err := w.evalInit(s.Init)
+		if err != nil {
+			return fmt.Errorf("slot %s: %w", s.Name, err)
+		}
+		ds := w.addSlot(m, Slot{Name: s.Name, Kind: DataSlot})
+		w.addSlot(m, Slot{Name: s.Name + ":", Kind: AssignSlot, Index: ds.Index})
+		for len(target.Fields) < m.NFields {
+			target.Fields = append(target.Fields, Nil())
+		}
+		target.Fields[ds.Index] = v
+	default:
+		return fmt.Errorf("slot %s: unknown kind %v", s.Name, s.Kind)
+	}
+	return nil
+}
+
+// evalInit evaluates a slot initializer at world-build time.
+func (w *World) evalInit(e ast.Expr) (Value, error) {
+	switch n := e.(type) {
+	case nil:
+		return Nil(), nil
+	case *ast.IntLit:
+		return Int(n.Value), nil
+	case *ast.StrLit:
+		return Str(n.Value), nil
+	case *ast.Ident:
+		r := Lookup(w.Lobby.Map, n.Name)
+		if r == nil {
+			return Nil(), fmt.Errorf("%s: undefined global %q in slot initializer", n.P, n.Name)
+		}
+		switch r.Slot.Kind {
+		case ConstSlot, ParentSlot:
+			return r.Slot.Value, nil
+		case DataSlot:
+			return w.Lobby.Fields[r.Slot.Index], nil
+		}
+		return Nil(), fmt.Errorf("%s: global %q is not a value slot", n.P, n.Name)
+	case *ast.ObjectLit:
+		return w.BuildObject(n)
+	default:
+		return Nil(), fmt.Errorf("%s: slot initializers must be literals, globals or object literals (got %T)", e.Pos(), e)
+	}
+}
+
+// BuildObject constructs a fresh prototype from an object literal,
+// creating a new map for it.
+func (w *World) BuildObject(lit *ast.ObjectLit) (Value, error) {
+	m := w.newMap(fmt.Sprintf("obj@%s", lit.P))
+	o := &Object{Map: m}
+	for _, s := range lit.Slots {
+		if err := w.installSlot(o, s); err != nil {
+			return Nil(), err
+		}
+	}
+	// Name the map after a "name" const slot when present, for
+	// readable diagnostics and CFG dumps.
+	if ns := m.SlotNamed("objectName"); ns != nil && ns.Value.K == KStr {
+		m.Name = ns.Value.S
+	}
+	return Value{K: KObj, Obj: o}, nil
+}
+
+// Finalize patches the built-in maps' parent slots to the traits
+// objects the prelude defines (traitsInteger, traitsString,
+// traitsVector, traitsBlock, traitsNil, traitsTrue, traitsFalse).
+// Safe to call repeatedly.
+func (w *World) Finalize() {
+	patch := func(m *Map, traitsName string) {
+		r := Lookup(w.Lobby.Map, traitsName)
+		if r == nil || r.Slot.Kind != ConstSlot {
+			return
+		}
+		if ps := m.SlotNamed("parent"); ps != nil {
+			ps.Value = r.Slot.Value
+		}
+	}
+	patch(w.IntMap, "traitsInteger")
+	patch(w.StrMap, "traitsString")
+	patch(w.VecMap, "traitsVector")
+	patch(w.BlockMap, "traitsBlock")
+	patch(w.NilMap, "traitsNil")
+	patch(w.TrueObj.Map, "traitsTrue")
+	patch(w.FalseObj.Map, "traitsFalse")
+}
+
+// GlobalValue reads a lobby slot's current value (const or data).
+func (w *World) GlobalValue(name string) (Value, bool) {
+	r := Lookup(w.Lobby.Map, name)
+	if r == nil {
+		return Nil(), false
+	}
+	switch r.Slot.Kind {
+	case ConstSlot, ParentSlot:
+		return r.Slot.Value, true
+	case DataSlot:
+		return w.Lobby.Fields[r.Slot.Index], true
+	}
+	return Nil(), false
+}
+
+// Bool returns the world's true or false object as a Value.
+func (w *World) Bool(b bool) Value {
+	if b {
+		return Value{K: KObj, Obj: w.TrueObj}
+	}
+	return Value{K: KObj, Obj: w.FalseObj}
+}

@@ -1,0 +1,482 @@
+// Package parser builds selfgo ASTs from source text.
+//
+// Grammar (SELF'90 style):
+//
+//	File        = { Slot "." } .
+//	Slot        = ident "*" "=" Primary            (parent slot)
+//	            | ident "<-" Primary               (data slot)
+//	            | ident "=" Primary                (constant slot)
+//	            | Pattern "=" "(" MethodBody ")"   (method slot)
+//	Pattern     = ident | binop ident | keyword ident { Capkeyword ident } .
+//	MethodBody  = [ "|" Locals "|" ] Statements .
+//	Statements  = [ Expr { "." Expr } [ "." ] ] .
+//	Expr        = "^" KeywordExpr | KeywordExpr .
+//	KeywordExpr = Binary [ keyword KArg { Capkeyword KArg } ]
+//	            | keyword KArg { Capkeyword KArg }             (implicit receiver)
+//	            | Binary primkeyword Binary { Capkeyword Binary } .
+//	KArg        = KeywordExpr starting at Binary (lowercase keywords nest rightward) .
+//	Binary      = Unary { binop Unary } .                       (left assoc, no precedence)
+//	Unary       = Primary { ident | _primitive } .
+//	Primary     = int | "-" int | string | ident | "(" Expr ")"
+//	            | "(|" { Slot "." } "|)" | Block .
+//	Block       = "[" { ":" ident } [ "|" ] [ "|" Locals "|" ] Statements "]" .
+//
+// Capitalized keywords continue the current selector (at:Put:);
+// lowercase keywords begin a nested send, exactly as in SELF.
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"selfgo/internal/ast"
+	"selfgo/internal/lexer"
+	"selfgo/internal/token"
+)
+
+// Parser parses one source buffer.
+type Parser struct {
+	toks []token.Token
+	pos  int
+	errs []error
+}
+
+// New returns a parser over src.
+func New(src string) *Parser {
+	l := lexer.New(src)
+	var toks []token.Token
+	for {
+		t := l.Next()
+		toks = append(toks, t)
+		if t.Kind == token.EOF {
+			break
+		}
+	}
+	p := &Parser{toks: toks}
+	p.errs = append(p.errs, l.Errors()...)
+	return p
+}
+
+// ParseFile parses an entire source file of lobby slot definitions.
+func ParseFile(src string) (*ast.File, error) {
+	p := New(src)
+	f := p.File()
+	return f, p.Err()
+}
+
+// ParseExpr parses a single expression (used by tests and the REPL-ish
+// tools).
+func ParseExpr(src string) (ast.Expr, error) {
+	p := New(src)
+	e := p.Expr()
+	if p.cur().Kind != token.EOF {
+		p.errorf("trailing input at %s: %s", p.cur().Pos, p.cur())
+	}
+	return e, p.Err()
+}
+
+// ParseMethodBody parses "|locals| statements" as an anonymous method
+// with the given parameter names. Used to compile scratch code.
+func ParseMethodBody(src string, params ...string) (*ast.Method, error) {
+	p := New(src)
+	locals, body := p.methodBody(token.EOF)
+	m := &ast.Method{Sel: "doIt", Params: params, Locals: locals, Body: body}
+	return m, p.Err()
+}
+
+// Err combines all accumulated errors, or returns nil.
+func (p *Parser) Err() error {
+	if len(p.errs) == 0 {
+		return nil
+	}
+	msgs := make([]string, 0, len(p.errs))
+	for _, e := range p.errs {
+		msgs = append(msgs, e.Error())
+	}
+	if len(msgs) > 8 {
+		msgs = append(msgs[:8], fmt.Sprintf("... and %d more errors", len(msgs)-8))
+	}
+	return fmt.Errorf("parse: %s", strings.Join(msgs, "; "))
+}
+
+func (p *Parser) errorf(format string, args ...any) {
+	p.errs = append(p.errs, fmt.Errorf(format, args...))
+}
+
+func (p *Parser) cur() token.Token { return p.toks[p.pos] }
+func (p *Parser) peek() token.Token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *Parser) next() token.Token {
+	t := p.toks[p.pos]
+	if t.Kind != token.EOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) expect(k token.Kind) token.Token {
+	t := p.cur()
+	if t.Kind != k {
+		p.errorf("%s: expected %s, found %s", t.Pos, k, t)
+		// Do not consume: let the caller resynchronize.
+		return token.Token{Kind: k, Pos: t.Pos}
+	}
+	return p.next()
+}
+
+func (p *Parser) accept(k token.Kind) bool {
+	if p.cur().Kind == k {
+		p.next()
+		return true
+	}
+	return false
+}
+
+// File parses the whole token stream as lobby slots.
+func (p *Parser) File() *ast.File {
+	f := &ast.File{}
+	for p.cur().Kind != token.EOF {
+		start := p.pos
+		s := p.slot()
+		if s != nil {
+			f.Slots = append(f.Slots, s)
+		}
+		if !p.accept(token.Dot) && p.cur().Kind != token.EOF {
+			p.errorf("%s: expected '.' after slot, found %s", p.cur().Pos, p.cur())
+		}
+		if p.pos == start { // no progress: skip a token to avoid looping
+			p.next()
+		}
+	}
+	return f
+}
+
+// slot parses one slot definition.
+func (p *Parser) slot() *ast.Slot {
+	t := p.cur()
+	switch t.Kind {
+	case token.Ident:
+		name := p.next().Text
+		switch p.cur().Kind {
+		case token.Star: // parent slot: name* = value
+			p.next()
+			p.expect(token.Eq)
+			return &ast.Slot{P: t.Pos, Kind: ast.ParentSlot, Name: name, Init: p.slotValue()}
+		case token.Arrow: // data slot
+			p.next()
+			return &ast.Slot{P: t.Pos, Kind: ast.DataSlot, Name: name, Init: p.slotValue()}
+		case token.Eq:
+			p.next()
+			if p.cur().Kind == token.LParen {
+				m := p.methodLiteral(name, nil)
+				return &ast.Slot{P: t.Pos, Kind: ast.MethodSlot, Name: name, Method: m}
+			}
+			return &ast.Slot{P: t.Pos, Kind: ast.ConstSlot, Name: name, Init: p.slotValue()}
+		case token.Dot, token.VBar, token.EOF, token.RParen:
+			// Bare name: nil-initialized data slot, "x." in a slot list.
+			return &ast.Slot{P: t.Pos, Kind: ast.DataSlot, Name: name, Init: &ast.Ident{P: t.Pos, Name: "nil"}}
+		default:
+			p.errorf("%s: malformed slot %q: unexpected %s", t.Pos, name, p.cur())
+			return nil
+		}
+	case token.BinOp, token.Star, token.Eq: // binary method slot: "+ x = ( ... )"
+		op := p.next().Text
+		arg := p.expect(token.Ident).Text
+		p.expect(token.Eq)
+		m := p.methodLiteral(op, []string{arg})
+		return &ast.Slot{P: t.Pos, Kind: ast.MethodSlot, Name: op, Method: m}
+	case token.Keyword: // keyword method slot: "at: i Put: v = ( ... )"
+		sel := p.next().Text
+		params := []string{p.expect(token.Ident).Text}
+		for p.cur().Kind == token.CapKeyword {
+			sel += p.next().Text
+			params = append(params, p.expect(token.Ident).Text)
+		}
+		p.expect(token.Eq)
+		m := p.methodLiteral(sel, params)
+		return &ast.Slot{P: t.Pos, Kind: ast.MethodSlot, Name: sel, Method: m}
+	default:
+		p.errorf("%s: expected a slot definition, found %s", t.Pos, t)
+		return nil
+	}
+}
+
+// slotValue parses a slot initializer: a literal, object literal,
+// negative number, block, or identifier (global reference).
+func (p *Parser) slotValue() ast.Expr {
+	return p.primary()
+}
+
+// methodLiteral parses "( body )" and wraps it in a Method.
+func (p *Parser) methodLiteral(sel string, params []string) *ast.Method {
+	pos := p.cur().Pos
+	p.expect(token.LParen)
+	locals, body := p.methodBody(token.RParen)
+	p.expect(token.RParen)
+	return &ast.Method{P: pos, Sel: sel, Params: params, Locals: locals, Body: body}
+}
+
+// methodBody parses optional locals then statements until the given
+// closing token kind (not consumed).
+func (p *Parser) methodBody(closer token.Kind) ([]*ast.Local, []ast.Expr) {
+	var locals []*ast.Local
+	if p.cur().Kind == token.VBar {
+		p.next()
+		locals = p.localDecls()
+		p.expect(token.VBar)
+	}
+	return locals, p.statements(closer)
+}
+
+func (p *Parser) localDecls() []*ast.Local {
+	var locals []*ast.Local
+	for p.cur().Kind == token.Ident {
+		l := &ast.Local{P: p.cur().Pos, Name: p.next().Text}
+		if p.accept(token.Arrow) {
+			l.Init = p.primary()
+		}
+		locals = append(locals, l)
+		if !p.accept(token.Dot) {
+			break
+		}
+	}
+	return locals
+}
+
+func (p *Parser) statements(closer token.Kind) []ast.Expr {
+	var body []ast.Expr
+	for p.cur().Kind != closer && p.cur().Kind != token.EOF {
+		start := p.pos
+		body = append(body, p.Expr())
+		if !p.accept(token.Dot) {
+			break
+		}
+		if p.pos == start {
+			p.next()
+		}
+	}
+	return body
+}
+
+// Expr parses one full expression (statement).
+func (p *Parser) Expr() ast.Expr {
+	if t := p.cur(); t.Kind == token.Caret {
+		p.next()
+		return &ast.Return{P: t.Pos, E: p.keywordExpr()}
+	}
+	return p.keywordExpr()
+}
+
+// keywordExpr parses the loosest-binding level.
+func (p *Parser) keywordExpr() ast.Expr {
+	t := p.cur()
+	if t.Kind == token.Keyword {
+		// Implicit-receiver keyword send (includes assignments "x: e").
+		return p.keywordTail(nil, t.Pos)
+	}
+	if t.Kind == token.PrimKeyword {
+		// Implicit-receiver primitive call: "_IntAdd: n" inside a
+		// method means "self _IntAdd: n".
+		return p.primTail(&ast.Ident{P: t.Pos, Name: "self"}, t.Pos)
+	}
+	recv := p.binaryExpr()
+	switch p.cur().Kind {
+	case token.Keyword:
+		return p.keywordTail(recv, p.cur().Pos)
+	case token.PrimKeyword:
+		return p.primTail(recv, p.cur().Pos)
+	}
+	return recv
+}
+
+// keywordTail parses "k1: arg K2: arg ..." with recv already parsed
+// (nil for implicit receiver).
+func (p *Parser) keywordTail(recv ast.Expr, pos token.Pos) ast.Expr {
+	sel := p.expect(token.Keyword).Text
+	args := []ast.Expr{p.keywordArg()}
+	for p.cur().Kind == token.CapKeyword {
+		sel += p.next().Text
+		args = append(args, p.keywordArg())
+	}
+	return &ast.KeywordMsg{P: pos, Recv: recv, Sel: sel, Args: args}
+}
+
+// keywordArg parses an argument expression. Lowercase keywords nest to
+// the right: "i max: j min: k" parses as "i max: (j min: k)", and an
+// argument may itself start with an implicit-receiver keyword send:
+// "x: computeFrom: y".
+func (p *Parser) keywordArg() ast.Expr {
+	if p.cur().Kind == token.Keyword {
+		return p.keywordTail(nil, p.cur().Pos)
+	}
+	if p.cur().Kind == token.PrimKeyword {
+		return p.primTail(&ast.Ident{P: p.cur().Pos, Name: "self"}, p.cur().Pos)
+	}
+	arg := p.binaryExpr()
+	switch p.cur().Kind {
+	case token.Keyword:
+		return p.keywordTail(arg, p.cur().Pos)
+	case token.PrimKeyword:
+		return p.primTail(arg, p.cur().Pos)
+	}
+	return arg
+}
+
+// primTail parses "_Prim: arg Cap: arg ..." with recv already parsed.
+func (p *Parser) primTail(recv ast.Expr, pos token.Pos) ast.Expr {
+	sel := p.expect(token.PrimKeyword).Text
+	args := []ast.Expr{p.binaryExpr()}
+	for p.cur().Kind == token.CapKeyword {
+		sel += p.next().Text
+		args = append(args, p.binaryExpr())
+	}
+	return &ast.PrimCall{P: pos, Recv: recv, Sel: sel, Args: args}
+}
+
+// binaryExpr parses left-associative binary sends; as in SELF all
+// binary operators have equal precedence.
+func (p *Parser) binaryExpr() ast.Expr {
+	e := p.unaryExpr()
+	for {
+		t := p.cur()
+		var op string
+		switch t.Kind {
+		case token.BinOp:
+			op = t.Text
+		case token.Eq:
+			op = "="
+		case token.Star:
+			op = "*"
+		default:
+			return e
+		}
+		p.next()
+		arg := p.unaryExpr()
+		e = &ast.BinMsg{P: t.Pos, Recv: e, Op: op, Arg: arg}
+	}
+}
+
+// unaryExpr parses a primary followed by unary sends and unary
+// primitive calls.
+func (p *Parser) unaryExpr() ast.Expr {
+	var e ast.Expr
+	if p.cur().Kind == token.Primitive {
+		// Statement-initial primitive: receiver is self.
+		e = &ast.Ident{P: p.cur().Pos, Name: "self"}
+	} else {
+		e = p.primary()
+	}
+	for {
+		t := p.cur()
+		switch t.Kind {
+		case token.Ident:
+			p.next()
+			e = &ast.UnaryMsg{P: t.Pos, Recv: e, Sel: t.Text}
+		case token.Primitive:
+			p.next()
+			e = &ast.PrimCall{P: t.Pos, Recv: e, Sel: t.Text}
+		default:
+			return e
+		}
+	}
+}
+
+func (p *Parser) primary() ast.Expr {
+	t := p.cur()
+	switch t.Kind {
+	case token.Int:
+		p.next()
+		return &ast.IntLit{P: t.Pos, Value: parseInt(p, t)}
+	case token.BinOp:
+		if t.Text == "-" && p.peek().Kind == token.Int {
+			p.next()
+			it := p.next()
+			return &ast.IntLit{P: t.Pos, Value: -parseInt(p, it)}
+		}
+	case token.String:
+		p.next()
+		return &ast.StrLit{P: t.Pos, Value: t.Text}
+	case token.Ident:
+		p.next()
+		return &ast.Ident{P: t.Pos, Name: t.Text}
+	case token.LParen:
+		p.next()
+		e := p.Expr()
+		p.expect(token.RParen)
+		return e
+	case token.LSlotList:
+		p.next()
+		var slots []*ast.Slot
+		for p.cur().Kind != token.VBar && p.cur().Kind != token.EOF {
+			start := p.pos
+			if s := p.slot(); s != nil {
+				slots = append(slots, s)
+			}
+			if !p.accept(token.Dot) {
+				break
+			}
+			if p.pos == start {
+				p.next()
+			}
+		}
+		p.expect(token.VBar)
+		p.expect(token.RParen)
+		return &ast.ObjectLit{P: t.Pos, Slots: slots}
+	case token.LBracket:
+		return p.block()
+	}
+	p.errorf("%s: expected an expression, found %s", t.Pos, t)
+	p.next()
+	return &ast.Ident{P: t.Pos, Name: "nil"}
+}
+
+func parseInt(p *Parser, t token.Token) int64 {
+	text := t.Text
+	if i := strings.IndexByte(text, 'r'); i > 0 {
+		base, err := strconv.ParseInt(text[:i], 10, 64)
+		if err != nil || base < 2 || base > 36 {
+			p.errorf("%s: bad radix in %q", t.Pos, text)
+			return 0
+		}
+		v, err := strconv.ParseInt(strings.ToLower(text[i+1:]), int(base), 64)
+		if err != nil {
+			p.errorf("%s: bad integer %q: %v", t.Pos, text, err)
+			return 0
+		}
+		return v
+	}
+	v, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		p.errorf("%s: bad integer %q: %v", t.Pos, text, err)
+		return 0
+	}
+	return v
+}
+
+// block parses "[ :a :b | |locals| statements ]".
+func (p *Parser) block() ast.Expr {
+	t := p.expect(token.LBracket)
+	b := &ast.Block{P: t.Pos}
+	for p.cur().Kind == token.Colon {
+		p.next()
+		b.Params = append(b.Params, p.expect(token.Ident).Text)
+	}
+	if len(b.Params) > 0 {
+		p.expect(token.VBar)
+	}
+	// Optional block locals: [ :a | | t <- 0 | ... ] or [ | t | ... ].
+	if p.cur().Kind == token.VBar {
+		p.next()
+		b.Locals = p.localDecls()
+		p.expect(token.VBar)
+	}
+	b.Body = p.statements(token.RBracket)
+	p.expect(token.RBracket)
+	return b
+}

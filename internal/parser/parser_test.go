@@ -1,0 +1,240 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"selfgo/internal/ast"
+)
+
+func mustExpr(t *testing.T, src string) ast.Expr {
+	t.Helper()
+	e, err := ParseExpr(src)
+	if err != nil {
+		t.Fatalf("ParseExpr(%q): %v", src, err)
+	}
+	return e
+}
+
+func TestExprShapes(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"3 + 4", "(3 + 4)"},
+		{"3 + 4 * 5", "((3 + 4) * 5)"}, // SELF: equal precedence, left assoc
+		{"x foo", "(x foo)"},
+		{"x foo bar", "((x foo) bar)"},
+		{"a at: 1 Put: 2", "(a at: 1 Put: 2)"},
+		{"i max: j min: k", "(i max: (j min: k))"}, // lowercase keywords nest right
+		{"sum: sum + i", "(<implicit> sum: (sum + i))"},
+		{"^ x + 1", "^(x + 1)"},
+		{"-5 + 3", "(-5 + 3)"},
+		{"'hi' print", "('hi' print)"},
+		{"(a + b) * c", "((a + b) * c)"},
+	}
+	for _, c := range cases {
+		e := mustExpr(t, c.src)
+		if got := e.String(); got != c.want {
+			t.Errorf("%q parsed to %s, want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestPrimCalls(t *testing.T) {
+	e := mustExpr(t, "a _IntAdd: b IfFail: [ :e | 0 ]")
+	pc, ok := e.(*ast.PrimCall)
+	if !ok {
+		t.Fatalf("got %T", e)
+	}
+	if pc.Sel != "_IntAdd:IfFail:" {
+		t.Errorf("sel = %q", pc.Sel)
+	}
+	if len(pc.Args) != 2 {
+		t.Fatalf("args = %d", len(pc.Args))
+	}
+	if _, ok := pc.Args[1].(*ast.Block); !ok {
+		t.Errorf("fail arg is %T, want Block", pc.Args[1])
+	}
+
+	e = mustExpr(t, "v _Clone")
+	pc, ok = e.(*ast.PrimCall)
+	if !ok || pc.Sel != "_Clone" || len(pc.Args) != 0 {
+		t.Fatalf("got %v", e)
+	}
+}
+
+func TestBlocks(t *testing.T) {
+	e := mustExpr(t, "[ :i :j | i + j ]")
+	b, ok := e.(*ast.Block)
+	if !ok {
+		t.Fatalf("got %T", e)
+	}
+	if len(b.Params) != 2 || b.Params[0] != "i" || b.Params[1] != "j" {
+		t.Errorf("params = %v", b.Params)
+	}
+	if len(b.Body) != 1 {
+		t.Errorf("body len = %d", len(b.Body))
+	}
+
+	// Block with locals.
+	e = mustExpr(t, "[ :i | | t <- 0 | t: t + i. t ]")
+	b = e.(*ast.Block)
+	if len(b.Locals) != 1 || b.Locals[0].Name != "t" {
+		t.Errorf("locals = %v", b.Locals)
+	}
+	if len(b.Body) != 2 {
+		t.Errorf("body len = %d", len(b.Body))
+	}
+
+	// Paramless block with locals.
+	e = mustExpr(t, "[ | x | x ]")
+	b = e.(*ast.Block)
+	if len(b.Params) != 0 || len(b.Locals) != 1 {
+		t.Errorf("got params=%v locals=%v", b.Params, b.Locals)
+	}
+}
+
+func TestFileSlots(t *testing.T) {
+	src := `
+		counter <- 0.
+		limit = 100.
+		parent* = lobby.
+		bump = ( counter: counter + 1 ).
+		at: i Put: v = ( ^ v ).
+		+ other = ( other ).
+	`
+	f, err := ParseFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Slots) != 6 {
+		t.Fatalf("got %d slots: %v", len(f.Slots), f.Slots)
+	}
+	wantKinds := []ast.SlotKind{
+		ast.DataSlot, ast.ConstSlot, ast.ParentSlot,
+		ast.MethodSlot, ast.MethodSlot, ast.MethodSlot,
+	}
+	wantNames := []string{"counter", "limit", "parent", "bump", "at:Put:", "+"}
+	for i, s := range f.Slots {
+		if s.Kind != wantKinds[i] || s.Name != wantNames[i] {
+			t.Errorf("slot %d = %s %q, want %s %q", i, s.Kind, s.Name, wantKinds[i], wantNames[i])
+		}
+	}
+	if m := f.Slots[4].Method; len(m.Params) != 2 || m.Params[0] != "i" || m.Params[1] != "v" {
+		t.Errorf("at:Put: params = %v", f.Slots[4].Method.Params)
+	}
+}
+
+func TestMethodWithLocals(t *testing.T) {
+	src := `triangleNumber: n = (
+		| sum <- 0 |
+		1 upTo: n Do: [ :i | sum: sum + i ].
+		sum ).`
+	f, err := ParseFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Slots) != 1 {
+		t.Fatalf("slots = %v", f.Slots)
+	}
+	m := f.Slots[0].Method
+	if m == nil || m.Sel != "triangleNumber:" {
+		t.Fatalf("method = %v", m)
+	}
+	if len(m.Locals) != 1 || m.Locals[0].Name != "sum" {
+		t.Errorf("locals = %v", m.Locals)
+	}
+	if len(m.Body) != 2 {
+		t.Errorf("body = %v", m.Body)
+	}
+	km, ok := m.Body[0].(*ast.KeywordMsg)
+	if !ok || km.Sel != "upTo:Do:" {
+		t.Fatalf("body[0] = %v", m.Body[0])
+	}
+}
+
+func TestObjectLiteral(t *testing.T) {
+	e := mustExpr(t, "(| x <- 1. getX = ( x ). p* = nil |)")
+	ol, ok := e.(*ast.ObjectLit)
+	if !ok {
+		t.Fatalf("got %T", e)
+	}
+	if len(ol.Slots) != 3 {
+		t.Fatalf("slots = %v", ol.Slots)
+	}
+	if ol.Slots[1].Kind != ast.MethodSlot {
+		t.Errorf("getX kind = %v", ol.Slots[1].Kind)
+	}
+	if ol.Slots[2].Kind != ast.ParentSlot {
+		t.Errorf("p kind = %v", ol.Slots[2].Kind)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"a at: ",
+		"(| x <- |)",
+		"[:i",
+		"x = ",
+		"1 +",
+	} {
+		if _, err := ParseExpr(src); err == nil {
+			if _, err2 := ParseFile(src); err2 == nil {
+				t.Errorf("no error for %q", src)
+			}
+		}
+	}
+}
+
+func TestSelectorHelpers(t *testing.T) {
+	if got := ast.SplitSelector("at:Put:"); len(got) != 2 || got[0] != "at:" || got[1] != "Put:" {
+		t.Errorf("SplitSelector = %v", got)
+	}
+	if got := ast.SplitSelector("size"); len(got) != 1 || got[0] != "size" {
+		t.Errorf("SplitSelector = %v", got)
+	}
+	for sel, n := range map[string]int{"size": 0, "+": 1, "at:": 1, "at:Put:": 2, "_IntAdd:IfFail:": 2} {
+		if got := ast.NumArgs(sel); got != n {
+			t.Errorf("NumArgs(%q) = %d, want %d", sel, got, n)
+		}
+	}
+}
+
+func TestWalk(t *testing.T) {
+	e := mustExpr(t, "a foo: [ :i | i + (| x = 3 |) ] Bar: 2")
+	var idents, ints int
+	ast.Walk(e, func(x ast.Expr) {
+		switch x.(type) {
+		case *ast.Ident:
+			idents++
+		case *ast.IntLit:
+			ints++
+		}
+	})
+	if idents < 2 || ints < 1 {
+		t.Errorf("idents=%d ints=%d", idents, ints)
+	}
+}
+
+func TestBareSlotIsNilData(t *testing.T) {
+	f, err := ParseFile("x. y <- 3.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Slots) != 2 || f.Slots[0].Kind != ast.DataSlot {
+		t.Fatalf("slots = %v", f.Slots)
+	}
+	if id, ok := f.Slots[0].Init.(*ast.Ident); !ok || id.Name != "nil" {
+		t.Errorf("x init = %v", f.Slots[0].Init)
+	}
+}
+
+func TestErrListTruncated(t *testing.T) {
+	// Many errors should be truncated in the combined message.
+	src := strings.Repeat("] ", 20)
+	_, err := ParseFile(src)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "more errors") && strings.Count(err.Error(), ";") > 10 {
+		t.Errorf("error not truncated: %v", err)
+	}
+}

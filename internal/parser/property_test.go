@@ -1,0 +1,134 @@
+package parser
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// genExpr produces a random expression's source text with a bounded
+// depth, used for the reparse-stability property.
+func genExpr(r *rand.Rand, depth int) string {
+	if depth <= 0 {
+		switch r.Intn(4) {
+		case 0:
+			return fmt.Sprintf("%d", r.Intn(1000))
+		case 1:
+			return fmt.Sprintf("v%d", r.Intn(5))
+		case 2:
+			return "'s'"
+		default:
+			return "self"
+		}
+	}
+	switch r.Intn(6) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", genExpr(r, depth-1), genExpr(r, depth-1))
+	case 1:
+		return fmt.Sprintf("(%s foo)", genExpr(r, depth-1))
+	case 2:
+		return fmt.Sprintf("(%s at: %s Put: %s)", genExpr(r, depth-1), genExpr(r, depth-1), genExpr(r, depth-1))
+	case 3:
+		return fmt.Sprintf("[ :p | %s ]", genExpr(r, depth-1))
+	case 4:
+		return fmt.Sprintf("(%s max: %s)", genExpr(r, depth-1), genExpr(r, depth-1))
+	default:
+		return fmt.Sprintf("(%s < %s)", genExpr(r, depth-1), genExpr(r, depth-1))
+	}
+}
+
+// TestReparseStability: parsing the String() rendering of a parsed
+// expression yields an identical rendering — the printer and parser
+// agree on the grammar.
+func TestReparseStability(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 300; i++ {
+		src := genExpr(r, 3)
+		e1, err := ParseExpr(src)
+		if err != nil {
+			t.Fatalf("generated source does not parse: %q: %v", src, err)
+		}
+		s1 := e1.String()
+		e2, err := ParseExpr(s1)
+		if err != nil {
+			t.Fatalf("rendering does not reparse: %q -> %q: %v", src, s1, err)
+		}
+		if s2 := e2.String(); s2 != s1 {
+			t.Fatalf("round-trip unstable:\n  src: %s\n  s1:  %s\n  s2:  %s", src, s1, s2)
+		}
+	}
+}
+
+// TestParserNeverPanics: arbitrary byte soup must produce errors, not
+// panics.
+func TestParserNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	alphabet := []byte("abc:()[]|.^<->=+*'\" 0123456789_ABCdo")
+	for i := 0; i < 2000; i++ {
+		n := r.Intn(40)
+		buf := make([]byte, n)
+		for j := range buf {
+			buf[j] = alphabet[r.Intn(len(alphabet))]
+		}
+		src := string(buf)
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t.Fatalf("parser panicked on %q: %v", src, rec)
+				}
+			}()
+			_, _ = ParseFile(src)
+			_, _ = ParseExpr(src)
+		}()
+	}
+}
+
+// TestParserTerminatesOnTruncations: every prefix of a real program
+// parses (with errors) without hanging.
+func TestParserTerminatesOnTruncations(t *testing.T) {
+	full := `triangleNumber: n = ( | sum <- 0 |
+	1 upTo: n Do: [ :i | sum: sum + i ].
+	sum ).
+obj = (| parent* = lobby. x <- 1. at: i Put: v = ( x: i + v ) |).`
+	for i := 0; i <= len(full); i++ {
+		_, _ = ParseFile(full[:i])
+	}
+}
+
+// TestDeeplyNestedExpressions: the parser handles deep nesting without
+// stack trouble at reasonable depths.
+func TestDeeplyNestedExpressions(t *testing.T) {
+	src := ""
+	for i := 0; i < 200; i++ {
+		src += "("
+	}
+	src += "1"
+	for i := 0; i < 200; i++ {
+		src += " + 1)"
+	}
+	if _, err := ParseExpr(src); err != nil {
+		t.Fatalf("deep nesting failed: %v", err)
+	}
+}
+
+// TestKeywordNesting spot-checks the SELF capitalization rule in
+// compound positions.
+func TestKeywordNesting(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"a foo: b bar: c", "(a foo: (b bar: c))"},
+		{"a foo: b Bar: c", "(a foo: b Bar: c)"},
+		{"x: computeFrom: y", "(<implicit> x: (<implicit> computeFrom: y))"},
+		{"a foo: b + c Bar: d foo", "(a foo: (b + c) Bar: (d foo))"},
+		{"i max: j min: k max: l", "(i max: (j min: (k max: l)))"},
+	}
+	for _, c := range cases {
+		e, err := ParseExpr(c.src)
+		if err != nil {
+			t.Errorf("%q: %v", c.src, err)
+			continue
+		}
+		if got := e.String(); got != c.want {
+			t.Errorf("%q parsed as %s, want %s", c.src, got, c.want)
+		}
+	}
+}

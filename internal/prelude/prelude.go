@@ -1,0 +1,138 @@
+// Package prelude holds the SELF-source standard world: integer,
+// boolean, block, vector, string and nil behavior, all written in the
+// object language on top of robust primitives. Control structures
+// (ifTrue:False:, whileTrue:, upTo:Do:) are ordinary methods and
+// blocks — the compiler earns its speed by inlining them, exactly the
+// situation the paper targets.
+package prelude
+
+// Source is the prelude program, loaded into every world.
+const Source = `
+"--- error handling ---"
+primitiveFailed: what = ( what _Error ).
+error: msg = ( msg _Error ).
+halt = ( 'halt' _Error ).
+
+"--- universal defaults, inherited via parent* = lobby ---"
+isNil = ( self _Eq: nil ).
+notNil = ( (self _Eq: nil) not ).
+== x = ( self _Eq: x ).
+print = ( self _Print ).
+printLine = ( self _PrintLine ).
+yourself = ( self ).
+
+"--- booleans ---"
+traitsTrue = (|
+    parent* = lobby.
+    ifTrue: t = ( t value ).
+    ifFalse: f = ( nil ).
+    ifTrue: t False: f = ( t value ).
+    ifFalse: f True: t = ( t value ).
+    not = ( false ).
+    and: b = ( b value ).
+    or: b = ( true ).
+    asInt = ( 1 ).
+|).
+traitsFalse = (|
+    parent* = lobby.
+    ifTrue: t = ( nil ).
+    ifFalse: f = ( f value ).
+    ifTrue: t False: f = ( f value ).
+    ifFalse: f True: t = ( f value ).
+    not = ( true ).
+    and: b = ( false ).
+    or: b = ( b value ).
+    asInt = ( 0 ).
+|).
+
+"--- nil ---"
+traitsNil = (|
+    parent* = lobby.
+    isNil = ( true ).
+    notNil = ( false ).
+    = x = ( nil _Eq: x ).
+|).
+
+"--- small integers ---"
+traitsInteger = (|
+    parent* = lobby.
+    + n = ( _IntAdd: n ).
+    - n = ( _IntSub: n ).
+    * n = ( _IntMul: n ).
+    / n = ( _IntDiv: n ).
+    % n = ( _IntMod: n ).
+    bitAnd: n = ( _IntAnd: n ).
+    bitOr: n = ( _IntOr: n ).
+    bitXor: n = ( _IntXor: n ).
+    rem: n = ( _IntMod: n ).
+    quo: n = ( _IntDiv: n ).
+    < n = ( _IntLT: n ).
+    <= n = ( _IntLE: n ).
+    > n = ( _IntGT: n ).
+    >= n = ( _IntGE: n ).
+    = n = ( _IntEQ: n ).
+    != n = ( _IntNE: n ).
+    min: n = ( (self < n) ifTrue: [ self ] False: [ n ] ).
+    max: n = ( (self > n) ifTrue: [ self ] False: [ n ] ).
+    abs = ( (self < 0) ifTrue: [ 0 - self ] False: [ self ] ).
+    negate = ( 0 - self ).
+    succ = ( self + 1 ).
+    pred = ( self - 1 ).
+    even = ( (self % 2) = 0 ).
+    odd = ( (self % 2) != 0 ).
+    upTo: lim Do: blk = (
+        | i |
+        i: self.
+        [ i < lim ] whileTrue: [ blk value: i. i: i + 1 ].
+        self ).
+    to: lim Do: blk = ( self upTo: lim + 1 Do: blk ).
+    downTo: lim Do: blk = (
+        | i |
+        i: self.
+        [ i >= lim ] whileTrue: [ blk value: i. i: i - 1 ].
+        self ).
+    timesRepeat: blk = (
+        | i |
+        i: 0.
+        [ i < self ] whileTrue: [ blk value. i: i + 1 ].
+        self ).
+|).
+
+"--- blocks: runtime fallbacks when a loop receiver is not a literal ---"
+traitsBlock = (|
+    parent* = lobby.
+    whileTrue: body = (
+        (self value) ifTrue: [ body value. self whileTrue: body ] False: [ nil ] ).
+    whileFalse: body = (
+        (self value) ifTrue: [ nil ] False: [ body value. self whileFalse: body ] ).
+|).
+
+"--- vectors (fixed-size indexable collections, 0-based) ---"
+traitsVector = (|
+    parent* = lobby.
+    at: i = ( _At: i ).
+    at: i Put: v = ( _At: i Put: v ).
+    size = ( _Size ).
+    copySize: n = ( _NewVec: n ).
+    copySize: n FillWith: v = ( _NewVec: n Fill: v ).
+    copy = ( _Clone ).
+    atAllPut: v = (
+        0 upTo: self size Do: [ :i | self at: i Put: v ].
+        self ).
+    do: blk = (
+        0 upTo: self size Do: [ :i | blk value: (self at: i) ].
+        self ).
+    withIndexDo: blk = (
+        0 upTo: self size Do: [ :i | blk value: (self at: i) Value: i ].
+        self ).
+    fillFrom: blk = (
+        0 upTo: self size Do: [ :i | self at: i Put: (blk value: i) ].
+        self ).
+|).
+
+"--- strings ---"
+traitsString = (|
+    parent* = lobby.
+    = s = ( self _Eq: s ).
+|).
+`

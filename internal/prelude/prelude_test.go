@@ -1,0 +1,96 @@
+package prelude_test
+
+import (
+	"testing"
+
+	"selfgo"
+)
+
+// eval runs an expression under the given config and returns the
+// integer result.
+func eval(t *testing.T, cfg selfgo.Config, expr string) int64 {
+	t.Helper()
+	sys, err := selfgo.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Eval(expr)
+	if err != nil {
+		t.Fatalf("eval %q: %v", expr, err)
+	}
+	return res.Value.I
+}
+
+// TestPreludeProtocols checks every method of the standard world under
+// both the most and the least optimizing configurations (the prelude
+// is ordinary object-language code either way).
+func TestPreludeProtocols(t *testing.T) {
+	cases := []struct {
+		expr string
+		want int64
+	}{
+		// integers
+		{`3 + 4`, 7}, {`3 - 4`, -1}, {`3 * 4`, 12}, {`12 / 4`, 3}, {`14 % 4`, 2},
+		{`14 rem: 4`, 2}, {`14 quo: 4`, 3},
+		{`(3 < 4) asInt`, 1}, {`(3 <= 3) asInt`, 1}, {`(3 > 4) asInt`, 0},
+		{`(3 >= 4) asInt`, 0}, {`(3 = 3) asInt`, 1}, {`(3 != 3) asInt`, 0},
+		{`3 min: 4`, 3}, {`3 max: 4`, 4}, {`-7 abs`, 7}, {`7 negate`, -7},
+		{`6 succ`, 7}, {`6 pred`, 5},
+		{`(6 even) asInt`, 1}, {`(6 odd) asInt`, 0},
+		{`12 bitAnd: 10`, 8}, {`12 bitOr: 10`, 14}, {`12 bitXor: 10`, 6},
+		// booleans
+		{`(true not) asInt`, 0}, {`(false not) asInt`, 1},
+		{`(true and: [ true ]) asInt`, 1}, {`(true or: [ false ]) asInt`, 1},
+		{`(false and: [ true ]) asInt`, 0}, {`(false or: [ true ]) asInt`, 1},
+		{`true ifTrue: [ 1 ] False: [ 2 ]`, 1},
+		{`false ifTrue: [ 1 ] False: [ 2 ]`, 2},
+		{`true ifFalse: [ 9 ] True: [ 8 ]`, 8},
+		// nil
+		{`(nil isNil) asInt`, 1}, {`(nil notNil) asInt`, 0},
+		{`(3 isNil) asInt`, 0}, {`(3 notNil) asInt`, 1},
+		// control
+		{`| s <- 0 | 2 upTo: 5 Do: [ :i | s: s + i ]. s`, 9},
+		{`| s <- 0 | 2 to: 5 Do: [ :i | s: s + i ]. s`, 14},
+		{`| s <- 0 | 5 downTo: 3 Do: [ :i | s: s + i ]. s`, 12},
+		{`| s <- 0 | 4 timesRepeat: [ s: s + 3 ]. s`, 12},
+		{`| i <- 0 | [ i < 7 ] whileTrue: [ i: i + 1 ]. i`, 7},
+		{`| i <- 9 | [ i < 7 ] whileFalse: [ i: i - 1 ]. i`, 6},
+		// vectors
+		{`(vector copySize: 5) size`, 5},
+		{`(vector copySize: 5 FillWith: 9) at: 3`, 9},
+		{`| v | v: vector copySize: 3. v at: 1 Put: 42. v at: 1`, 42},
+		{`| v. s <- 0 | v: vector copySize: 4 FillWith: 2. v do: [ :e | s: s + e ]. s`, 8},
+		{`| v | v: vector copySize: 3. v atAllPut: 5. (v at: 0) + (v at: 2)`, 10},
+		{`| v. s <- 0 | v: vector copySize: 3 FillWith: 1. v withIndexDo: [ :e :i | s: s + i ]. s`, 3},
+		{`| v | v: vector copySize: 4. v fillFrom: [ :i | i * 2 ]. v at: 3`, 6},
+		{`| a. b | a: vector copySize: 2 FillWith: 7. b: a copy. b at: 0 Put: 1. a at: 0`, 7},
+	}
+	for _, cfg := range []selfgo.Config{selfgo.NewSELF, selfgo.ST80} {
+		for _, c := range cases {
+			if got := eval(t, cfg, c.expr); got != c.want {
+				t.Errorf("[%s] %s = %d, want %d", cfg.Name, c.expr, got, c.want)
+			}
+		}
+	}
+}
+
+// TestRuntimeWhileTrueFallback: sending whileTrue: to a runtime block
+// (not a literal) uses the recursive prelude definition.
+func TestRuntimeWhileTrueFallback(t *testing.T) {
+	// Under ST-80 the assignment erases the block types, so whileTrue:
+	// is a genuine dynamic send resolved to the recursive traitsBlock
+	// method; under new SELF the same code inlines to a loop.
+	for _, cfg := range []selfgo.Config{selfgo.ST80, selfgo.NewSELF} {
+		got := eval(t, cfg, `
+		| i <- 0. cond. body |
+		cond: [ i < 5 ].
+		body: [ i: i + 1 ].
+		"materialize the blocks through a data slot so whileTrue: sees
+		 runtime closures"
+		cond whileTrue: body.
+		i`)
+		if got != 5 {
+			t.Errorf("[%s] runtime whileTrue: = %d, want 5", cfg.Name, got)
+		}
+	}
+}

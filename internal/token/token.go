@@ -1,0 +1,103 @@
+// Package token defines the lexical tokens of the SELF-like source
+// language accepted by selfgo, together with source positions.
+//
+// The dialect follows SELF'90 syntax closely: double-quoted comments,
+// single-quoted strings, unary/binary/keyword selectors, object and
+// block literals, slot lists, and primitive selectors beginning with an
+// underscore (for example _IntAdd:IfFail:).
+package token
+
+import "fmt"
+
+// Kind enumerates the lexical token kinds.
+type Kind int
+
+// Token kinds.
+const (
+	// Special.
+	EOF Kind = iota
+	Illegal
+
+	// Literals and names.
+	Int         // 123, -17 (sign handled by parser), 16r1F
+	String      // 'hello'
+	Ident       // lower-case identifier: unary selector or variable
+	Keyword     // identifier followed by a colon: at:, ifTrue:
+	CapKeyword  // capitalized keyword continuing a selector: Put:, IfFail:
+	Primitive   // _IntAdd (unary primitive selector)
+	PrimKeyword // _IntAdd: (keyword primitive selector part)
+	BinOp       // + - * / % < > <= >= = != & |(only in binop position)
+
+	// Punctuation.
+	LParen    // (
+	RParen    // )
+	LBracket  // [
+	RBracket  // ]
+	LSlotList // (| — begins an object literal's slot list
+	VBar      // |
+	Dot       // .
+	Semi      // ;  (cascades are not supported; reserved)
+	Caret     // ^
+	Colon     // : (only as block-argument marker, e.g. [ :i | ... ])
+	Arrow     // <- (data slot initializer)
+	Eq        // =  (constant slot initializer; also binary = inside code)
+	Star      // * (parent slot suffix; also binary * inside code)
+)
+
+var kindNames = map[Kind]string{
+	EOF:         "EOF",
+	Illegal:     "Illegal",
+	Int:         "Int",
+	String:      "String",
+	Ident:       "Ident",
+	Keyword:     "Keyword",
+	CapKeyword:  "CapKeyword",
+	Primitive:   "Primitive",
+	PrimKeyword: "PrimKeyword",
+	BinOp:       "BinOp",
+	LParen:      "LParen",
+	RParen:      "RParen",
+	LBracket:    "LBracket",
+	RBracket:    "RBracket",
+	LSlotList:   "LSlotList",
+	VBar:        "VBar",
+	Dot:         "Dot",
+	Semi:        "Semi",
+	Caret:       "Caret",
+	Colon:       "Colon",
+	Arrow:       "Arrow",
+	Eq:          "Eq",
+	Star:        "Star",
+}
+
+// String returns the name of the token kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Pos is a source position: 1-based line and column.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String formats a position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a single lexical token.
+type Token struct {
+	Kind Kind
+	Text string // raw text; for String, the decoded contents
+	Pos  Pos
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	if t.Text == "" {
+		return t.Kind.String()
+	}
+	return fmt.Sprintf("%s(%q)", t.Kind, t.Text)
+}

@@ -1,0 +1,153 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+
+	"selfgo/internal/obj"
+)
+
+// pointIn picks a deterministic sample point inside a range.
+func pointIn(r Range, salt uint8) int64 {
+	span := r.Hi - r.Lo + 1
+	return r.Lo + int64(salt)%span
+}
+
+// TestQuickIntersectSound: every point of Intersect(a, test) lies in
+// both a and test.
+func TestQuickIntersectSound(t *testing.T) {
+	im := obj.NewWorld().IntMap
+	f := func(a int16, wa uint8, b int16, wb uint8, salt uint8) bool {
+		ra := Range{Lo: int64(a), Hi: int64(a) + int64(wa)}
+		rt := Range{Lo: int64(b), Hi: int64(b) + int64(wb)}
+		out := Intersect(ra, rt, im)
+		if out == nil {
+			// Empty: correct iff the ranges are disjoint.
+			return ra.Hi < rt.Lo || rt.Hi < ra.Lo
+		}
+		ro, ok := RangeOf(out)
+		if !ok {
+			return false
+		}
+		p := pointIn(ro, salt)
+		return p >= ra.Lo && p <= ra.Hi && p >= rt.Lo && p <= rt.Hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSubtractSound: no point of Subtract(a, b) lies in b, and
+// every point lies in a.
+func TestQuickSubtractSound(t *testing.T) {
+	im := obj.NewWorld().IntMap
+	f := func(a int16, wa uint8, b int16, wb uint8, salt uint8) bool {
+		ra := Range{Lo: int64(a), Hi: int64(a) + int64(wa)}
+		rb := Range{Lo: int64(b), Hi: int64(b) + int64(wb)}
+		out := Subtract(ra, rb, im)
+		if out == nil {
+			// Everything subtracted: b must cover a.
+			return rb.Lo <= ra.Lo && ra.Hi <= rb.Hi
+		}
+		ro, ok := RangeOf(out)
+		if !ok {
+			// A Diff type: conservative, still must be within a.
+			if d, isDiff := out.(Diff); isDiff {
+				rr, ok2 := RangeOf(d.Base)
+				return ok2 && rr.Lo >= ra.Lo && rr.Hi <= ra.Hi
+			}
+			return false
+		}
+		p := pointIn(ro, salt)
+		if p < ra.Lo || p > ra.Hi {
+			return false // escaped a
+		}
+		// The representable cuts (Range results) must exclude b
+		// entirely.
+		return p < rb.Lo || p > rb.Hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLoopGeneralizeContains: the generalized head contains both
+// inputs — the fix-point invariant of §5.1.
+func TestQuickLoopGeneralizeContains(t *testing.T) {
+	im := obj.NewWorld().IntMap
+	f := func(a int16, wa uint8, b int16, wb uint8) bool {
+		head := Range{Lo: int64(a), Hi: int64(a) + int64(wa)}
+		tail := Range{Lo: int64(b), Hi: int64(b) + int64(wb)}
+		g := LoopGeneralize(head, tail, 1, im)
+		return Contains(g, head, im) && Contains(g, tail, im)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLoopGeneralizeConverges: iterating the generalization
+// reaches a fix-point within a handful of steps (each bound widens at
+// most once under directed widening).
+func TestQuickLoopGeneralizeConverges(t *testing.T) {
+	im := obj.NewWorld().IntMap
+	f := func(a int16, wa uint8, tails [6]int16) bool {
+		var cur Type = Range{Lo: int64(a), Hi: int64(a) + int64(wa)}
+		changes := 0
+		for _, tv := range tails {
+			tail := Range{Lo: int64(tv), Hi: int64(tv)}
+			next := LoopGeneralize(cur, tail, 1, im)
+			if !Equal(next, cur) {
+				changes++
+				cur = next
+			}
+		}
+		return changes <= 2 // lo widens once, hi widens once
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMergePreservesConstituents: MergeOf contains both inputs and
+// Compatible accepts each constituent (the §5.2 rule's foundation).
+func TestQuickMergeCompatible(t *testing.T) {
+	im := obj.NewWorld().IntMap
+	f := func(a int16, wa uint8, unknownSide bool) bool {
+		ra := Range{Lo: int64(a), Hi: int64(a) + int64(wa)}
+		var other Type = Unknown{}
+		if !unknownSide {
+			other = Range{Lo: int64(a) + 1000, Hi: int64(a) + 1000 + int64(wa)}
+		}
+		m := MergeOf(ra, other, 9, im)
+		return Contains(m, ra, im) && Contains(m, other, im) &&
+			Compatible(m, ra, im)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickBitRangesSound: BitRanges covers the pointwise results of
+// &, | and ^ for non-negative operands.
+func TestQuickBitRangesSound(t *testing.T) {
+	f := func(a, b uint16, pa, pb uint8) bool {
+		x := Range{Lo: int64(a), Hi: int64(a) + 64}
+		y := Range{Lo: int64(b), Hi: int64(b) + 64}
+		z, overflow := BitRanges(x, y)
+		if overflow {
+			return false // non-negative operands never need the check
+		}
+		px := pointIn(x, pa)
+		py := pointIn(y, pb)
+		for _, v := range []int64{px & py, px | py, px ^ py} {
+			if v < z.Lo || v > z.Hi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

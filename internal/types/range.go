@@ -1,0 +1,195 @@
+package types
+
+import "selfgo/internal/obj"
+
+// This file implements integer subrange analysis (§3.2.1, §3.2.3): the
+// arithmetic transfer functions used to compute result ranges, decide
+// whether overflow checks can be removed, and constant-fold comparisons
+// whose argument ranges do not overlap.
+
+// Tri is a three-valued truth: the result of comparing ranges.
+type Tri int
+
+// Tri values.
+const (
+	MaybeTrue Tri = iota // can't tell
+	AlwaysTrue
+	AlwaysFalse
+)
+
+// AddRanges implements the paper's addition rule:
+//
+//	z : [x.lo+y.lo .. x.hi+y.hi] ∩ [minInt..maxInt]
+//
+// overflow reports whether the mathematical result can leave the
+// small-integer range (i.e. whether the overflow check is needed).
+func AddRanges(x, y Range) (z Range, overflow bool) {
+	lo := x.Lo + y.Lo // bounds are within ±2^29 so int64 math is exact
+	hi := x.Hi + y.Hi
+	return clampRange(lo, hi)
+}
+
+// SubRanges is the subtraction rule.
+func SubRanges(x, y Range) (z Range, overflow bool) {
+	lo := x.Lo - y.Hi
+	hi := x.Hi - y.Lo
+	return clampRange(lo, hi)
+}
+
+// MulRanges is the multiplication rule.
+func MulRanges(x, y Range) (z Range, overflow bool) {
+	p := [4]int64{x.Lo * y.Lo, x.Lo * y.Hi, x.Hi * y.Lo, x.Hi * y.Hi}
+	lo, hi := p[0], p[0]
+	for _, v := range p[1:] {
+		lo = min(lo, v)
+		hi = max(hi, v)
+	}
+	return clampRange(lo, hi)
+}
+
+// DivRanges is the (truncating) division rule. divZero reports whether
+// the divisor range includes zero (so the divide-by-zero check stays).
+func DivRanges(x, y Range) (z Range, divZero bool) {
+	divZero = y.Lo <= 0 && 0 <= y.Hi
+	// Conservative: evaluate quotient extremes over the corner points
+	// with the divisor endpoints nearest zero.
+	cands := make([]int64, 0, 8)
+	ys := []int64{y.Lo, y.Hi}
+	if y.Lo <= -1 && -1 <= y.Hi {
+		ys = append(ys, -1)
+	}
+	if y.Lo <= 1 && 1 <= y.Hi {
+		ys = append(ys, 1)
+	}
+	for _, yv := range ys {
+		if yv == 0 {
+			continue
+		}
+		cands = append(cands, x.Lo/yv, x.Hi/yv)
+	}
+	if len(cands) == 0 {
+		return FullRange(), true
+	}
+	lo, hi := cands[0], cands[0]
+	for _, v := range cands[1:] {
+		lo = min(lo, v)
+		hi = max(hi, v)
+	}
+	z, _ = clampRange(lo, hi)
+	return z, divZero
+}
+
+// ModRanges is the remainder rule (sign follows the dividend, as in
+// Go). divZero reports whether the divisor range includes zero.
+func ModRanges(x, y Range) (z Range, divZero bool) {
+	divZero = y.Lo <= 0 && 0 <= y.Hi
+	m := max(abs64(y.Lo), abs64(y.Hi))
+	if m == 0 {
+		return Range{}, true
+	}
+	lo, hi := -(m - 1), m-1
+	if x.Lo >= 0 {
+		lo = 0
+		hi = min(hi, x.Hi)
+	}
+	if x.Hi <= 0 {
+		hi = 0
+	}
+	z, _ = clampRange(lo, hi)
+	return z, divZero
+}
+
+// BitRanges bounds the bitwise and/or/xor of two ranges: for
+// non-negative operands the result fits below the next power of two of
+// the larger bound, so no overflow check is needed; signed operands
+// fall back to the full class range with a check.
+func BitRanges(x, y Range) (z Range, overflow bool) {
+	if x.Lo >= 0 && y.Lo >= 0 {
+		bound := int64(1)
+		for bound <= x.Hi || bound <= y.Hi {
+			bound <<= 1
+		}
+		return clampRange(0, bound-1)
+	}
+	return FullRange(), true
+}
+
+func clampRange(lo, hi int64) (Range, bool) {
+	overflow := lo < obj.MinSmallInt || hi > obj.MaxSmallInt
+	return Range{Lo: max(lo, obj.MinSmallInt), Hi: min(hi, obj.MaxSmallInt)}, overflow
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// CmpLT folds x < y when the ranges do not overlap (§3.2.3: "if the
+// arguments to an integer comparison primitive are integer subranges
+// that don't overlap, then the compiler can execute the comparison at
+// compile-time").
+func CmpLT(x, y Range) Tri {
+	switch {
+	case x.Hi < y.Lo:
+		return AlwaysTrue
+	case x.Lo >= y.Hi:
+		return AlwaysFalse
+	}
+	return MaybeTrue
+}
+
+// CmpLE folds x <= y.
+func CmpLE(x, y Range) Tri {
+	switch {
+	case x.Hi <= y.Lo:
+		return AlwaysTrue
+	case x.Lo > y.Hi:
+		return AlwaysFalse
+	}
+	return MaybeTrue
+}
+
+// CmpEQ folds x = y.
+func CmpEQ(x, y Range) Tri {
+	switch {
+	case x.Lo == x.Hi && y.Lo == y.Hi && x.Lo == y.Lo:
+		return AlwaysTrue
+	case x.Hi < y.Lo || y.Hi < x.Lo:
+		return AlwaysFalse
+	}
+	return MaybeTrue
+}
+
+// RefineLT narrows x and y on the true and false branches of x < y,
+// implementing the paper's compare-less-than-and-branch rule. Either
+// refined range may be empty (Lo > Hi) when that branch is dead.
+func RefineLT(x, y Range) (tx, ty, fx, fy Range) {
+	// True branch: x < y, so x <= y.Hi-1 and y >= x.Lo+1.
+	tx = Range{Lo: x.Lo, Hi: min(x.Hi, y.Hi-1)}
+	ty = Range{Lo: max(y.Lo, x.Lo+1), Hi: y.Hi}
+	// False branch: x >= y, so x >= y.Lo and y <= x.Hi.
+	fx = Range{Lo: max(x.Lo, y.Lo), Hi: x.Hi}
+	fy = Range{Lo: y.Lo, Hi: min(y.Hi, x.Hi)}
+	return
+}
+
+// RefineLE narrows on the branches of x <= y.
+func RefineLE(x, y Range) (tx, ty, fx, fy Range) {
+	tx = Range{Lo: x.Lo, Hi: min(x.Hi, y.Hi)}
+	ty = Range{Lo: max(y.Lo, x.Lo), Hi: y.Hi}
+	fx = Range{Lo: max(x.Lo, y.Lo+1), Hi: x.Hi}
+	fy = Range{Lo: y.Lo, Hi: min(y.Hi, x.Hi-1)}
+	return
+}
+
+// RefineEQ narrows on the branches of x = y (only the true branch
+// gains information in general).
+func RefineEQ(x, y Range) (tx, ty Range) {
+	tx = Range{Lo: max(x.Lo, y.Lo), Hi: min(x.Hi, y.Hi)}
+	return tx, tx
+}
+
+// Empty reports whether the (refined) range denotes no values.
+func (r Range) Empty() bool { return r.Lo > r.Hi }

@@ -1,0 +1,376 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+
+	"selfgo/internal/obj"
+)
+
+var w = obj.NewWorld()
+
+func intMap() *obj.Map { return w.IntMap }
+
+func val(v obj.Value) Type { return NewVal(v, w.MapOf(v)) }
+
+func rng(lo, hi int64) Range { return Range{Lo: lo, Hi: hi} }
+
+func TestNormalization(t *testing.T) {
+	// Integer constants normalize to one-point ranges.
+	ti := NewVal(obj.Int(7), w.IntMap)
+	if r, ok := ti.(Range); !ok || r.Lo != 7 || r.Hi != 7 {
+		t.Fatalf("NewVal(7) = %v", ti)
+	}
+	// The integer class normalizes to the full range.
+	tc := NewClass(w.IntMap, w.IntMap)
+	if r, ok := tc.(Range); !ok || !r.IsFull() {
+		t.Fatalf("NewClass(int) = %v", tc)
+	}
+	// Non-integer classes stay class types.
+	if _, ok := NewClass(w.StrMap, w.IntMap).(Class); !ok {
+		t.Fatal("NewClass(str) kind")
+	}
+}
+
+func TestContains(t *testing.T) {
+	cases := []struct {
+		a, b Type
+		want bool
+	}{
+		{Unknown{}, rng(1, 5), true},
+		{rng(0, 10), rng(1, 5), true},
+		{rng(1, 5), rng(0, 10), false},
+		{FullRange(), rng(-4, 4), true},
+		{rng(0, 10), Unknown{}, false},
+		{Class{M: w.StrMap}, val(obj.Str("x")), true},
+		{Class{M: w.StrMap}, val(obj.Nil()), false},
+		{Merge{Elems: []Type{FullRange(), Unknown{}}}, rng(3, 3), true},
+		{rng(0, 5), Merge{Elems: []Type{rng(1, 2), rng(3, 4)}}, true},
+		{rng(0, 5), Merge{Elems: []Type{rng(1, 2), Unknown{}}}, false},
+		{val(w.Bool(true)), val(w.Bool(true)), true},
+		{val(w.Bool(true)), val(w.Bool(false)), false},
+	}
+	for i, c := range cases {
+		if got := Contains(c.a, c.b, intMap()); got != c.want {
+			t.Errorf("case %d: Contains(%s, %s) = %v, want %v", i, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMergeKeepsIdentity(t *testing.T) {
+	// §4: int merged with unknown is {int, ?}, NOT ? (set union would
+	// collapse it).
+	m := MergeOf(FullRange(), Unknown{}, 1, intMap())
+	mt, ok := m.(Merge)
+	if !ok || len(mt.Elems) != 2 {
+		t.Fatalf("MergeOf(int, ?) = %v", m)
+	}
+	if mt.Origin != 1 {
+		t.Errorf("origin = %d", mt.Origin)
+	}
+	// Identical types do not form a merge.
+	if _, ok := MergeOf(rng(1, 1), rng(1, 1), 2, intMap()).(Merge); ok {
+		t.Error("identical merge should stay simple")
+	}
+}
+
+func TestSubtractAndIntersect(t *testing.T) {
+	im := intMap()
+	// Unknown minus int-class = difference type.
+	d := Subtract(Unknown{}, FullRange(), im)
+	if _, ok := d.(Diff); !ok {
+		t.Fatalf("Subtract(?, int) = %v", d)
+	}
+	// int minus int = dead failure branch.
+	if got := Subtract(rng(1, 5), FullRange(), im); got != nil {
+		t.Errorf("Subtract(range, int) = %v, want nil", got)
+	}
+	// success branch of int test on unknown gives the int class.
+	if got := Intersect(Unknown{}, FullRange(), im); !Equal(got, FullRange()) {
+		t.Errorf("Intersect(?, int) = %v", got)
+	}
+	// Intersect keeps the more precise incoming type.
+	if got := Intersect(rng(2, 3), FullRange(), im); !Equal(got, rng(2, 3)) {
+		t.Errorf("Intersect([2..3], int) = %v", got)
+	}
+	// Intersect against a disjoint class is dead.
+	if got := Intersect(rng(1, 2), Class{M: w.StrMap}, im); got != nil {
+		t.Errorf("Intersect(int, str) = %v", got)
+	}
+	// Diff refinement: (? - int) intersected with int is dead.
+	if got := Intersect(Diff{Base: Unknown{}, Sub: FullRange()}, FullRange(), im); got != nil {
+		t.Errorf("Intersect(?-int, int) = %v", got)
+	}
+	// Range end-cut subtraction stays a range.
+	if got := Subtract(rng(0, 10), rng(0, 4), im); !Equal(got, rng(5, 10)) {
+		t.Errorf("Subtract([0..10],[0..4]) = %v", got)
+	}
+}
+
+func TestLoopGeneralize(t *testing.T) {
+	im := intMap()
+	// §5.1 example: 0 at head, 1 at tail. The paper generalizes to the
+	// whole integer class; our directed widening keeps the stationary
+	// lower bound (0) and widens only the moving upper bound.
+	g := LoopGeneralize(rng(0, 0), rng(1, 1), 1, im)
+	if r, ok := g.(Range); !ok || r.Lo != 0 || r.Hi != obj.MaxSmallInt {
+		t.Fatalf("LoopGeneralize(0, 1) = %v, want [0..max]", g)
+	}
+	// A tail moving below the head widens the lower bound instead.
+	g = LoopGeneralize(rng(0, 0), rng(-1, -1), 1, im)
+	if r, ok := g.(Range); !ok || r.Lo != obj.MinSmallInt || r.Hi != 0 {
+		t.Fatalf("LoopGeneralize(0, -1) = %v, want [min..0]", g)
+	}
+	// int at head, unknown at tail -> merge {int, ?}.
+	g = LoopGeneralize(FullRange(), Unknown{}, 1, im)
+	if m, ok := g.(Merge); !ok || len(m.Elems) != 2 {
+		t.Fatalf("LoopGeneralize(int, ?) = %v", g)
+	}
+	// Fixpoint: {int, ?} stays {int, ?} against int and against ?.
+	if got := LoopGeneralize(g, FullRange(), 1, im); !Equal(got, g) {
+		t.Errorf("generalize({int,?}, int) = %v", got)
+	}
+	if got := LoopGeneralize(g, Unknown{}, 1, im); !Equal(got, g) {
+		t.Errorf("generalize({int,?}, ?) = %v", got)
+	}
+	// Same non-int class values generalize to the class.
+	tv, fv := val(w.Bool(true)), val(w.Bool(false))
+	g = LoopGeneralize(tv, fv, 1, im)
+	if m, ok := g.(Merge); !ok || len(m.Elems) != 2 {
+		// true and false have different maps, so a merge is correct.
+		t.Fatalf("LoopGeneralize(true, false) = %v", g)
+	}
+	// Equal types stay put.
+	if got := LoopGeneralize(rng(1, 1), rng(1, 1), 1, im); !Equal(got, rng(1, 1)) {
+		t.Errorf("generalize(1,1) = %v", got)
+	}
+}
+
+func TestCompatibility(t *testing.T) {
+	im := intMap()
+	mIntUnk := Merge{Elems: []Type{FullRange(), Unknown{}}}
+	cases := []struct {
+		head, tail Type
+		want       bool
+	}{
+		// §5.2: unknown head is NOT compatible with class-typed tail.
+		{Unknown{}, FullRange(), false},
+		{Unknown{}, Unknown{}, true},
+		{Unknown{}, Diff{Base: Unknown{}, Sub: FullRange()}, true},
+		// The paper's example: {int,?} tail vs int head iterates.
+		{FullRange(), mIntUnk, false},
+		// A merge head accepts either constituent.
+		{mIntUnk, FullRange(), true},
+		{mIntUnk, Unknown{}, true},
+		{mIntUnk, mIntUnk, true},
+		// Plain containment with class info preserved.
+		{FullRange(), rng(1, 5), true},
+		{rng(1, 5), FullRange(), false},
+	}
+	for i, c := range cases {
+		if got := Compatible(c.head, c.tail, im); got != c.want {
+			t.Errorf("case %d: Compatible(%s, %s) = %v, want %v", i, c.head, c.tail, got, c.want)
+		}
+	}
+}
+
+func TestRangeArithmetic(t *testing.T) {
+	z, ov := AddRanges(rng(0, 10), rng(1, 1))
+	if ov || !Equal(z, rng(1, 11)) {
+		t.Errorf("add = %v ov=%v", z, ov)
+	}
+	// Near the top of the small-int range the overflow check stays.
+	_, ov = AddRanges(rng(0, obj.MaxSmallInt), rng(1, 1))
+	if !ov {
+		t.Error("expected overflow possibility")
+	}
+	z, ov = MulRanges(rng(-3, 3), rng(-2, 4))
+	if ov || z.Lo != -12 || z.Hi != 12 {
+		t.Errorf("mul = %v ov=%v", z, ov)
+	}
+	z, dz := DivRanges(rng(10, 20), rng(2, 5))
+	if dz || z.Lo != 2 || z.Hi != 10 {
+		t.Errorf("div = %v dz=%v", z, dz)
+	}
+	_, dz = DivRanges(rng(1, 1), rng(-1, 1))
+	if !dz {
+		t.Error("expected div-zero possibility")
+	}
+	z, dz = ModRanges(rng(0, 100), rng(7, 7))
+	if dz || z.Lo != 0 || z.Hi != 6 {
+		t.Errorf("mod = %v", z)
+	}
+}
+
+func TestComparisonFolding(t *testing.T) {
+	if CmpLT(rng(0, 4), rng(5, 9)) != AlwaysTrue {
+		t.Error("0..4 < 5..9 should fold true")
+	}
+	if CmpLT(rng(5, 9), rng(0, 5)) != AlwaysFalse {
+		t.Error("5..9 < 0..5 should fold false")
+	}
+	if CmpLT(rng(0, 5), rng(5, 9)) != MaybeTrue {
+		t.Error("overlap should not fold")
+	}
+	if CmpEQ(rng(3, 3), rng(3, 3)) != AlwaysTrue {
+		t.Error("3 = 3")
+	}
+	if CmpEQ(rng(0, 2), rng(3, 4)) != AlwaysFalse {
+		t.Error("disjoint =")
+	}
+}
+
+func TestRefineLT(t *testing.T) {
+	tx, ty, fx, fy := RefineLT(rng(0, 10), rng(5, 5))
+	if !Equal(tx, rng(0, 4)) || !Equal(ty, rng(5, 5)) {
+		t.Errorf("true branch: %v %v", tx, ty)
+	}
+	if !Equal(fx, rng(5, 10)) || !Equal(fy, rng(5, 5)) {
+		t.Errorf("false branch: %v %v", fx, fy)
+	}
+	// Dead branch detection: 0..4 < 10 is always true, so the false
+	// branch refinement is empty.
+	_, _, fx, _ = RefineLT(rng(0, 4), rng(10, 10))
+	if !fx.Empty() {
+		t.Errorf("false branch should be empty, got %v", fx)
+	}
+}
+
+func TestUnionCoalescing(t *testing.T) {
+	im := intMap()
+	u := UnionOf(rng(0, 4), rng(5, 9), im)
+	if !Equal(u, rng(0, 9)) {
+		t.Errorf("adjacent ranges should coalesce: %v", u)
+	}
+	u = UnionOf(rng(0, 4), rng(9, 12), im)
+	if _, ok := u.(Union); !ok {
+		t.Errorf("disjoint ranges: %v", u)
+	}
+	u = UnionOf(val(w.Bool(true)), val(w.Bool(false)), im)
+	if un, ok := u.(Union); !ok || len(un.Elems) != 2 {
+		t.Errorf("bool union: %v", u)
+	}
+}
+
+func TestConstant(t *testing.T) {
+	if v, ok := Constant(rng(4, 4)); !ok || !v.Eq(obj.Int(4)) {
+		t.Error("range constant")
+	}
+	if _, ok := Constant(rng(4, 5)); ok {
+		t.Error("non-constant range")
+	}
+	if v, ok := Constant(val(w.Bool(true))); !ok || !v.Eq(w.Bool(true)) {
+		t.Error("value constant")
+	}
+	if _, ok := Constant(Unknown{}); ok {
+		t.Error("unknown constant")
+	}
+}
+
+func TestMapOf(t *testing.T) {
+	im := intMap()
+	if MapOf(rng(1, 2), im) != im {
+		t.Error("range map")
+	}
+	if MapOf(Unknown{}, im) != nil {
+		t.Error("unknown map")
+	}
+	if MapOf(Merge{Elems: []Type{rng(1, 1), rng(5, 5)}}, im) != im {
+		t.Error("int merge map")
+	}
+	if MapOf(Merge{Elems: []Type{rng(1, 1), Unknown{}}}, im) != nil {
+		t.Error("mixed merge map")
+	}
+	if MapOf(Diff{Base: rng(0, 3), Sub: rng(0, 0)}, im) != im {
+		t.Error("diff map")
+	}
+}
+
+// Property: Contains is reflexive and merge preserves both sides.
+func TestQuickContainmentProperties(t *testing.T) {
+	im := intMap()
+	f := func(lo1, w1, lo2, w2 uint16) bool {
+		a := rng(int64(lo1), int64(lo1)+int64(w1))
+		b := rng(int64(lo2), int64(lo2)+int64(w2))
+		m := MergeOf(a, b, 3, im)
+		return Contains(a, a, im) &&
+			Contains(m, a, im) && Contains(m, b, im)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: AddRanges result contains every pointwise sum.
+func TestQuickAddRangesSound(t *testing.T) {
+	f := func(a, b int16, wa, wb uint8, pa, pb uint8) bool {
+		x := rng(int64(a), int64(a)+int64(wa))
+		y := rng(int64(b), int64(b)+int64(wb))
+		z, _ := AddRanges(x, y)
+		// Pick a point in each range.
+		px := x.Lo + int64(pa)%(x.Hi-x.Lo+1)
+		py := y.Lo + int64(pb)%(y.Hi-y.Lo+1)
+		s := px + py
+		return z.Lo <= s && s <= z.Hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: RefineLT branches are sound — any pair (px, py) with px<py
+// stays inside the true-branch ranges.
+func TestQuickRefineLTSound(t *testing.T) {
+	f := func(a, b int16, wa, wb uint8, pa, pb uint8) bool {
+		x := rng(int64(a), int64(a)+int64(wa))
+		y := rng(int64(b), int64(b)+int64(wb))
+		tx, ty, fx, fy := RefineLT(x, y)
+		px := x.Lo + int64(pa)%(x.Hi-x.Lo+1)
+		py := y.Lo + int64(pb)%(y.Hi-y.Lo+1)
+		if px < py {
+			return tx.Lo <= px && px <= tx.Hi && ty.Lo <= py && py <= ty.Hi
+		}
+		return fx.Lo <= px && px <= fx.Hi && fy.Lo <= py && py <= fy.Hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDisjoint(t *testing.T) {
+	im := intMap()
+	if !Disjoint(rng(0, 4), rng(5, 9), im) {
+		t.Error("disjoint ranges")
+	}
+	if Disjoint(rng(0, 5), rng(5, 9), im) {
+		t.Error("overlapping ranges")
+	}
+	if !Disjoint(rng(0, 4), Class{M: w.StrMap}, im) {
+		t.Error("int vs string class")
+	}
+	if !Disjoint(val(w.Bool(true)), val(w.Bool(false)), im) {
+		t.Error("true vs false")
+	}
+	if Disjoint(Unknown{}, rng(0, 1), im) {
+		t.Error("unknown overlaps everything")
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	im := intMap()
+	_ = im
+	cases := map[string]Type{
+		"?":        Unknown{},
+		"int":      FullRange(),
+		"5":        rng(5, 5),
+		"[0..9]":   rng(0, 9),
+		"{int, ?}": Merge{Elems: []Type{FullRange(), Unknown{}}},
+		"true":     val(w.Bool(true)),
+		"nil":      val(obj.Nil()),
+	}
+	for want, ty := range cases {
+		if got := ty.String(); got != want {
+			t.Errorf("%T.String() = %q, want %q", ty, got, want)
+		}
+	}
+}

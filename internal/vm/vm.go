@@ -1,0 +1,775 @@
+package vm
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"selfgo/internal/ast"
+	"selfgo/internal/ir"
+	"selfgo/internal/obj"
+)
+
+// Calling convention shared with the compiler: register 0 is the
+// receiver, register 1 the result slot, parameters start at 2.
+const (
+	RegSelf      = 0
+	RegParamBase = 2
+)
+
+// RunStats is the dynamic cost accounting for one execution.
+type RunStats struct {
+	Cycles       int64
+	Instrs       int64
+	Sends        int64 // dynamically-dispatched sends executed
+	ICHits       int64
+	ICMisses     int64
+	Calls        int64 // statically-bound calls
+	TypeTests    int64
+	OvflChecks   int64
+	BoundsChecks int64
+	BlockValues  int64
+	Allocs       int64
+	MaxDepth     int
+}
+
+// CompileRecord aggregates on-the-fly compilation work triggered by a
+// run: the paper's compile-time and code-space numbers are sums over
+// all methods compiled while the benchmark warms up.
+type CompileRecord struct {
+	Methods   int
+	CodeBytes int
+}
+
+// VM executes compiled code, compiling methods and blocks on demand
+// through the injected callbacks (dynamic compilation, as in both SELF
+// systems and ParcPlace Smalltalk).
+type VM struct {
+	World *obj.World
+
+	// CompileMethod compiles a method customized for rmap (rmap nil
+	// when customization is off).
+	CompileMethod func(m *obj.Method, rmap *obj.Map) (*Code, error)
+	// CompileBlock compiles a block for out-of-line execution; upNames
+	// are the closure's captured variable names.
+	CompileBlock func(b *ast.Block, upNames []string) (*Code, error)
+
+	// Customize keys the code cache by receiver map.
+	Customize bool
+	// SendExtra is added to every dynamic send (old SELF-90 overhead).
+	SendExtra int64
+	// InstrExtra is added to every executed instruction (ST-80's
+	// translated-code quality penalty).
+	InstrExtra int64
+	// MissHandlers models §6.1 call-site-specific miss handlers.
+	MissHandlers bool
+	// PICs enables polymorphic inline caches (up to picEntries maps
+	// per send site).
+	PICs bool
+
+	// Out receives _Print output (defaults to io.Discard).
+	Out io.Writer
+
+	// Trace, when non-nil, receives one line per executed instruction
+	// (pc, rendered instruction, frame depth) — the moral equivalent of
+	// single-stepping the generated SPARC code.
+	Trace io.Writer
+
+	Stats   RunStats
+	Compile CompileRecord
+
+	methodCache map[methodKey]*Code
+	blockCache  map[*ast.Block]*Code
+	depth       int
+}
+
+type methodKey struct {
+	meth *obj.Method
+	rmap *obj.Map
+}
+
+// frame is one activation.
+type frame struct {
+	regs []obj.Value
+	up   map[string]*obj.Value // block frames: captured variables
+	home homeRef               // where a non-local return lands
+	dead bool
+}
+
+// homeRef identifies the home of a non-local return: a frame, plus —
+// when the home method was inlined — the pc of its epilogue landing
+// and the register receiving the value. resume < 0 means "return from
+// the whole frame".
+type homeRef struct {
+	fr     *frame
+	resume int
+	reg    ir.Reg
+}
+
+// nlr is the panic payload of a non-local return.
+type nlr struct {
+	ref homeRef
+	val obj.Value
+}
+
+// RuntimeError is a SELF-level error (primitive failure with no
+// handler, message not understood, etc.).
+type RuntimeError struct{ Msg string }
+
+func (e *RuntimeError) Error() string { return "runtime error: " + e.Msg }
+
+func (vm *VM) init() {
+	if vm.methodCache == nil {
+		vm.methodCache = map[methodKey]*Code{}
+	}
+	if vm.blockCache == nil {
+		vm.blockCache = map[*ast.Block]*Code{}
+	}
+	if vm.Out == nil {
+		vm.Out = io.Discard
+	}
+}
+
+// CodeFor returns (compiling on demand) the code for meth with
+// receiver map rmap.
+func (vm *VM) CodeFor(meth *obj.Method, rmap *obj.Map) (*Code, error) {
+	vm.init()
+	key := methodKey{meth: meth}
+	if vm.Customize {
+		key.rmap = rmap
+	}
+	if c, ok := vm.methodCache[key]; ok {
+		return c, nil
+	}
+	c, err := vm.CompileMethod(meth, key.rmap)
+	if err != nil {
+		return nil, err
+	}
+	vm.methodCache[key] = c
+	vm.Compile.Methods++
+	vm.Compile.CodeBytes += c.Bytes
+	return c, nil
+}
+
+func (vm *VM) blockCodeFor(cl *obj.Closure) (*Code, error) {
+	vm.init()
+	b := cl.Ast
+	if c, ok := vm.blockCache[b]; ok {
+		return c, nil
+	}
+	names := make([]string, 0, len(cl.UpLocals))
+	for n := range cl.UpLocals {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	c, err := vm.CompileBlock(b, names)
+	if err != nil {
+		return nil, err
+	}
+	vm.blockCache[b] = c
+	vm.Compile.Methods++
+	vm.Compile.CodeBytes += c.Bytes
+	return c, nil
+}
+
+const maxDepth = 100000
+
+// RunMethod executes meth with the given receiver and arguments.
+func (vm *VM) RunMethod(meth *obj.Method, recv obj.Value, args ...obj.Value) (obj.Value, error) {
+	vm.init()
+	code, err := vm.CodeFor(meth, vm.World.MapOf(recv))
+	if err != nil {
+		return obj.Nil(), err
+	}
+	return vm.invoke(code, recv, args, nil)
+}
+
+// invoke runs code in a fresh frame. up is non-nil for block frames.
+func (vm *VM) invoke(code *Code, recv obj.Value, args []obj.Value, up map[string]*obj.Value) (val obj.Value, err error) {
+	vm.depth++
+	if vm.depth > vm.Stats.MaxDepth {
+		vm.Stats.MaxDepth = vm.depth
+	}
+	if vm.depth > maxDepth {
+		vm.depth--
+		return obj.Nil(), &RuntimeError{Msg: "stack overflow"}
+	}
+	fr := &frame{regs: make([]obj.Value, code.NumRegs), up: up}
+	fr.home = homeRef{fr: fr, resume: -1}
+	if code.NumRegs > RegSelf {
+		fr.regs[RegSelf] = recv
+	}
+	for i, a := range args {
+		if RegParamBase+i < len(fr.regs) {
+			fr.regs[RegParamBase+i] = a
+		}
+	}
+	defer func() {
+		fr.dead = true
+		vm.depth--
+		if r := recover(); r != nil {
+			if n, ok := r.(nlr); ok {
+				if n.ref.fr == fr && n.ref.resume < 0 {
+					val, err = n.val, nil
+					return
+				}
+				panic(r) // keep unwinding toward the home frame
+			}
+			panic(r)
+		}
+	}()
+	return vm.exec(code, fr)
+}
+
+// exec runs a frame, restarting at the landing pc whenever a non-local
+// return from an inlined home method unwinds into this frame.
+func (vm *VM) exec(code *Code, fr *frame) (obj.Value, error) {
+	pc := 0
+	for {
+		v, resume, err := vm.execFrom(code, fr, pc)
+		if resume < 0 {
+			return v, err
+		}
+		pc = resume
+	}
+}
+
+func (vm *VM) execFrom(code *Code, fr *frame, startPC int) (val obj.Value, resumePC int, err error) {
+	resumePC = -1
+	defer func() {
+		if r := recover(); r != nil {
+			if n, ok := r.(nlr); ok && n.ref.fr == fr && n.ref.resume >= 0 {
+				fr.regs[n.ref.reg] = n.val
+				resumePC = n.ref.resume
+				return
+			}
+			panic(r)
+		}
+	}()
+	val, err = vm.run(code, fr, startPC)
+	return val, -1, err
+}
+
+func (vm *VM) run(code *Code, fr *frame, pc int) (obj.Value, error) {
+	st := &vm.Stats
+	for pc >= 0 && pc < len(code.Instrs) {
+		in := &code.Instrs[pc]
+		if vm.Trace != nil {
+			fmt.Fprintf(vm.Trace, "%*s%s @%d: %s\n", vm.depth, "", code.Name, pc, in)
+		}
+		st.Instrs++
+		st.Cycles += vm.InstrExtra
+		switch in.Op {
+		case opJmp:
+			st.Cycles += CostJump
+			pc = in.T
+			continue
+		case ir.Const:
+			st.Cycles += CostConst
+			fr.regs[in.Dst] = in.Val
+		case ir.Move:
+			st.Cycles += CostMove
+			fr.regs[in.Dst] = fr.regs[in.A]
+		case ir.LoadF:
+			st.Cycles += CostLoadStore
+			o := fr.regs[in.A].Obj
+			if o == nil || in.Index >= len(o.Fields) {
+				return obj.Nil(), &RuntimeError{Msg: fmt.Sprintf("%s: bad field access", code.Name)}
+			}
+			fr.regs[in.Dst] = o.Fields[in.Index]
+		case ir.StoreF:
+			st.Cycles += CostLoadStore
+			o := fr.regs[in.A].Obj
+			if o == nil || in.Index >= len(o.Fields) {
+				return obj.Nil(), &RuntimeError{Msg: fmt.Sprintf("%s: bad field store", code.Name)}
+			}
+			o.Fields[in.Index] = fr.regs[in.B]
+		case ir.LoadE:
+			st.Cycles += CostLoadStore
+			o := fr.regs[in.A].Obj
+			i := fr.regs[in.B].I
+			if o == nil || i < 0 || i >= int64(len(o.Elems)) {
+				return obj.Nil(), &RuntimeError{Msg: fmt.Sprintf("%s: element load out of bounds (unchecked path)", code.Name)}
+			}
+			fr.regs[in.Dst] = o.Elems[i]
+		case ir.StoreE:
+			st.Cycles += CostLoadStore
+			o := fr.regs[in.A].Obj
+			i := fr.regs[in.B].I
+			if o == nil || i < 0 || i >= int64(len(o.Elems)) {
+				return obj.Nil(), &RuntimeError{Msg: fmt.Sprintf("%s: element store out of bounds (unchecked path)", code.Name)}
+			}
+			o.Elems[i] = fr.regs[in.C]
+		case ir.VecLen:
+			st.Cycles += CostVecLen
+			o := fr.regs[in.A].Obj
+			if o == nil {
+				return obj.Nil(), &RuntimeError{Msg: "vecLen of non-vector"}
+			}
+			fr.regs[in.Dst] = obj.Int(int64(len(o.Elems)))
+		case ir.NewVec:
+			n := fr.regs[in.A].I
+			st.Cycles += CostNewVecBase + n>>NewVecFillShift
+			st.Allocs++
+			fill := obj.Nil()
+			if in.B != ir.NoReg {
+				fill = fr.regs[in.B]
+			}
+			fr.regs[in.Dst] = obj.Obj(vm.World.NewVector(int(n), fill))
+		case ir.CloneOp:
+			src := fr.regs[in.A]
+			if src.K != obj.KObj {
+				fr.regs[in.Dst] = src // immediates clone to themselves
+				st.Cycles += CostCloneBase
+				break
+			}
+			st.Cycles += CostCloneBase + int64(len(src.Obj.Fields)+len(src.Obj.Elems))*CostClonePerField
+			st.Allocs++
+			fr.regs[in.Dst] = obj.Obj(src.Obj.Clone())
+		case ir.Arith:
+			a, b := fr.regs[in.A].I, fr.regs[in.B].I
+			var v int64
+			switch in.AOp {
+			case ir.Add:
+				st.Cycles += CostArith
+				v = a + b
+			case ir.Sub:
+				st.Cycles += CostArith
+				v = a - b
+			case ir.Mul:
+				st.Cycles += CostMul
+				v = a * b
+			case ir.Div:
+				st.Cycles += CostDiv
+				if b == 0 {
+					if in.Checked {
+						st.Cycles += CostOverflowChk
+						pc = in.F
+						continue
+					}
+					return obj.Nil(), &RuntimeError{Msg: "division by zero on unchecked path"}
+				}
+				v = a / b
+			case ir.Mod:
+				st.Cycles += CostDiv
+				if b == 0 {
+					if in.Checked {
+						st.Cycles += CostOverflowChk
+						pc = in.F
+						continue
+					}
+					return obj.Nil(), &RuntimeError{Msg: "modulo by zero on unchecked path"}
+				}
+				v = a % b
+			case ir.BAnd:
+				st.Cycles += CostArith
+				v = a & b
+			case ir.BOr:
+				st.Cycles += CostArith
+				v = a | b
+			case ir.BXor:
+				st.Cycles += CostArith
+				v = a ^ b
+			}
+			if in.Checked {
+				st.Cycles += CostOverflowChk
+				st.OvflChecks++
+				if v < obj.MinSmallInt || v > obj.MaxSmallInt {
+					pc = in.F
+					continue
+				}
+			}
+			fr.regs[in.Dst] = obj.Int(v)
+		case ir.CmpBr:
+			st.Cycles += CostCmpBranch
+			if in.bounds {
+				st.BoundsChecks++
+			}
+			a, b := fr.regs[in.A], fr.regs[in.B]
+			var taken bool
+			switch in.COp {
+			case ir.LT:
+				taken = a.I < b.I
+			case ir.LE:
+				taken = a.I <= b.I
+			case ir.GT:
+				taken = a.I > b.I
+			case ir.GE:
+				taken = a.I >= b.I
+			case ir.EQ:
+				taken = a.Eq(b)
+			case ir.NE:
+				taken = !a.Eq(b)
+			}
+			if taken {
+				pc = in.T
+			} else {
+				pc = in.F
+			}
+			continue
+		case ir.TypeTest:
+			st.Cycles += CostTypeTest
+			st.TypeTests++
+			if vm.World.MapOf(fr.regs[in.A]) == in.TestMap {
+				pc = in.T
+			} else {
+				pc = in.F
+			}
+			continue
+		case ir.Send:
+			v, err := vm.execSend(in, fr, code)
+			if err != nil {
+				return obj.Nil(), err
+			}
+			if in.Dst != ir.NoReg {
+				fr.regs[in.Dst] = v
+			}
+		case ir.Call:
+			st.Cycles += CostCall
+			st.Calls++
+			callee, err := vm.CodeFor(in.Callee.Meth, in.Callee.RMap)
+			if err != nil {
+				return obj.Nil(), err
+			}
+			v, err := vm.invoke(callee, fr.regs[in.Args[0]], vm.argVals(in.Args[1:], fr), nil)
+			if err != nil {
+				return obj.Nil(), err
+			}
+			if in.Dst != ir.NoReg {
+				fr.regs[in.Dst] = v
+			}
+		case ir.PrimOp:
+			v, err := vm.execPrim(in, fr)
+			if err != nil {
+				return obj.Nil(), err
+			}
+			if in.Dst != ir.NoReg {
+				fr.regs[in.Dst] = v
+			}
+		case ir.MkBlk:
+			st.Cycles += CostMkBlkBase + int64(len(in.Caps))*CostMkBlkPerCap
+			st.Allocs++
+			cl := &obj.Closure{Ast: in.Blk, Map: vm.World.BlockMap, UpLocals: map[string]*obj.Value{}}
+			for _, cap := range in.Caps {
+				switch {
+				case cap.ByValue && cap.FromUp:
+					v := *fr.up[cap.Name]
+					cl.UpLocals[cap.Name] = &v
+				case cap.ByValue:
+					v := fr.regs[cap.Src]
+					cl.UpLocals[cap.Name] = &v
+				case cap.FromUp:
+					cl.UpLocals[cap.Name] = fr.up[cap.Name]
+				default:
+					cl.UpLocals[cap.Name] = &fr.regs[cap.Src]
+				}
+			}
+			// The closure's home for non-local return: a landing in
+			// this frame when the home method was inlined here,
+			// otherwise this frame's own home (method frames are their
+			// own home; block frames inherited theirs).
+			if in.Resume >= 0 {
+				cl.Home = homeRef{fr: fr, resume: in.Resume, reg: in.A}
+			} else {
+				cl.Home = fr.home
+			}
+			fr.regs[in.Dst] = obj.Blk(cl)
+		case ir.Fail:
+			st.Cycles += CostFail
+			msg := in.Sel
+			if in.A != ir.NoReg {
+				msg += ": " + fr.regs[in.A].String()
+			}
+			return obj.Nil(), &RuntimeError{Msg: fmt.Sprintf("%s (in %s)", msg, code.Name)}
+		case ir.Return:
+			st.Cycles += CostReturn
+			return fr.regs[in.A], nil
+		case ir.NLReturn:
+			st.Cycles += CostNLReturn
+			if fr.home.fr == nil || fr.home.fr.dead {
+				return obj.Nil(), &RuntimeError{Msg: "non-local return from dead home frame"}
+			}
+			panic(nlr{ref: fr.home, val: fr.regs[in.A]})
+		case ir.LoadUp:
+			st.Cycles += CostLoadUp
+			p := fr.up[in.Sel]
+			if p == nil {
+				return obj.Nil(), &RuntimeError{Msg: "unbound up-level variable " + in.Sel}
+			}
+			fr.regs[in.Dst] = *p
+		case ir.StoreUp:
+			st.Cycles += CostLoadUp
+			p := fr.up[in.Sel]
+			if p == nil {
+				return obj.Nil(), &RuntimeError{Msg: "unbound up-level variable " + in.Sel}
+			}
+			*p = fr.regs[in.A]
+		default:
+			return obj.Nil(), &RuntimeError{Msg: "bad opcode " + in.Op.String()}
+		}
+		pc++
+	}
+	// Falling off the end returns self (defensive; the compiler always
+	// emits Return).
+	if len(fr.regs) > RegSelf {
+		return fr.regs[RegSelf], nil
+	}
+	return obj.Nil(), nil
+}
+
+func (vm *VM) argVals(regs []ir.Reg, fr *frame) []obj.Value {
+	out := make([]obj.Value, len(regs))
+	for i, r := range regs {
+		out[i] = fr.regs[r]
+	}
+	return out
+}
+
+// execSend performs a dynamically-dispatched send with a monomorphic
+// inline cache (Deutsch & Schiffman).
+func (vm *VM) execSend(in *Instr, fr *frame, code *Code) (obj.Value, error) {
+	st := &vm.Stats
+	recv := fr.regs[in.Args[0]]
+	args := vm.argVals(in.Args[1:], fr)
+
+	// Blocks answer the value protocol directly.
+	if recv.K == obj.KBlock && strings.HasPrefix(in.Sel, "value") {
+		st.Cycles += CostBlockValue
+		st.BlockValues++
+		return vm.invokeClosure(recv.Blk, args)
+	}
+
+	if in.Direct {
+		st.Cycles += CostCall
+		st.Calls++
+	} else {
+		st.Sends++
+		st.Cycles += CostSendICHit + vm.SendExtra
+	}
+
+	m := vm.World.MapOf(recv)
+	ic := &code.ics[in.IC]
+	var slot *obj.Slot
+	var holder *obj.Object
+	if ic.m == m && !in.Direct {
+		st.ICHits++
+		slot = ic.slot
+		holder = ic.holder
+	} else if e := ic.picLookup(vm, m, in.Direct); e != nil {
+		st.ICHits++
+		st.Cycles += CostPICExtra
+		slot = e.slot
+		holder = e.holder
+	} else {
+		if !in.Direct {
+			st.ICMisses++
+			if vm.MissHandlers {
+				st.Cycles += CostSendMissHandler - CostSendICHit
+			} else {
+				st.Cycles += CostSendICMiss - CostSendICHit
+			}
+		}
+		r := obj.Lookup(m, in.Sel)
+		if r == nil {
+			return obj.Nil(), &RuntimeError{Msg: fmt.Sprintf("%s does not understand %q", m.Name, in.Sel)}
+		}
+		slot = r.Slot
+		holder = r.Holder
+		// The old monomorphic entry moves into the PIC before being
+		// replaced (so alternating receivers settle into PIC hits).
+		if ic.m != nil && ic.m != m {
+			ic.picStore(vm, ic.m, ic.slot, ic.holder)
+		}
+		ic.m = m
+		ic.slot = slot
+		ic.holder = holder
+		ic.picStore(vm, m, slot, holder)
+	}
+
+	switch slot.Kind {
+	case obj.ConstSlot, obj.ParentSlot:
+		return slot.Value, nil
+	case obj.DataSlot:
+		target := holder
+		if target == nil {
+			target = recv.Obj
+		}
+		if target == nil {
+			return obj.Nil(), &RuntimeError{Msg: "data slot on immediate"}
+		}
+		return target.Fields[slot.Index], nil
+	case obj.AssignSlot:
+		target := holder
+		if target == nil {
+			target = recv.Obj
+		}
+		if target == nil {
+			return obj.Nil(), &RuntimeError{Msg: "assignment on immediate"}
+		}
+		target.Fields[slot.Index] = args[0]
+		return args[0], nil
+	case obj.MethodSlot:
+		callee, err := vm.CodeFor(slot.Meth, m)
+		if err != nil {
+			return obj.Nil(), err
+		}
+		return vm.invoke(callee, recv, args, nil)
+	}
+	return obj.Nil(), &RuntimeError{Msg: "bad slot kind in send"}
+}
+
+// invokeClosure runs a block closure out of line.
+func (vm *VM) invokeClosure(cl *obj.Closure, args []obj.Value) (obj.Value, error) {
+	code, err := vm.blockCodeFor(cl)
+	if err != nil {
+		return obj.Nil(), err
+	}
+	vm.depth++
+	if vm.depth > vm.Stats.MaxDepth {
+		vm.Stats.MaxDepth = vm.depth
+	}
+	if vm.depth > maxDepth {
+		vm.depth--
+		return obj.Nil(), &RuntimeError{Msg: "stack overflow"}
+	}
+	fr := &frame{regs: make([]obj.Value, code.NumRegs), up: cl.UpLocals}
+	fr.home, _ = cl.Home.(homeRef)
+	for i, a := range args {
+		if RegParamBase+i < len(fr.regs) {
+			fr.regs[RegParamBase+i] = a
+		}
+	}
+	defer func() {
+		fr.dead = true
+		vm.depth--
+	}()
+	return vm.exec(code, fr)
+}
+
+// execPrim runs an out-of-line robust primitive with all checks.
+func (vm *VM) execPrim(in *Instr, fr *frame) (obj.Value, error) {
+	st := &vm.Stats
+	st.Cycles += CostPrimOp
+	recv := fr.regs[in.Args[0]]
+	args := vm.argVals(in.Args[1:], fr)
+	fail := func(why string) (obj.Value, error) {
+		if in.FailBlk != ir.NoReg {
+			fb := fr.regs[in.FailBlk]
+			if fb.K == obj.KBlock {
+				return vm.invokeClosure(fb.Blk, nil)
+			}
+		}
+		return obj.Nil(), &RuntimeError{Msg: fmt.Sprintf("primitive %s failed: %s", in.Sel, why)}
+	}
+	wantInt := func(v obj.Value) bool { return v.K == obj.KInt }
+	switch in.Sel {
+	case "_IntAdd:", "_IntSub:", "_IntMul:", "_IntDiv:", "_IntMod:",
+		"_IntAnd:", "_IntOr:", "_IntXor:":
+		if !wantInt(recv) || len(args) != 1 || !wantInt(args[0]) {
+			return fail("not an integer")
+		}
+		a, b := recv.I, args[0].I
+		var v int64
+		switch in.Sel {
+		case "_IntAdd:":
+			v = a + b
+		case "_IntSub:":
+			v = a - b
+		case "_IntMul:":
+			v = a * b
+		case "_IntDiv:":
+			if b == 0 {
+				return fail("division by zero")
+			}
+			v = a / b
+		case "_IntMod:":
+			if b == 0 {
+				return fail("modulo by zero")
+			}
+			v = a % b
+		case "_IntAnd:":
+			v = a & b
+		case "_IntOr:":
+			v = a | b
+		case "_IntXor:":
+			v = a ^ b
+		}
+		if v < obj.MinSmallInt || v > obj.MaxSmallInt {
+			return fail("overflow")
+		}
+		return obj.Int(v), nil
+	case "_IntLT:", "_IntLE:", "_IntGT:", "_IntGE:", "_IntEQ:", "_IntNE:":
+		if !wantInt(recv) || len(args) != 1 || !wantInt(args[0]) {
+			return fail("not an integer")
+		}
+		a, b := recv.I, args[0].I
+		var r bool
+		switch in.Sel {
+		case "_IntLT:":
+			r = a < b
+		case "_IntLE:":
+			r = a <= b
+		case "_IntGT:":
+			r = a > b
+		case "_IntGE:":
+			r = a >= b
+		case "_IntEQ:":
+			r = a == b
+		case "_IntNE:":
+			r = a != b
+		}
+		return vm.World.Bool(r), nil
+	case "_Eq:":
+		return vm.World.Bool(recv.Eq(args[0])), nil
+	case "_At:":
+		o := recv.Obj
+		if recv.K != obj.KObj || !o.Map.Indexable || len(args) != 1 || !wantInt(args[0]) {
+			return fail("bad receiver or index")
+		}
+		i := args[0].I
+		if i < 0 || i >= int64(len(o.Elems)) {
+			return fail("index out of bounds")
+		}
+		return o.Elems[i], nil
+	case "_At:Put:":
+		o := recv.Obj
+		if recv.K != obj.KObj || !o.Map.Indexable || len(args) != 2 || !wantInt(args[0]) {
+			return fail("bad receiver or index")
+		}
+		i := args[0].I
+		if i < 0 || i >= int64(len(o.Elems)) {
+			return fail("index out of bounds")
+		}
+		o.Elems[i] = args[1]
+		return args[1], nil
+	case "_Size":
+		if recv.K != obj.KObj || !recv.Obj.Map.Indexable {
+			return fail("not a vector")
+		}
+		return obj.Int(int64(len(recv.Obj.Elems))), nil
+	case "_NewVec:", "_NewVec:Fill:":
+		if len(args) < 1 || !wantInt(args[0]) || args[0].I < 0 {
+			return fail("bad size")
+		}
+		fill := obj.Nil()
+		if len(args) > 1 {
+			fill = args[1]
+		}
+		st.Allocs++
+		return obj.Obj(vm.World.NewVector(int(args[0].I), fill)), nil
+	case "_Clone":
+		if recv.K != obj.KObj {
+			return recv, nil
+		}
+		st.Allocs++
+		return obj.Obj(recv.Obj.Clone()), nil
+	case "_Print":
+		fmt.Fprint(vm.Out, recv.String())
+		return recv, nil
+	case "_PrintLine":
+		fmt.Fprintln(vm.Out, recv.String())
+		return recv, nil
+	}
+	return fail("unknown primitive")
+}

@@ -1,0 +1,234 @@
+// Package selfgo is a from-scratch reproduction of the compiler
+// described in Chambers & Ungar, "Iterative Type Analysis and Extended
+// Message Splitting: Optimizing Dynamically-Typed Object-Oriented
+// Programs" (PLDI 1990): a SELF-like prototype-based language, an
+// optimizing compiler built around type analysis, message splitting and
+// multi-version loops, and a costed virtual machine that reproduces the
+// paper's performance comparisons.
+//
+// Typical use:
+//
+//	sys, _ := selfgo.NewSystem(selfgo.NewSELF)
+//	_ = sys.LoadSource(`triangleNumber: n = ( |sum <- 0| 1 upTo: n Do: [:i| sum: sum + i]. sum ).`)
+//	res, _ := sys.Call("triangleNumber:", selfgo.IntValue(100))
+//	fmt.Println(res.Value, res.Run.Cycles)
+package selfgo
+
+import (
+	"fmt"
+	"time"
+
+	"selfgo/internal/ast"
+	"selfgo/internal/core"
+	"selfgo/internal/ir"
+	"selfgo/internal/obj"
+	"selfgo/internal/parser"
+	"selfgo/internal/prelude"
+	"selfgo/internal/vm"
+)
+
+// Re-exported types: the full object model, compiler configuration and
+// statistics are usable through these aliases without importing
+// internal packages.
+type (
+	// Config selects a compiler generation (see the preset variables).
+	Config = core.Config
+	// CompileStats describes one method compilation.
+	CompileStats = core.Stats
+	// RunStats is the dynamic cost accounting of an execution.
+	RunStats = vm.RunStats
+	// CompileRecord sums compilation work triggered by a run.
+	CompileRecord = vm.CompileRecord
+	// Value is a runtime value of the object language.
+	Value = obj.Value
+	// World is the object universe (lobby, maps, singletons).
+	World = obj.World
+	// Graph is a compiled method's control flow graph.
+	Graph = ir.Graph
+	// Code is assembled register bytecode.
+	Code = vm.Code
+)
+
+// Compiler generation presets, matching the systems measured in §6 of
+// the paper.
+var (
+	NewSELF          = core.NewSELF
+	NewSELFMultiLoop = core.NewSELFMultiLoop
+	NewSELFExtended  = core.NewSELFExtended
+	OldSELF89        = core.OldSELF89
+	OldSELF90        = core.OldSELF90
+	ST80             = core.ST80
+	OptimizedC       = core.StaticIdealC
+)
+
+// Configs lists every preset in presentation order.
+func Configs() []Config {
+	return []Config{ST80, OldSELF89, OldSELF90, NewSELF, NewSELFMultiLoop, OptimizedC}
+}
+
+// IntValue, StrValue and NilValue build argument values.
+func IntValue(i int64) Value  { return obj.Int(i) }
+func StrValue(s string) Value { return obj.Str(s) }
+func NilValue() Value         { return obj.Nil() }
+
+// System is a loaded world plus a compiler configuration and a VM with
+// its dynamic-compilation cache.
+type System struct {
+	Cfg      Config
+	world    *obj.World
+	compiler *core.Compiler
+	machine  *vm.VM
+
+	// CompileLog accumulates per-method compiler statistics in
+	// compilation order.
+	CompileLog []MethodCompile
+}
+
+// MethodCompile is one entry of the compile log.
+type MethodCompile struct {
+	Name  string
+	Stats core.Stats
+	Bytes int
+}
+
+// Result is the outcome of running a method.
+type Result struct {
+	Value   Value
+	Run     RunStats
+	Compile CompileRecord
+	// CompileTime is the total time the compiler spent for this
+	// system so far (the paper's compile-time metric is the sum over
+	// all methods a benchmark forces to compile).
+	CompileTime time.Duration
+}
+
+// NewSystem creates a world with the standard prelude loaded, ready to
+// accept program source.
+func NewSystem(cfg Config) (*System, error) {
+	w := obj.NewWorld()
+	s := &System{Cfg: cfg, world: w}
+	s.compiler = core.New(w, cfg)
+	s.machine = &vm.VM{
+		World:        w,
+		Customize:    cfg.Customization,
+		SendExtra:    int64(cfg.SendOverheadExtra),
+		InstrExtra:   int64(cfg.PerInstrOverhead),
+		MissHandlers: cfg.CallSiteICMissHandlers,
+		PICs:         cfg.PolymorphicInlineCaches,
+	}
+	s.machine.CompileMethod = func(m *obj.Method, rmap *obj.Map) (*vm.Code, error) {
+		g, st, err := s.compiler.CompileMethod(m, rmap)
+		if err != nil {
+			return nil, fmt.Errorf("compiling %s: %w", m, err)
+		}
+		c := vm.Assemble(g)
+		s.CompileLog = append(s.CompileLog, MethodCompile{Name: c.Name, Stats: *st, Bytes: c.Bytes})
+		return c, nil
+	}
+	s.machine.CompileBlock = func(b *ast.Block, upNames []string) (*vm.Code, error) {
+		g, st, err := s.compiler.CompileBlock(b, upNames)
+		if err != nil {
+			return nil, fmt.Errorf("compiling block at %s: %w", b.P, err)
+		}
+		c := vm.Assemble(g)
+		c.IsBlock = true
+		s.CompileLog = append(s.CompileLog, MethodCompile{Name: c.Name, Stats: *st, Bytes: c.Bytes})
+		return c, nil
+	}
+	if err := s.LoadSource(prelude.Source); err != nil {
+		return nil, fmt.Errorf("loading prelude: %w", err)
+	}
+	return s, nil
+}
+
+// World exposes the object universe (read-mostly; used by tools).
+func (s *System) World() *World { return s.world }
+
+// LoadSource parses src as lobby slot definitions and installs them.
+func (s *System) LoadSource(src string) error {
+	f, err := parser.ParseFile(src)
+	if err != nil {
+		return err
+	}
+	if err := s.world.Load(f); err != nil {
+		return err
+	}
+	s.world.Finalize()
+	return nil
+}
+
+// Call sends selector to the lobby with the given arguments, measuring
+// execution. Statistics are reset per call; compiled code is reused
+// across calls (dynamic compilation warms up once).
+func (s *System) Call(selector string, args ...Value) (*Result, error) {
+	r := obj.Lookup(s.world.Lobby.Map, selector)
+	if r == nil {
+		return nil, fmt.Errorf("lobby does not define %q", selector)
+	}
+	if r.Slot.Kind != obj.MethodSlot {
+		return nil, fmt.Errorf("lobby slot %q is not a method", selector)
+	}
+	s.machine.Stats = vm.RunStats{}
+	v, err := s.machine.RunMethod(r.Slot.Meth, obj.Obj(s.world.Lobby), args...)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Value:       v,
+		Run:         s.machine.Stats,
+		Compile:     s.machine.Compile,
+		CompileTime: s.totalCompileTime(),
+	}, nil
+}
+
+// Eval compiles and runs an expression sequence in a scratch method on
+// the lobby: "|locals| statements".
+func (s *System) Eval(src string) (*Result, error) {
+	m, err := parser.ParseMethodBody(src)
+	if err != nil {
+		return nil, err
+	}
+	meth := &obj.Method{Sel: "doIt", Ast: m, Holder: s.world.Lobby.Map}
+	s.machine.Stats = vm.RunStats{}
+	v, err := s.machine.RunMethod(meth, obj.Obj(s.world.Lobby))
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Value:       v,
+		Run:         s.machine.Stats,
+		Compile:     s.machine.Compile,
+		CompileTime: s.totalCompileTime(),
+	}, nil
+}
+
+func (s *System) totalCompileTime() time.Duration {
+	var d time.Duration
+	for _, e := range s.CompileLog {
+		d += e.Stats.Duration
+	}
+	return d
+}
+
+// GraphFor compiles selector (customized for the lobby) and returns
+// its control flow graph — the artifact the paper's figures draw.
+func (s *System) GraphFor(selector string) (*Graph, *CompileStats, error) {
+	r := obj.Lookup(s.world.Lobby.Map, selector)
+	if r == nil || r.Slot.Kind != obj.MethodSlot {
+		return nil, nil, fmt.Errorf("lobby does not define method %q", selector)
+	}
+	rmap := s.world.Lobby.Map
+	if !s.Cfg.Customization {
+		rmap = nil
+	}
+	return s.compiler.CompileMethod(r.Slot.Meth, rmap)
+}
+
+// CodeFor compiles selector to bytecode (through the VM's cache).
+func (s *System) CodeFor(selector string) (*Code, error) {
+	r := obj.Lookup(s.world.Lobby.Map, selector)
+	if r == nil || r.Slot.Kind != obj.MethodSlot {
+		return nil, fmt.Errorf("lobby does not define method %q", selector)
+	}
+	return s.machine.CodeFor(r.Slot.Meth, s.world.Lobby.Map)
+}
