@@ -1,0 +1,81 @@
+package selfgo_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"selfgo"
+	"selfgo/internal/bench"
+)
+
+// TestBenchmarkGuard replays every BENCH_*.json pin file at the repo
+// root against the current build. Each record fixes the check value and
+// modelled cycle count of one (benchmark, config) point of the §6.1
+// speed table; any drift means an infrastructure change (cache sharing,
+// VM refactor) altered execution semantics or the cost model, which
+// must be a deliberate, re-pinned decision — never an accident.
+// Regenerate the pins with:
+//
+//	go run ./cmd/selfbench -table guard -q > BENCH_guard.json
+func TestBenchmarkGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark guard is slow; skipped in -short mode")
+	}
+	files, err := filepath.Glob("BENCH_*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Skip("no BENCH_*.json pin files present")
+	}
+
+	configs := map[string]selfgo.Config{}
+	for _, cfg := range selfgo.Configs() {
+		configs[cfg.Name] = cfg
+	}
+	r := bench.NewRunner()
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			data, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var recs []bench.GuardRecord
+			if err := json.Unmarshal(data, &recs); err != nil {
+				t.Fatalf("%s: %v", file, err)
+			}
+			if len(recs) == 0 {
+				t.Fatalf("%s holds no records", file)
+			}
+			for _, rec := range recs {
+				b, ok := bench.ByName(rec.Bench)
+				if !ok {
+					t.Errorf("%s pins unknown benchmark %q", file, rec.Bench)
+					continue
+				}
+				cfg, ok := configs[rec.Config]
+				if !ok {
+					t.Errorf("%s pins unknown config %q", file, rec.Config)
+					continue
+				}
+				m, err := r.Get(b, cfg)
+				if err != nil {
+					t.Errorf("%s under %s: %v", rec.Bench, rec.Config, err)
+					continue
+				}
+				if m.Value != rec.Value {
+					t.Errorf("%s under %s: value %d, pinned %d (execution semantics drifted)",
+						rec.Bench, rec.Config, m.Value, rec.Value)
+				}
+				if m.Cycles != rec.Cycles {
+					t.Errorf("%s under %s: %s", rec.Bench, rec.Config,
+						fmt.Sprintf("cycles %d, pinned %d (cost model drifted)", m.Cycles, rec.Cycles))
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,27 @@
+#!/bin/sh
+# ci.sh — the checks a change must pass before it lands.
+#
+#   ./ci.sh          # vet + build + tests + race detector
+#   ./ci.sh -short   # the same, with the slow tests trimmed
+#
+# Tier-1 (build + go test ./...) is the compatibility bar tracked in
+# ROADMAP.md; the race run exercises the shared code cache and the
+# concurrent differential tests with full interleaving checks.
+set -eu
+cd "$(dirname "$0")"
+
+short="${1:-}"
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test ./..."
+go test $short ./...
+
+echo "== go test -race ./..."
+go test -race $short ./...
+
+echo "ci: all checks passed"

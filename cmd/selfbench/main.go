@@ -10,11 +10,14 @@
 //	selfbench -table size              # Appendix B
 //	selfbench -table compile           # Appendix C
 //	selfbench -table ablation          # per-technique ablation
+//	selfbench -table guard             # §6.1 guard records (JSON) for BENCH_*.json
 //	selfbench -bench richards          # one benchmark across all systems
+//	selfbench -workers 8               # concurrent VMs against one shared code cache
 //	selfbench -list                    # list benchmarks
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,18 +25,37 @@ import (
 
 	"selfgo"
 	"selfgo/internal/bench"
+	"selfgo/internal/cli"
 )
 
 func main() {
-	table := flag.String("table", "all", "table to print: all, speed-summary, compile-summary, speed, size, compile, ablation, json")
+	table := flag.String("table", "all", "table to print: all, speed-summary, compile-summary, speed, size, compile, ablation, guard, json")
 	one := flag.String("bench", "", "run a single benchmark across every system")
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	quiet := flag.Bool("q", false, "suppress progress output")
+	workers := flag.Int("workers", 0, "run benchmarks on N concurrent VMs sharing one code cache")
+	reps := flag.Int("reps", 4, "with -workers: benchmark runs per worker")
+	configName := flag.String("config", "new", "with -workers: compiler config (new, new-multi, old89, old90, st80, c)")
 	flag.Parse()
 
 	if *list {
 		for _, b := range bench.All() {
-			fmt.Printf("%-12s [%s]\n", b.Name, b.Group)
+			safe := ""
+			if b.ParallelSafe {
+				safe = " parallel-safe"
+			}
+			fmt.Printf("%-12s [%s]%s\n", b.Name, b.Group, safe)
+		}
+		return
+	}
+
+	if *workers > 0 {
+		cfg, err := cli.ConfigByName(*configName)
+		if err != nil {
+			fatal(err)
+		}
+		if err := runWorkers(cfg, *workers, *reps, *one); err != nil {
+			fatal(err)
 		}
 		return
 	}
@@ -71,6 +93,16 @@ func main() {
 		fmt.Println(t.String())
 	}
 	switch *table {
+	case "guard":
+		recs, err := r.GuardRecords()
+		if err != nil {
+			fatal(err)
+		}
+		data, err := json.MarshalIndent(recs, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(data))
 	case "json":
 		data, err := r.JSON()
 		if err != nil {
@@ -98,6 +130,46 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown table %q", *table))
 	}
+}
+
+// runWorkers runs the parallel-safe benchmarks (or the one named by
+// filter) on `workers` concurrent VMs sharing a single world and code
+// cache, printing throughput and the shared cache's counters. It fails
+// if any run computes a wrong value or if any (method, receiver map)
+// customization was compiled more than once — the single-flight
+// compile-once guarantee, asserted from the cache counters.
+func runWorkers(cfg selfgo.Config, workers, reps int, filter string) error {
+	benches := bench.ParallelSafe()
+	if filter != "" {
+		b, ok := bench.ByName(filter)
+		if !ok {
+			return fmt.Errorf("unknown benchmark %q (try -list)", filter)
+		}
+		benches = []bench.Benchmark{b}
+	}
+	fmt.Printf("concurrent benchmarks: %d workers x %d reps, config %q, shared code cache\n\n", workers, reps, cfg.Name)
+	fmt.Printf("%-12s %12s %10s %10s %8s %8s %8s %8s %8s %14s\n",
+		"benchmark", "value", "wall ms", "runs/s", "compiled", "hits", "misses", "waits", "evicted", "compile-once")
+	bad := false
+	for _, b := range benches {
+		m, err := bench.RunConcurrent(b, cfg, workers, reps)
+		if err != nil {
+			return err
+		}
+		once := "OK"
+		if !m.CompileOnce() {
+			once = "VIOLATED"
+			bad = true
+		}
+		fmt.Printf("%-12s %12d %10.1f %10.0f %8d %8d %8d %8d %8d %14s\n",
+			m.Bench, m.Value, float64(m.Elapsed)/float64(time.Millisecond), m.RunsPerSec(),
+			m.Methods, m.Cache.Hits, m.Cache.Misses, m.Cache.Waits, m.Cache.Evicted, once)
+	}
+	if bad {
+		return fmt.Errorf("compile-once violated: some customization was compiled more than once")
+	}
+	fmt.Printf("\ncompile-once holds: every (method, receiver map) customization was compiled exactly once.\n")
+	return nil
 }
 
 func fatal(err error) {

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	selfrun [-config new] [-args 1,2,3] [-stats] file.self... selector
+//	selfrun -workers 8 file.self... selector   # N concurrent VMs, shared code cache
 //	selfrun -e '| s <- 0 | 1 to: 10 Do: [ :i | s: s + i ]. s'
 package main
 
@@ -13,6 +14,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"selfgo"
@@ -24,13 +26,22 @@ func main() {
 	expr := flag.String("e", "", "evaluate an expression sequence instead of calling a selector")
 	argList := flag.String("args", "", "comma-separated integer arguments for the selector")
 	stats := flag.Bool("stats", false, "print run statistics")
+	workers := flag.Int("workers", 0, "run the selector on N concurrent VMs sharing one code cache")
 	flag.Parse()
 
 	cfg, err := cli.ConfigByName(*configName)
 	if err != nil {
 		fatal(err)
 	}
-	sys, err := selfgo.NewSystem(cfg)
+	var sys *selfgo.System
+	if *workers > 0 {
+		if *expr != "" {
+			fatal(fmt.Errorf("-workers runs a selector; it cannot be combined with -e"))
+		}
+		sys, err = selfgo.NewSharedSystem(cfg)
+	} else {
+		sys, err = selfgo.NewSystem(cfg)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -53,20 +64,28 @@ func main() {
 		}
 	}
 
+	var args []selfgo.Value
+	if *argList != "" {
+		for _, a := range strings.Split(*argList, ",") {
+			n, err := strconv.ParseInt(strings.TrimSpace(a), 10, 64)
+			if err != nil {
+				fatal(fmt.Errorf("bad argument %q: %w", a, err))
+			}
+			args = append(args, selfgo.IntValue(n))
+		}
+	}
+
+	if *workers > 0 {
+		if err := runWorkers(sys, *workers, sel, args, *stats); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	var res *selfgo.Result
 	if *expr != "" {
 		res, err = sys.Eval(*expr)
 	} else {
-		var args []selfgo.Value
-		if *argList != "" {
-			for _, a := range strings.Split(*argList, ",") {
-				n, err := strconv.ParseInt(strings.TrimSpace(a), 10, 64)
-				if err != nil {
-					fatal(fmt.Errorf("bad argument %q: %w", a, err))
-				}
-				args = append(args, selfgo.IntValue(n))
-			}
-		}
 		res, err = sys.Call(sel, args...)
 	}
 	if err != nil {
@@ -82,6 +101,56 @@ func main() {
 		fmt.Printf("compiled %d methods, %d code bytes, in %v\n",
 			res.Compile.Methods, res.Compile.CodeBytes, res.CompileTime.Round(time.Microsecond))
 	}
+}
+
+// runWorkers calls sel on n concurrent VMs that share root's world and
+// code cache, checks that every worker computes the same value, and
+// prints it once along with the shared cache's counters. The caller's
+// source files must not mutate lobby-level state when run.
+func runWorkers(root *selfgo.System, n int, sel string, args []selfgo.Value, stats bool) error {
+	systems := make([]*selfgo.System, n)
+	systems[0] = root
+	for i := 1; i < n; i++ {
+		var err error
+		if systems[i], err = root.Fork(); err != nil {
+			return err
+		}
+	}
+	results := make([]*selfgo.Result, n)
+	errs := make([]error, n)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := range systems {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			results[i], errs[i] = systems[i].Call(sel, args...)
+		}()
+	}
+	t0 := time.Now()
+	close(start)
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("worker %d: %w", i, err)
+		}
+	}
+	for i := 1; i < n; i++ {
+		if results[i].Value.I != results[0].Value.I {
+			return fmt.Errorf("worker %d computed %v but worker 0 computed %v",
+				i, results[i].Value, results[0].Value)
+		}
+	}
+	fmt.Println(results[0].Value)
+	if stats {
+		st, _ := root.CacheStats()
+		fmt.Printf("%d workers in %v; shared cache: %d compiled, %d hits, %d waits, %d evicted, compile-once=%v\n",
+			n, elapsed.Round(time.Microsecond), st.Misses, st.Hits, st.Waits, st.Evicted, st.CompileOnce())
+	}
+	return nil
 }
 
 func fatal(err error) {

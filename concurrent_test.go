@@ -1,0 +1,160 @@
+package selfgo
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentSharedCache runs generated programs on 8 goroutines
+// that share one world and one code cache, and checks every worker's
+// result against a single-threaded oracle system. With -race this is
+// the main concurrency test for the shared cache: the first wave of
+// calls starts cold and simultaneously, so the workers pile up on the
+// single-flight path, and the cache counters must still show each
+// customization compiled exactly once.
+func TestConcurrentSharedCache(t *testing.T) {
+	const workers = 8
+	const reps = 3
+	seeds := []int64{1, 7, 19, 42, 101}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			src := newProgGen(seed).generate(4, 2, 12)
+
+			// Single-threaded oracle on a private, unshared system.
+			oracle, err := NewSystem(NewSELF)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := oracle.LoadSource(src); err != nil {
+				t.Fatalf("seed %d does not parse: %v\n%s", seed, err, src)
+			}
+			want, err := oracle.Call("fuzzMain")
+			if err != nil {
+				t.Fatalf("oracle: %v\n%s", err, src)
+			}
+
+			root, err := NewSharedSystem(NewSELF)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := root.LoadSource(src); err != nil {
+				t.Fatal(err)
+			}
+			systems := make([]*System, workers)
+			systems[0] = root
+			for i := 1; i < workers; i++ {
+				if systems[i], err = root.Fork(); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			got := make([]int64, workers)
+			errs := make([]error, workers)
+			start := make(chan struct{})
+			var wg sync.WaitGroup
+			for i := range systems {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					<-start
+					for r := 0; r < reps; r++ {
+						res, err := systems[i].Call("fuzzMain")
+						if err != nil {
+							errs[i] = fmt.Errorf("rep %d: %w", r, err)
+							return
+						}
+						if r > 0 && res.Value.I != got[i] {
+							errs[i] = fmt.Errorf("rep %d: got %d, rep 0 got %d", r, res.Value.I, got[i])
+							return
+						}
+						got[i] = res.Value.I
+					}
+				}()
+			}
+			close(start)
+			wg.Wait()
+
+			for i := 0; i < workers; i++ {
+				if errs[i] != nil {
+					t.Fatalf("worker %d: %v\n%s", i, errs[i], src)
+				}
+				if got[i] != want.Value.I {
+					t.Errorf("worker %d computed %d, oracle computed %d\n%s", i, got[i], want.Value.I, src)
+				}
+			}
+
+			st, ok := root.CacheStats()
+			if !ok {
+				t.Fatal("shared system reports no cache stats")
+			}
+			if !st.CompileOnce() {
+				t.Errorf("compile-once violated: misses=%d entries=%d evicted=%d", st.Misses, st.Entries, st.Evicted)
+			}
+			if st.Misses == 0 {
+				t.Error("cache shows zero compilations; nothing was shared")
+			}
+		})
+	}
+}
+
+// TestForkRequiresSharedCache pins the API contract: only systems
+// created with NewSharedSystem can fork workers.
+func TestForkRequiresSharedCache(t *testing.T) {
+	sys, err := NewSystem(NewSELF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Fork(); err == nil {
+		t.Fatal("Fork on an unshared system should fail")
+	}
+}
+
+// TestSharedCacheInvalidation checks that redefining a method through
+// the world's change hook evicts its customizations from the shared
+// cache and that subsequent calls see the new definition.
+func TestSharedCacheInvalidation(t *testing.T) {
+	root, err := NewSharedSystem(NewSELF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := root.LoadSource("answer = ( 41 )."); err != nil {
+		t.Fatal(err)
+	}
+	res, err := root.Call("answer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value.I != 41 {
+		t.Fatalf("got %d, want 41", res.Value.I)
+	}
+	st, _ := root.CacheStats()
+	if st.Misses == 0 {
+		t.Fatal("first call should have compiled through the shared cache")
+	}
+
+	// Redefine: the OnMapChange hook must evict the stale code.
+	if err := root.LoadSource("answer = ( 42 )."); err != nil {
+		t.Fatal(err)
+	}
+	res, err = root.Call("answer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value.I != 42 {
+		t.Fatalf("after redefinition got %d, want 42 (stale code survived invalidation)", res.Value.I)
+	}
+	st, _ = root.CacheStats()
+	if st.Evicted == 0 {
+		t.Error("redefinition did not evict anything from the shared cache")
+	}
+	if !st.CompileOnce() {
+		t.Errorf("compile-once violated after invalidation: misses=%d entries=%d evicted=%d",
+			st.Misses, st.Entries, st.Evicted)
+	}
+}

@@ -25,6 +25,14 @@ type Benchmark struct {
 	// means only cross-configuration consistency is checked.
 	Expect    int64
 	HasExpect bool
+
+	// ParallelSafe marks benchmarks whose runs touch no shared mutable
+	// state (no lobby-level data slots: all mutation happens in method
+	// locals or objects cloned per run), so N worker VMs can run them
+	// concurrently against one world. The plain Stanford programs keep
+	// their state in lobby globals, exactly like the C originals, and
+	// are excluded from concurrent mode.
+	ParallelSafe bool
 }
 
 // All returns every benchmark in presentation order (the order of the
@@ -57,6 +65,18 @@ func ByName(name string) (Benchmark, bool) {
 		}
 	}
 	return Benchmark{}, false
+}
+
+// ParallelSafe returns the benchmarks that can run on concurrent
+// worker VMs sharing one world.
+func ParallelSafe() []Benchmark {
+	var out []Benchmark
+	for _, b := range All() {
+		if b.ParallelSafe {
+			out = append(out, b)
+		}
+	}
+	return out
 }
 
 // Measurement is one (benchmark, configuration) data point.

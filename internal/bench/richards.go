@@ -18,7 +18,10 @@ func Richards() Benchmark {
 		Entry:     "richardsBench",
 		Expect:    23220928,
 		HasExpect: true,
-		Source:    richardsSource,
+		// Every run clones its scheduler, tasks and packets fresh, so
+		// concurrent workers share only immutable prototypes.
+		ParallelSafe: true,
+		Source:       richardsSource,
 	}
 }
 

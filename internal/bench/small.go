@@ -1,9 +1,10 @@
 package bench
 
 // Small returns the "small" micro-benchmark group of §6: the initial
-// test suite used while implementing the new techniques.
+// test suite used while implementing the new techniques. All of them
+// keep their state in method locals, so they are parallel-safe.
 func Small() []Benchmark {
-	return []Benchmark{
+	return markParallelSafe([]Benchmark{
 		{
 			Name:  "sieve",
 			Group: "small",
@@ -77,5 +78,12 @@ atAllPutBench = ( | v. check <- 0 |
 			Expect:    20000,
 			HasExpect: true,
 		},
+	})
+}
+
+func markParallelSafe(bs []Benchmark) []Benchmark {
+	for i := range bs {
+		bs[i].ParallelSafe = true
 	}
+	return bs
 }

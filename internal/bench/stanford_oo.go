@@ -39,9 +39,10 @@ permOOBench = ( | p |
     p init: 6.
     p permute: 6.
     p count ).`,
-			Entry:     "permOOBench",
-			Expect:    8660,
-			HasExpect: true,
+			Entry:        "permOOBench",
+			ParallelSafe: true,
+			Expect:       8660,
+			HasExpect:    true,
 		},
 		{
 			Name:  "towers-oo",
@@ -85,9 +86,10 @@ towersOOBench = ( | g |
     g: towersGame _Clone init: 14.
     g move: 14 From: 0 To: 2 Via: 1.
     g moves ).`,
-			Entry:     "towersOOBench",
-			Expect:    16383,
-			HasExpect: true,
+			Entry:        "towersOOBench",
+			ParallelSafe: true,
+			Expect:       16383,
+			HasExpect:    true,
 		},
 		{
 			Name:  "queens-oo",
@@ -127,9 +129,10 @@ queensOOBench = ( | b |
     b: queensBoard _Clone init.
     b try: 0.
     b solutions ).`,
-			Entry:     "queensOOBench",
-			Expect:    92,
-			HasExpect: true,
+			Entry:        "queensOOBench",
+			ParallelSafe: true,
+			Expect:       92,
+			HasExpect:    true,
 		},
 		{
 			Name:  "intmm-oo",
@@ -180,7 +183,8 @@ quickOOBench = ( | s |
     s: sortable _Clone init: 1000 Seed: 74755.
     s quickSort.
     (s at: 0) + (s at: 999) + s disorder ).`,
-			Entry: "quickOOBench",
+			Entry:        "quickOOBench",
+			ParallelSafe: true,
 		},
 		{
 			Name:  "bubble-oo",
@@ -190,7 +194,8 @@ bubbleOOBench = ( | s |
     s: sortable _Clone init: 175 Seed: 74755.
     s bubbleSort.
     (s at: 0) + (s at: 174) + s disorder ).`,
-			Entry: "bubbleOOBench",
+			Entry:        "bubbleOOBench",
+			ParallelSafe: true,
 		},
 		{
 			Name:  "tree-oo",

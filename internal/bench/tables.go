@@ -425,6 +425,36 @@ func (r *Runner) JSON() ([]byte, error) {
 	return json.MarshalIndent(out, "", "  ")
 }
 
+// GuardRecord pins one (benchmark, config) point of the §6.1 speed
+// table: the check value and the modelled cycle count. BENCH_*.json
+// files of these records are committed so a test can prove that
+// infrastructure changes (cache sharing, VM refactors) do not drift
+// the cost model or execution semantics.
+type GuardRecord struct {
+	Bench  string `json:"bench"`
+	Config string `json:"config"`
+	Value  int64  `json:"value"`
+	Cycles int64  `json:"cycles"`
+}
+
+// GuardRecords measures every benchmark under the §6.1 configurations
+// (the four speed columns plus the optimized-C baseline) and returns
+// the pinned records.
+func (r *Runner) GuardRecords() ([]GuardRecord, error) {
+	configs := append(speedConfigs(), selfgo.OptimizedC)
+	var out []GuardRecord
+	for _, b := range All() {
+		for _, cfg := range configs {
+			m, err := r.Get(b, cfg)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, GuardRecord{Bench: b.Name, Config: cfg.Name, Value: m.Value, Cycles: m.Cycles})
+		}
+	}
+	return out, nil
+}
+
 // AllTables renders every experiment table in order.
 func (r *Runner) AllTables() (string, error) {
 	var parts []string

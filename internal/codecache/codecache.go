@@ -1,0 +1,303 @@
+// Package codecache is a process-wide cache of compiled code shared by
+// concurrently-running VMs. Customization ("one compiled method per
+// receiver map", Chambers & Ungar §2) makes this the hot shared
+// structure of the whole system: every send that misses its inline
+// cache ends here, so the cache is sharded to keep goroutines off each
+// other's locks, and compilation is single-flight — when N goroutines
+// request the same (method, receiver map) customization at once,
+// exactly one runs the compiler while the rest block on its result.
+//
+// The design follows the shared versioned code caches of basic-block
+// versioning systems (Chevalier-Boisvert & Feeley): entries are keyed
+// by code identity plus the type context they were specialized for (a
+// receiver map, here), and are invalidated when that context changes
+// shape (a map's slots are added, replaced or re-parented).
+package codecache
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"selfgo/internal/ast"
+	"selfgo/internal/obj"
+)
+
+// numShards spreads unrelated customizations across independent locks.
+// Keys distribute by selector and receiver-map identity, so the common
+// fan-out — many goroutines warming different methods — rarely
+// contends.
+const numShards = 16
+
+// Key identifies one unit of compiled code: a method customized for a
+// receiver map (RMap nil when customization is off), or an out-of-line
+// block. Exactly one of Meth/Blk is set.
+type Key struct {
+	Meth *obj.Method
+	RMap *obj.Map
+	Blk  *ast.Block
+}
+
+// shardIndex hashes the key's stable identity (selector text, map IDs,
+// block position) rather than pointer bits, so the distribution is
+// deterministic across runs.
+func (k Key) shardIndex() int {
+	h := uint32(2166136261)
+	mix := func(b byte) {
+		h ^= uint32(b)
+		h *= 16777619
+	}
+	mixInt := func(v int) {
+		mix(byte(v))
+		mix(byte(v >> 8))
+		mix(byte(v >> 16))
+		mix(byte(v >> 24))
+	}
+	if k.Meth != nil {
+		for i := 0; i < len(k.Meth.Sel); i++ {
+			mix(k.Meth.Sel[i])
+		}
+		if k.Meth.Holder != nil {
+			mixInt(k.Meth.Holder.ID)
+		}
+	}
+	if k.RMap != nil {
+		mixInt(k.RMap.ID)
+	}
+	if k.Blk != nil {
+		mixInt(k.Blk.P.Line)
+		mixInt(k.Blk.P.Col)
+	}
+	return int(h % numShards)
+}
+
+// Outcome says how a Get was satisfied.
+type Outcome uint8
+
+// Get outcomes.
+const (
+	// Hit: the code was already compiled.
+	Hit Outcome = iota
+	// Wait: another goroutine was compiling it; we blocked on its
+	// result (the single-flight path).
+	Wait
+	// Compiled: this call won the flight and ran the compiler.
+	Compiled
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Hit:
+		return "hit"
+	case Wait:
+		return "wait"
+	case Compiled:
+		return "compiled"
+	}
+	return "outcome?"
+}
+
+// Stats is a point-in-time snapshot of one shard's (or, summed, the
+// whole cache's) counters.
+type Stats struct {
+	Hits    int64 // Get found completed code
+	Misses  int64 // Get compiled (each miss is exactly one compiler run)
+	Waits   int64 // Get blocked on another goroutine's compile
+	Evicted int64 // entries removed by invalidation
+	Entries int64 // entries currently resident
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Waits += o.Waits
+	s.Evicted += o.Evicted
+	s.Entries += o.Entries
+}
+
+// entry is one cached compilation. done is closed when val/err are
+// valid; val and err are written exactly once, before the close, so
+// readers that observed the close may read them without the shard lock.
+type entry[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+type shard[V any] struct {
+	mu      sync.Mutex
+	entries map[Key]*entry[V]
+
+	hits, misses, waits, evicted int64
+}
+
+// Cache is the sharded single-flight code cache. V is the compiled
+// representation (the VM instantiates it with *vm.Code; keeping it a
+// type parameter avoids an import cycle and keeps this package
+// mechanism-only).
+type Cache[V any] struct {
+	shards [numShards]shard[V]
+
+	// gen counts invalidations. VMs keep private read-through memos of
+	// resolved code (sends are far hotter than compiles — a shard lock
+	// per send would serialize the workers) and drop them whenever the
+	// generation moves, so eviction still reaches every VM.
+	gen atomic.Int64
+}
+
+// Generation returns the invalidation epoch. Any privately memoized
+// result read at generation g is stale once Generation() != g.
+func (c *Cache[V]) Generation() int64 { return c.gen.Load() }
+
+// New returns an empty cache.
+func New[V any]() *Cache[V] {
+	c := &Cache[V]{}
+	for i := range c.shards {
+		c.shards[i].entries = map[Key]*entry[V]{}
+	}
+	return c
+}
+
+// Get returns the code for k, compiling it at most once per residency:
+// the first requester runs compile outside the shard lock while
+// concurrent requesters for the same key block on its result. A failed
+// compile is not cached — the error is delivered to every goroutine of
+// that flight, and a later Get retries.
+func (c *Cache[V]) Get(k Key, compile func() (V, error)) (V, Outcome, error) {
+	s := &c.shards[k.shardIndex()]
+	s.mu.Lock()
+	if e, ok := s.entries[k]; ok {
+		select {
+		case <-e.done:
+			s.hits++
+			s.mu.Unlock()
+			return e.val, Hit, e.err
+		default:
+			s.waits++
+			s.mu.Unlock()
+			<-e.done
+			return e.val, Wait, e.err
+		}
+	}
+	e := &entry[V]{done: make(chan struct{})}
+	s.entries[k] = e
+	s.misses++
+	s.mu.Unlock()
+
+	v, err := compile()
+	if err != nil {
+		s.mu.Lock()
+		// Only remove our own entry: an invalidation may have removed
+		// it already, and a fresh flight may have taken the slot.
+		if s.entries[k] == e {
+			delete(s.entries, k)
+		}
+		s.mu.Unlock()
+	}
+	e.val, e.err = v, err
+	close(e.done)
+	return v, Compiled, err
+}
+
+// Peek reports whether k is resident and compiled, without counting a
+// hit or waiting on an in-flight compile.
+func (c *Cache[V]) Peek(k Key) (V, bool) {
+	s := &c.shards[k.shardIndex()]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.entries[k]; ok {
+		select {
+		case <-e.done:
+			if e.err == nil {
+				return e.val, true
+			}
+		default:
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// InvalidateMap removes every customization that depends on m: code
+// customized for receivers of m, and code compiled from methods whose
+// holder is m (the method body itself may have been redefined). Blocks
+// are compiled per-AST and survive; a redefined enclosing method
+// produces new block ASTs. Goroutines already waiting on an in-flight
+// compile of a removed entry still receive its (now stale but
+// internally consistent) result; the next Get recompiles against the
+// new shape. Returns the number of entries removed.
+func (c *Cache[V]) InvalidateMap(m *obj.Map) int {
+	if m == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for k := range s.entries {
+			if k.RMap == m || (k.Meth != nil && k.Meth.Holder == m) {
+				delete(s.entries, k)
+				s.evicted++
+				n++
+			}
+		}
+		s.mu.Unlock()
+	}
+	if n > 0 {
+		c.gen.Add(1)
+	}
+	return n
+}
+
+// Flush empties the cache entirely, counting every resident entry as
+// evicted.
+func (c *Cache[V]) Flush() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for k := range s.entries {
+			delete(s.entries, k)
+			s.evicted++
+			n++
+		}
+		s.mu.Unlock()
+	}
+	if n > 0 {
+		c.gen.Add(1)
+	}
+	return n
+}
+
+// Stats sums the per-shard counters.
+func (c *Cache[V]) Stats() Stats {
+	var t Stats
+	for _, s := range c.ShardStats() {
+		t.Add(s)
+	}
+	return t
+}
+
+// ShardStats snapshots each shard's counters (the per-shard view that
+// selfbench -workers prints to show lock spread).
+func (c *Cache[V]) ShardStats() []Stats {
+	out := make([]Stats, numShards)
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		out[i] = Stats{
+			Hits: s.hits, Misses: s.misses, Waits: s.waits,
+			Evicted: s.evicted, Entries: int64(len(s.entries)),
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// CompileOnce reports the cache's core invariant for a warmed run: each
+// resident-or-evicted entry was produced by exactly one compiler run
+// (misses == entries + evicted). It is what `selfbench -workers`
+// asserts to demonstrate compile-once/run-many.
+func (s Stats) CompileOnce() bool {
+	return s.Misses == s.Entries+s.Evicted
+}

@@ -1,0 +1,227 @@
+package codecache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"selfgo/internal/obj"
+)
+
+func methKey(w *obj.World, sel string, rmap *obj.Map) Key {
+	return Key{Meth: &obj.Method{Sel: sel, Holder: w.Lobby.Map}, RMap: rmap}
+}
+
+func TestGetCompilesOncePerKey(t *testing.T) {
+	w := obj.NewWorld()
+	c := New[string]()
+	k := methKey(w, "fib:", w.IntMap)
+
+	var compiles int32
+	compile := func() (string, error) {
+		atomic.AddInt32(&compiles, 1)
+		return "code", nil
+	}
+	v, out, err := c.Get(k, compile)
+	if err != nil || v != "code" || out != Compiled {
+		t.Fatalf("first Get = %q, %v, %v", v, out, err)
+	}
+	v, out, err = c.Get(k, compile)
+	if err != nil || v != "code" || out != Hit {
+		t.Fatalf("second Get = %q, %v, %v", v, out, err)
+	}
+	if n := atomic.LoadInt32(&compiles); n != 1 {
+		t.Fatalf("compiled %d times, want 1", n)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSingleFlightDeduplicates(t *testing.T) {
+	w := obj.NewWorld()
+	c := New[int]()
+	k := methKey(w, "slow", w.IntMap)
+
+	var compiles int32
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var once sync.Once
+
+	const n = 16
+	var wg sync.WaitGroup
+	results := make([]int, n)
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, _, err := c.Get(k, func() (int, error) {
+				atomic.AddInt32(&compiles, 1)
+				once.Do(func() { close(started) })
+				<-release // hold the flight open so everyone piles up
+				return 42, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = v
+		}()
+	}
+	<-started
+	close(release)
+	wg.Wait()
+
+	if got := atomic.LoadInt32(&compiles); got != 1 {
+		t.Fatalf("%d goroutines triggered %d compiles, want exactly 1", n, got)
+	}
+	for i, v := range results {
+		if v != 42 {
+			t.Fatalf("goroutine %d got %d", i, v)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 {
+		t.Fatalf("misses = %d, want 1 (stats %+v)", st.Misses, st)
+	}
+	if st.Waits+st.Hits != n-1 {
+		t.Fatalf("waits+hits = %d, want %d (stats %+v)", st.Waits+st.Hits, n-1, st)
+	}
+	if !st.CompileOnce() {
+		t.Fatalf("CompileOnce violated: %+v", st)
+	}
+}
+
+func TestFailedCompileIsRetried(t *testing.T) {
+	w := obj.NewWorld()
+	c := New[string]()
+	k := methKey(w, "bad", nil)
+
+	boom := errors.New("boom")
+	_, _, err := c.Get(k, func() (string, error) { return "", boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("failed compile left %d entries", st.Entries)
+	}
+	v, out, err := c.Get(k, func() (string, error) { return "fixed", nil })
+	if err != nil || v != "fixed" || out != Compiled {
+		t.Fatalf("retry Get = %q, %v, %v", v, out, err)
+	}
+}
+
+func TestInvalidateMap(t *testing.T) {
+	w := obj.NewWorld()
+	c := New[string]()
+	keep := methKey(w, "keep", w.StrMap)
+	byRecv := methKey(w, "m1", w.IntMap)
+	holder := Key{Meth: &obj.Method{Sel: "m2", Holder: w.IntMap}, RMap: w.StrMap}
+
+	for _, k := range []Key{keep, byRecv, holder} {
+		if _, _, err := c.Get(k, func() (string, error) { return "c", nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := c.InvalidateMap(w.IntMap); n != 2 {
+		t.Fatalf("invalidated %d entries, want 2 (receiver-map and holder matches)", n)
+	}
+	if _, ok := c.Peek(keep); !ok {
+		t.Fatal("unrelated entry was evicted")
+	}
+	if _, ok := c.Peek(byRecv); ok {
+		t.Fatal("customization for invalidated receiver map survived")
+	}
+	st := c.Stats()
+	if st.Evicted != 2 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if !st.CompileOnce() {
+		t.Fatalf("CompileOnce should hold across eviction: %+v", st)
+	}
+}
+
+func TestConcurrentMixedKeys(t *testing.T) {
+	w := obj.NewWorld()
+	c := New[int]()
+	maps := []*obj.Map{w.IntMap, w.StrMap, w.VecMap, w.NilMap}
+	keys := make([]Key, 0, 32)
+	for i := 0; i < 8; i++ {
+		for _, m := range maps {
+			keys = append(keys, methKey(w, fmt.Sprintf("sel%d:", i), m))
+		}
+	}
+	var compiles int32
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 50; rep++ {
+				for i, k := range keys {
+					want := i
+					v, _, err := c.Get(k, func() (int, error) {
+						atomic.AddInt32(&compiles, 1)
+						return want, nil
+					})
+					if err != nil || v != want {
+						t.Errorf("key %d: got %d, %v", i, v, err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := atomic.LoadInt32(&compiles); got != int32(len(keys)) {
+		t.Fatalf("%d compiles for %d keys", got, len(keys))
+	}
+	st := c.Stats()
+	if st.Entries != int64(len(keys)) || !st.CompileOnce() {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestShardStatsSumToStats(t *testing.T) {
+	w := obj.NewWorld()
+	c := New[int]()
+	for i := 0; i < 40; i++ {
+		k := methKey(w, fmt.Sprintf("s%d", i), w.IntMap)
+		if _, _, err := c.Get(k, func() (int, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var sum Stats
+	populated := 0
+	for _, s := range c.ShardStats() {
+		sum.Add(s)
+		if s.Entries > 0 {
+			populated++
+		}
+	}
+	if sum != c.Stats() {
+		t.Fatalf("shard sum %+v != total %+v", sum, c.Stats())
+	}
+	if populated < 2 {
+		t.Fatalf("40 distinct selectors landed in %d shard(s); hash is degenerate", populated)
+	}
+}
+
+func TestFlush(t *testing.T) {
+	w := obj.NewWorld()
+	c := New[int]()
+	for i := 0; i < 5; i++ {
+		k := methKey(w, fmt.Sprintf("f%d", i), nil)
+		c.Get(k, func() (int, error) { return i, nil })
+	}
+	if n := c.Flush(); n != 5 {
+		t.Fatalf("flushed %d, want 5", n)
+	}
+	st := c.Stats()
+	if st.Entries != 0 || st.Evicted != 5 {
+		t.Fatalf("stats after flush = %+v", st)
+	}
+}

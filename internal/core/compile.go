@@ -11,6 +11,11 @@ import (
 )
 
 // Compiler compiles methods of a world under one configuration.
+//
+// A Compiler holds no per-compilation state — each CompileMethod call
+// builds its own context — so one Compiler may serve concurrent
+// compilations, as the shared code cache's single-flight path does,
+// provided the world is not mutated while compilations run.
 type Compiler struct {
 	World *obj.World
 	Cfg   Config

@@ -1,0 +1,64 @@
+package lexer
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"selfgo/internal/token"
+)
+
+// seedPrograms feeds every example program to the fuzzer as a seed, so
+// mutation starts from realistic SELF source rather than byte soup.
+func seedPrograms(f *testing.F) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "examples", "programs", "*.self"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(data))
+	}
+}
+
+// FuzzLexer: the lexer must terminate on arbitrary input without
+// panicking, always produce EOF as its final token, and be
+// deterministic — two scans of the same input yield identical token
+// streams.
+func FuzzLexer(f *testing.F) {
+	seedPrograms(f)
+	f.Add("")
+	f.Add("| x <- 1 | x: x + 1. x")
+	f.Add("'unterminated")
+	f.Add("'esc \\n \\t \\\\ '' done'")
+	f.Add("0x1F 0xG 123 99999999999999999999")
+	f.Add("a: b C: [ :p | ^p ] <-> = * _foo")
+	f.Add("\"comment \" \"unterminated comment")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		toks := All(src)
+		if len(toks) == 0 {
+			t.Fatalf("no tokens for %q (expected at least EOF)", src)
+		}
+		if last := toks[len(toks)-1]; last.Kind != token.EOF {
+			t.Fatalf("last token is %v, want EOF: %q", last, src)
+		}
+		for _, tok := range toks[:len(toks)-1] {
+			if tok.Kind == token.EOF {
+				t.Fatalf("EOF token before the end of the stream: %q", src)
+			}
+		}
+		again := All(src)
+		if len(again) != len(toks) {
+			t.Fatalf("non-deterministic: %d tokens then %d for %q", len(toks), len(again), src)
+		}
+		for i := range toks {
+			if toks[i] != again[i] {
+				t.Fatalf("non-deterministic token %d: %v then %v for %q", i, toks[i], again[i], src)
+			}
+		}
+	})
+}

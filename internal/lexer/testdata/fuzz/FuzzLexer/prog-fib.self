@@ -1,0 +1,2 @@
+go test fuzz v1
+string("\"Recursive Fibonacci — run with:\n   go run ./cmd/selfrun -stats examples/programs/fib.self -args 20 fib:\"\nfib: n = (\n    (n < 2) ifTrue: [ n ] False: [ (fib: n - 1) + (fib: n - 2) ] ).\n")

@@ -25,6 +25,14 @@ type World struct {
 	// VectorProto is the clonable empty vector bound to the lobby slot
 	// "vector".
 	VectorProto *Object
+
+	// OnMapChange, when non-nil, is invoked whenever a map's shape
+	// changes after creation: a slot added or replaced by a later Load,
+	// or a builtin parent patched by Finalize. The shared code cache
+	// registers here so customizations compiled against the old shape
+	// are invalidated. World mutation (and hence this hook) is
+	// single-threaded: sources are loaded before worker VMs start.
+	OnMapChange func(*Map)
 }
 
 // NewWorld creates a world with the built-in maps and singletons but an
@@ -76,6 +84,9 @@ func (w *World) addSlot(m *Map, s Slot) *Slot {
 	if s.Kind == DataSlot {
 		s.Index = m.NFields
 		m.NFields++
+	}
+	if w.OnMapChange != nil {
+		defer w.OnMapChange(m)
 	}
 	if i, ok := m.byName[s.Name]; ok {
 		m.Slots[i] = s // redefinition replaces
@@ -225,7 +236,12 @@ func (w *World) Finalize() {
 			return
 		}
 		if ps := m.SlotNamed("parent"); ps != nil {
-			ps.Value = r.Slot.Value
+			if !ps.Value.Eq(r.Slot.Value) {
+				ps.Value = r.Slot.Value
+				if w.OnMapChange != nil {
+					w.OnMapChange(m)
+				}
+			}
 		}
 	}
 	patch(w.IntMap, "traitsInteger")

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"selfgo/internal/ast"
+	"selfgo/internal/codecache"
 	"selfgo/internal/ir"
 	"selfgo/internal/obj"
 )
@@ -36,10 +37,19 @@ type RunStats struct {
 
 // CompileRecord aggregates on-the-fly compilation work triggered by a
 // run: the paper's compile-time and code-space numbers are sums over
-// all methods compiled while the benchmark warms up.
+// all methods compiled while the benchmark warms up. Methods and
+// CodeBytes count only compilations this VM itself performed — with a
+// shared cache, code another VM compiled arrives as a CacheHits or
+// CacheWaits instead.
 type CompileRecord struct {
 	Methods   int
 	CodeBytes int
+
+	// Shared-cache outcomes observed by this VM; all zero when the VM
+	// runs against its private per-VM cache.
+	CacheHits   int64 // code found already compiled in the shared cache
+	CacheMisses int64 // compilations this VM won (== compiler runs)
+	CacheWaits  int64 // blocked on another VM's in-flight compilation
 }
 
 // VM executes compiled code, compiling methods and blocks on demand
@@ -68,6 +78,15 @@ type VM struct {
 	// per send site).
 	PICs bool
 
+	// Shared, when non-nil, replaces the private per-VM code caches
+	// with a process-wide sharded single-flight cache: compiled Code is
+	// shared read-only across every VM attached to the same cache, and
+	// the mutable inline-cache state moves into per-VM side tables (see
+	// icFor). A VM itself is single-goroutine; concurrency comes from
+	// running one VM per goroutine against one Shared cache and one
+	// World (read-side).
+	Shared *codecache.Cache[*Code]
+
 	// Out receives _Print output (defaults to io.Discard).
 	Out io.Writer
 
@@ -81,7 +100,20 @@ type VM struct {
 
 	methodCache map[methodKey]*Code
 	blockCache  map[*ast.Block]*Code
-	depth       int
+
+	// sharedICs holds this VM's inline-cache state for shared Code:
+	// the Code object is immutable after assembly, so each VM keeps its
+	// own send-site caches, exactly as each native SELF process would
+	// have its own writable inline-cache words.
+	sharedICs map[*Code][]inlineCache
+
+	// sharedGen is the cache generation at which this VM's private
+	// memos (methodCache/blockCache acting as an L1 over Shared) were
+	// valid; when the shared cache's generation moves past it, the
+	// memos and inline caches are dropped.
+	sharedGen int64
+
+	depth int
 }
 
 type methodKey struct {
@@ -126,6 +158,9 @@ func (vm *VM) init() {
 	if vm.blockCache == nil {
 		vm.blockCache = map[*ast.Block]*Code{}
 	}
+	if vm.sharedICs == nil && vm.Shared != nil {
+		vm.sharedICs = map[*Code][]inlineCache{}
+	}
 	if vm.Out == nil {
 		vm.Out = io.Discard
 	}
@@ -138,6 +173,20 @@ func (vm *VM) CodeFor(meth *obj.Method, rmap *obj.Map) (*Code, error) {
 	key := methodKey{meth: meth}
 	if vm.Customize {
 		key.rmap = rmap
+	}
+	if vm.Shared != nil {
+		vm.checkSharedGen()
+		if c, ok := vm.methodCache[key]; ok {
+			return c, nil
+		}
+		c, err := vm.sharedGet(codecache.Key{Meth: meth, RMap: key.rmap}, func() (*Code, error) {
+			return vm.CompileMethod(meth, key.rmap)
+		})
+		if err != nil {
+			return nil, err
+		}
+		vm.methodCache[key] = c
+		return c, nil
 	}
 	if c, ok := vm.methodCache[key]; ok {
 		return c, nil
@@ -155,15 +204,24 @@ func (vm *VM) CodeFor(meth *obj.Method, rmap *obj.Map) (*Code, error) {
 func (vm *VM) blockCodeFor(cl *obj.Closure) (*Code, error) {
 	vm.init()
 	b := cl.Ast
+	if vm.Shared != nil {
+		vm.checkSharedGen()
+		if c, ok := vm.blockCache[b]; ok {
+			return c, nil
+		}
+		c, err := vm.sharedGet(codecache.Key{Blk: b}, func() (*Code, error) {
+			return vm.CompileBlock(b, upNamesOf(cl))
+		})
+		if err != nil {
+			return nil, err
+		}
+		vm.blockCache[b] = c
+		return c, nil
+	}
 	if c, ok := vm.blockCache[b]; ok {
 		return c, nil
 	}
-	names := make([]string, 0, len(cl.UpLocals))
-	for n := range cl.UpLocals {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	c, err := vm.CompileBlock(b, names)
+	c, err := vm.CompileBlock(b, upNamesOf(cl))
 	if err != nil {
 		return nil, err
 	}
@@ -171,6 +229,66 @@ func (vm *VM) blockCodeFor(cl *obj.Closure) (*Code, error) {
 	vm.Compile.Methods++
 	vm.Compile.CodeBytes += c.Bytes
 	return c, nil
+}
+
+func upNamesOf(cl *obj.Closure) []string {
+	names := make([]string, 0, len(cl.UpLocals))
+	for n := range cl.UpLocals {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// checkSharedGen drops this VM's private memos (methodCache/blockCache
+// acting as an L1 over Shared, plus the shared-Code inline caches) when
+// the shared cache's invalidation generation has moved. Sends are far
+// hotter than compiles, so resolving them from the private memo keeps
+// workers off the shard locks; the generation check is one atomic load.
+func (vm *VM) checkSharedGen() {
+	if g := vm.Shared.Generation(); g != vm.sharedGen {
+		clear(vm.methodCache)
+		clear(vm.blockCache)
+		clear(vm.sharedICs)
+		vm.sharedGen = g
+	}
+}
+
+// sharedGet routes a compilation through the shared cache, folding the
+// single-flight outcome into this VM's compile record: only the flight
+// winner charges Methods/CodeBytes, so summing records across VMs still
+// counts each compilation exactly once.
+func (vm *VM) sharedGet(key codecache.Key, compile func() (*Code, error)) (*Code, error) {
+	c, outcome, err := vm.Shared.Get(key, compile)
+	if err != nil {
+		return nil, err
+	}
+	switch outcome {
+	case codecache.Compiled:
+		vm.Compile.CacheMisses++
+		vm.Compile.Methods++
+		vm.Compile.CodeBytes += c.Bytes
+	case codecache.Hit:
+		vm.Compile.CacheHits++
+	case codecache.Wait:
+		vm.Compile.CacheWaits++
+	}
+	return c, nil
+}
+
+// icFor returns the send site's inline-cache slot: the Code's own array
+// when the code is private to this VM, or this VM's side table when the
+// Code is shared (shared Code must stay immutable).
+func (vm *VM) icFor(code *Code, idx int) *inlineCache {
+	if vm.Shared == nil {
+		return &code.ics[idx]
+	}
+	ics := vm.sharedICs[code]
+	if ics == nil {
+		ics = make([]inlineCache, len(code.ics))
+		vm.sharedICs[code] = ics
+	}
+	return &ics[idx]
 }
 
 const maxDepth = 100000
@@ -549,7 +667,7 @@ func (vm *VM) execSend(in *Instr, fr *frame, code *Code) (obj.Value, error) {
 	}
 
 	m := vm.World.MapOf(recv)
-	ic := &code.ics[in.IC]
+	ic := vm.icFor(code, in.IC)
 	var slot *obj.Slot
 	var holder *obj.Object
 	if ic.m == m && !in.Direct {

@@ -16,9 +16,11 @@ package selfgo
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"selfgo/internal/ast"
+	"selfgo/internal/codecache"
 	"selfgo/internal/core"
 	"selfgo/internal/ir"
 	"selfgo/internal/obj"
@@ -47,6 +49,8 @@ type (
 	Graph = ir.Graph
 	// Code is assembled register bytecode.
 	Code = vm.Code
+	// CacheStats is a snapshot of the shared code cache's counters.
+	CacheStats = codecache.Stats
 )
 
 // Compiler generation presets, matching the systems measured in §6 of
@@ -73,15 +77,52 @@ func NilValue() Value         { return obj.Nil() }
 
 // System is a loaded world plus a compiler configuration and a VM with
 // its dynamic-compilation cache.
+//
+// A System (and its VM) is single-goroutine. Concurrency comes from
+// NewSharedSystem + Fork: each Fork shares the world, the compiler and
+// one sharded single-flight code cache, but runs its own VM, so worker
+// systems may call methods concurrently once loading is done.
 type System struct {
 	Cfg      Config
 	world    *obj.World
 	compiler *core.Compiler
 	machine  *vm.VM
 
-	// CompileLog accumulates per-method compiler statistics in
-	// compilation order.
-	CompileLog []MethodCompile
+	// shared is the process-wide code cache, nil for a private system.
+	shared *codecache.Cache[*vm.Code]
+
+	// log accumulates per-method compiler statistics in compilation
+	// order; forked workers append to their parent's log, so it is
+	// mutex-protected.
+	log *compileLog
+}
+
+// compileLog is the shared, locked compile log.
+type compileLog struct {
+	mu      sync.Mutex
+	entries []MethodCompile
+}
+
+func (l *compileLog) add(e MethodCompile) {
+	l.mu.Lock()
+	l.entries = append(l.entries, e)
+	l.mu.Unlock()
+}
+
+func (l *compileLog) snapshot() []MethodCompile {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]MethodCompile(nil), l.entries...)
+}
+
+func (l *compileLog) totalDuration() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var d time.Duration
+	for _, e := range l.entries {
+		d += e.Stats.Duration
+	}
+	return d
 }
 
 // MethodCompile is one entry of the compile log.
@@ -103,42 +144,111 @@ type Result struct {
 }
 
 // NewSystem creates a world with the standard prelude loaded, ready to
-// accept program source.
+// accept program source. Its code cache is private to the one VM, as in
+// the original single-process SELF system.
 func NewSystem(cfg Config) (*System, error) {
+	return newSystem(cfg, nil)
+}
+
+// NewSharedSystem creates a system whose VM compiles through a shared
+// sharded single-flight code cache. After loading sources, Fork returns
+// additional worker systems running against the same world and cache;
+// each (method, receiver map) customization is then compiled exactly
+// once no matter how many workers request it concurrently.
+func NewSharedSystem(cfg Config) (*System, error) {
+	return newSystem(cfg, codecache.New[*vm.Code]())
+}
+
+func newSystem(cfg Config, shared *codecache.Cache[*vm.Code]) (*System, error) {
 	w := obj.NewWorld()
-	s := &System{Cfg: cfg, world: w}
+	s := &System{Cfg: cfg, world: w, shared: shared, log: &compileLog{}}
 	s.compiler = core.New(w, cfg)
-	s.machine = &vm.VM{
-		World:        w,
+	s.machine = s.newVM()
+	if shared != nil {
+		// Invalidate customizations when later loads reshape a map the
+		// compiler already specialized against.
+		w.OnMapChange = func(m *obj.Map) { shared.InvalidateMap(m) }
+	}
+	if err := s.LoadSource(prelude.Source); err != nil {
+		return nil, fmt.Errorf("loading prelude: %w", err)
+	}
+	return s, nil
+}
+
+// newVM builds a VM wired to this system's world, compiler, shared
+// cache and compile log. The compile callbacks may run on any worker
+// goroutine (inside the cache's single flight), so they touch only the
+// stateless compiler and the locked log.
+func (s *System) newVM() *vm.VM {
+	cfg := s.Cfg
+	m := &vm.VM{
+		World:        s.world,
 		Customize:    cfg.Customization,
 		SendExtra:    int64(cfg.SendOverheadExtra),
 		InstrExtra:   int64(cfg.PerInstrOverhead),
 		MissHandlers: cfg.CallSiteICMissHandlers,
 		PICs:         cfg.PolymorphicInlineCaches,
+		Shared:       s.shared,
 	}
-	s.machine.CompileMethod = func(m *obj.Method, rmap *obj.Map) (*vm.Code, error) {
-		g, st, err := s.compiler.CompileMethod(m, rmap)
+	m.CompileMethod = func(meth *obj.Method, rmap *obj.Map) (*vm.Code, error) {
+		g, st, err := s.compiler.CompileMethod(meth, rmap)
 		if err != nil {
-			return nil, fmt.Errorf("compiling %s: %w", m, err)
+			return nil, fmt.Errorf("compiling %s: %w", meth, err)
 		}
 		c := vm.Assemble(g)
-		s.CompileLog = append(s.CompileLog, MethodCompile{Name: c.Name, Stats: *st, Bytes: c.Bytes})
+		s.log.add(MethodCompile{Name: c.Name, Stats: *st, Bytes: c.Bytes})
 		return c, nil
 	}
-	s.machine.CompileBlock = func(b *ast.Block, upNames []string) (*vm.Code, error) {
+	m.CompileBlock = func(b *ast.Block, upNames []string) (*vm.Code, error) {
 		g, st, err := s.compiler.CompileBlock(b, upNames)
 		if err != nil {
 			return nil, fmt.Errorf("compiling block at %s: %w", b.P, err)
 		}
 		c := vm.Assemble(g)
 		c.IsBlock = true
-		s.CompileLog = append(s.CompileLog, MethodCompile{Name: c.Name, Stats: *st, Bytes: c.Bytes})
+		s.log.add(MethodCompile{Name: c.Name, Stats: *st, Bytes: c.Bytes})
 		return c, nil
 	}
-	if err := s.LoadSource(prelude.Source); err != nil {
-		return nil, fmt.Errorf("loading prelude: %w", err)
+	return m
+}
+
+// Fork returns a worker system sharing this system's world, compiler,
+// code cache and compile log, with a fresh VM (own run statistics, own
+// inline caches). Only shared systems fork. Sources must be fully
+// loaded before forking: workers read the world but must not
+// LoadSource, and world loading is not synchronized with running
+// workers.
+func (s *System) Fork() (*System, error) {
+	if s.shared == nil {
+		return nil, fmt.Errorf("Fork requires a system built with NewSharedSystem")
 	}
-	return s, nil
+	w := &System{
+		Cfg:      s.Cfg,
+		world:    s.world,
+		compiler: s.compiler,
+		shared:   s.shared,
+		log:      s.log,
+	}
+	w.machine = w.newVM()
+	return w, nil
+}
+
+// CacheStats snapshots the shared code cache's summed counters; ok is
+// false for a private (non-shared) system.
+func (s *System) CacheStats() (CacheStats, bool) {
+	if s.shared == nil {
+		return CacheStats{}, false
+	}
+	return s.shared.Stats(), true
+}
+
+// CacheShardStats snapshots the shared cache per shard, for tools that
+// want to show lock spread.
+func (s *System) CacheShardStats() []CacheStats {
+	if s.shared == nil {
+		return nil
+	}
+	return s.shared.ShardStats()
 }
 
 // World exposes the object universe (read-mostly; used by tools).
@@ -202,12 +312,14 @@ func (s *System) Eval(src string) (*Result, error) {
 	}, nil
 }
 
+// CompileLog returns per-method compiler statistics in compilation
+// order. For a shared system the log spans every forked worker.
+func (s *System) CompileLog() []MethodCompile {
+	return s.log.snapshot()
+}
+
 func (s *System) totalCompileTime() time.Duration {
-	var d time.Duration
-	for _, e := range s.CompileLog {
-		d += e.Stats.Duration
-	}
-	return d
+	return s.log.totalDuration()
 }
 
 // GraphFor compiles selector (customized for the lobby) and returns

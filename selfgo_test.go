@@ -222,7 +222,7 @@ func TestCustomizationCompilesPerReceiverMap(t *testing.T) {
 	// The recursive countDown: cannot be fully inlined, so it compiles
 	// as a customized method: one copy per receiver map.
 	n := 0
-	for _, e := range sys.CompileLog {
+	for _, e := range sys.CompileLog() {
 		if strings.HasSuffix(e.Name, ">>countDown:") {
 			n++
 		}
