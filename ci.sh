@@ -24,4 +24,14 @@ go test $short ./...
 echo "== go test -race ./..."
 go test -race $short ./...
 
+# Fuzz smoke: a short budget per front-end fuzzer, enough to catch
+# easy regressions in the lexer and parser without stalling CI.
+# Trimmed from -short runs.
+if [ "$short" != "-short" ]; then
+    echo "== fuzz smoke: FuzzLexer"
+    go test -run '^$' -fuzz '^FuzzLexer$' -fuzztime 10s ./internal/lexer
+    echo "== fuzz smoke: FuzzParser"
+    go test -run '^$' -fuzz '^FuzzParser$' -fuzztime 10s ./internal/parser
+fi
+
 echo "ci: all checks passed"

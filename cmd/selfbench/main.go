@@ -36,6 +36,8 @@ func main() {
 	workers := flag.Int("workers", 0, "run benchmarks on N concurrent VMs sharing one code cache")
 	reps := flag.Int("reps", 4, "with -workers: benchmark runs per worker")
 	configName := flag.String("config", "new", "with -workers: compiler config (new, new-multi, old89, old90, st80, c)")
+	timeout := flag.Duration("timeout", 0, "with -workers: wall-clock limit per benchmark measurement (e.g. 30s)")
+	fuel := flag.Int64("fuel", 0, "with -workers: instruction budget per benchmark run")
 	flag.Parse()
 
 	if *list {
@@ -54,7 +56,8 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := runWorkers(cfg, *workers, *reps, *one); err != nil {
+		lim := bench.Limits{Timeout: *timeout, Budget: selfgo.Budget{MaxInstrs: *fuel}}
+		if err := runWorkers(cfg, *workers, *reps, *one, lim); err != nil {
 			fatal(err)
 		}
 		return
@@ -138,7 +141,7 @@ func main() {
 // if any run computes a wrong value or if any (method, receiver map)
 // customization was compiled more than once — the single-flight
 // compile-once guarantee, asserted from the cache counters.
-func runWorkers(cfg selfgo.Config, workers, reps int, filter string) error {
+func runWorkers(cfg selfgo.Config, workers, reps int, filter string, lim bench.Limits) error {
 	benches := bench.ParallelSafe()
 	if filter != "" {
 		b, ok := bench.ByName(filter)
@@ -152,7 +155,7 @@ func runWorkers(cfg selfgo.Config, workers, reps int, filter string) error {
 		"benchmark", "value", "wall ms", "runs/s", "compiled", "hits", "misses", "waits", "evicted", "compile-once")
 	bad := false
 	for _, b := range benches {
-		m, err := bench.RunConcurrent(b, cfg, workers, reps)
+		m, err := bench.RunConcurrentLimits(b, cfg, workers, reps, lim)
 		if err != nil {
 			return err
 		}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +28,8 @@ func main() {
 	argList := flag.String("args", "", "comma-separated integer arguments for the selector")
 	stats := flag.Bool("stats", false, "print run statistics")
 	workers := flag.Int("workers", 0, "run the selector on N concurrent VMs sharing one code cache")
+	timeout := flag.Duration("timeout", 0, "abort the run after this wall-clock duration (e.g. 5s)")
+	fuel := flag.Int64("fuel", 0, "abort the run after this many interpreted instructions")
 	flag.Parse()
 
 	cfg, err := cli.ConfigByName(*configName)
@@ -75,8 +78,18 @@ func main() {
 		}
 	}
 
+	if *fuel > 0 {
+		sys.SetBudget(selfgo.Budget{MaxInstrs: *fuel})
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	if *workers > 0 {
-		if err := runWorkers(sys, *workers, sel, args, *stats); err != nil {
+		if err := runWorkers(ctx, sys, *workers, sel, args, *stats); err != nil {
 			fatal(err)
 		}
 		return
@@ -84,9 +97,9 @@ func main() {
 
 	var res *selfgo.Result
 	if *expr != "" {
-		res, err = sys.Eval(*expr)
+		res, err = sys.EvalCtx(ctx, *expr)
 	} else {
-		res, err = sys.Call(sel, args...)
+		res, err = sys.CallCtx(ctx, sel, args...)
 	}
 	if err != nil {
 		fatal(err)
@@ -98,8 +111,12 @@ func main() {
 			res.Run.Cycles, res.Run.Instrs, res.Run.Sends, res.Run.ICHits, res.Run.ICMisses, res.Run.Calls)
 		fmt.Printf("typeTests=%d ovflChecks=%d boundsChecks=%d blockValues=%d allocs=%d maxDepth=%d\n",
 			res.Run.TypeTests, res.Run.OvflChecks, res.Run.BoundsChecks, res.Run.BlockValues, res.Run.Allocs, res.Run.MaxDepth)
-		fmt.Printf("compiled %d methods, %d code bytes, in %v\n",
+		fmt.Printf("compiled %d methods, %d code bytes, in %v",
 			res.Compile.Methods, res.Compile.CodeBytes, res.CompileTime.Round(time.Microsecond))
+		if res.Compile.Degraded > 0 {
+			fmt.Printf(" (%d degraded)", res.Compile.Degraded)
+		}
+		fmt.Println()
 	}
 }
 
@@ -107,7 +124,7 @@ func main() {
 // code cache, checks that every worker computes the same value, and
 // prints it once along with the shared cache's counters. The caller's
 // source files must not mutate lobby-level state when run.
-func runWorkers(root *selfgo.System, n int, sel string, args []selfgo.Value, stats bool) error {
+func runWorkers(ctx context.Context, root *selfgo.System, n int, sel string, args []selfgo.Value, stats bool) error {
 	systems := make([]*selfgo.System, n)
 	systems[0] = root
 	for i := 1; i < n; i++ {
@@ -125,7 +142,7 @@ func runWorkers(root *selfgo.System, n int, sel string, args []selfgo.Value, sta
 		go func() {
 			defer wg.Done()
 			<-start
-			results[i], errs[i] = systems[i].Call(sel, args...)
+			results[i], errs[i] = systems[i].CallCtx(ctx, sel, args...)
 		}()
 	}
 	t0 := time.Now()

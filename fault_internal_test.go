@@ -1,0 +1,95 @@
+package selfgo
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestCompileFallbackDegrades: when the optimizing compiler faults
+// (error or panic) on a method, the VM retries it under the degraded
+// configuration, the call still succeeds, and the degradation is
+// counted in CompileRecord.Degraded.
+func TestCompileFallbackDegrades(t *testing.T) {
+	for _, fault := range []struct {
+		name string
+		f    func(sel string, degraded bool) error
+	}{
+		{"error", func(sel string, degraded bool) error {
+			if sel == "triangle:" && !degraded {
+				return errors.New("injected optimizer fault")
+			}
+			return nil
+		}},
+		{"panic", func(sel string, degraded bool) error {
+			if sel == "triangle:" && !degraded {
+				panic("injected optimizer panic")
+			}
+			return nil
+		}},
+	} {
+		t.Run(fault.name, func(t *testing.T) {
+			compileFault = fault.f
+			defer func() { compileFault = nil }()
+
+			sys, err := NewSystem(NewSELF)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src := `triangle: n = ( |s <- 0| 1 upTo: n Do: [ :i | s: s + i ]. s ).`
+			if err := sys.LoadSource(src); err != nil {
+				t.Fatal(err)
+			}
+			res, err := sys.Call("triangle:", IntValue(100))
+			if err != nil {
+				t.Fatalf("call failed despite degraded fallback: %v", err)
+			}
+			// upTo:Do: excludes the bound: 1+...+99.
+			if res.Value.I != 4950 {
+				t.Fatalf("triangle: 100 = %d, want 4950", res.Value.I)
+			}
+			if res.Compile.Degraded != 1 {
+				t.Fatalf("Degraded = %d, want 1", res.Compile.Degraded)
+			}
+			found := false
+			for _, e := range sys.CompileLog() {
+				if strings.Contains(e.Name, "triangle:") {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatal("degraded compile left no log entry")
+			}
+		})
+	}
+}
+
+// TestCompileFallbackBothFail: when the degraded tier fails too, the
+// original error surfaces, annotated with the retry failure.
+func TestCompileFallbackBothFail(t *testing.T) {
+	compileFault = func(sel string, degraded bool) error {
+		if sel == "doomed" {
+			return errors.New("injected fault in every tier")
+		}
+		return nil
+	}
+	defer func() { compileFault = nil }()
+
+	sys, err := NewSystem(NewSELF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.LoadSource(`doomed = ( 1 + 2 ).`); err != nil {
+		t.Fatal(err)
+	}
+	_, err = sys.Call("doomed")
+	if err == nil {
+		t.Fatal("both tiers failing still produced code")
+	}
+	if !strings.Contains(err.Error(), "degraded retry also failed") {
+		t.Fatalf("error %q does not mention the failed degraded retry", err)
+	}
+	if !strings.Contains(err.Error(), "injected fault in every tier") {
+		t.Fatalf("error %q lost the original failure", err)
+	}
+}

@@ -1,0 +1,153 @@
+package selfgo_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"selfgo"
+)
+
+// TestBudgetOutOfFuel: an infinite loop under an instruction budget
+// terminates with KindOutOfFuel instead of hanging the host.
+func TestBudgetOutOfFuel(t *testing.T) {
+	sys, err := selfgo.NewSystem(selfgo.NewSELF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.LoadSource(`spin = ( [ true ] whileTrue: [ ]. 0 ).`); err != nil {
+		t.Fatal(err)
+	}
+	sys.SetBudget(selfgo.Budget{MaxInstrs: 1_000_000})
+	done := make(chan error, 1)
+	go func() {
+		_, err := sys.Call("spin")
+		done <- err
+	}()
+	select {
+	case err = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("budgeted infinite loop did not terminate")
+	}
+	if err == nil {
+		t.Fatal("infinite loop returned no error")
+	}
+	if k, ok := selfgo.ErrorKind(err); !ok || k != selfgo.KindOutOfFuel {
+		t.Fatalf("kind = %v (ok=%v), want KindOutOfFuel; err: %v", k, ok, err)
+	}
+
+	// The same system with the budget cleared still runs fine.
+	sys.SetBudget(selfgo.Budget{})
+	res, err := sys.Eval(`3 + 4`)
+	if err != nil || res.Value.I != 7 {
+		t.Fatalf("post-fuel-exhaustion eval = (%v, %v), want 7", res, err)
+	}
+}
+
+// TestBudgetMaxAllocs: a loop that allocates every iteration exhausts
+// an allocation budget.
+func TestBudgetMaxAllocs(t *testing.T) {
+	sys, err := selfgo.NewSystem(selfgo.NewSELF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.LoadSource(`churn = ( [ true ] whileTrue: [ _NewVec: 8 ]. 0 ).`); err != nil {
+		t.Fatal(err)
+	}
+	sys.SetBudget(selfgo.Budget{MaxAllocs: 10_000})
+	_, err = sys.Call("churn")
+	if k, ok := selfgo.ErrorKind(err); !ok || k != selfgo.KindOutOfFuel {
+		t.Fatalf("kind = %v (ok=%v), want KindOutOfFuel; err: %v", k, ok, err)
+	}
+}
+
+// TestContextCancelled: cancelling the context aborts a long run
+// promptly with KindCancelled.
+func TestContextCancelled(t *testing.T) {
+	sys, err := selfgo.NewSystem(selfgo.NewSELF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// upTo:Do: excludes the upper bound; the bound only needs to be big
+	// enough that the loop runs for seconds if never cancelled.
+	if err := sys.LoadSource(`long = ( |s <- 0| 1 upTo: 500000000 Do: [ :i | s: s + 1 ]. s ).`); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	t0 := time.Now()
+	_, err = sys.CallCtx(ctx, "long")
+	elapsed := time.Since(t0)
+	if k, ok := selfgo.ErrorKind(err); !ok || k != selfgo.KindCancelled {
+		t.Fatalf("kind = %v (ok=%v), want KindCancelled; err: %v", k, ok, err)
+	}
+	// "Promptly": polling every 1024 instructions, abort should land
+	// well under the multi-second runtime of the full loop.
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+}
+
+// TestBudgetMaxDepth: a tighter-than-VM depth budget converts deep
+// recursion into KindStackOverflow sooner.
+func TestBudgetMaxDepth(t *testing.T) {
+	sys, err := selfgo.NewSystem(selfgo.ST80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.LoadSource(`down: n = ( (n = 0) ifTrue: [ 0 ] False: [ down: n - 1 ] ).`); err != nil {
+		t.Fatal(err)
+	}
+	sys.SetBudget(selfgo.Budget{MaxDepth: 50})
+	_, err = sys.Call("down:", selfgo.IntValue(100000))
+	if k, ok := selfgo.ErrorKind(err); !ok || k != selfgo.KindStackOverflow {
+		t.Fatalf("kind = %v (ok=%v), want KindStackOverflow; err: %v", k, ok, err)
+	}
+	// Within budget, the same call succeeds.
+	res, err := sys.Call("down:", selfgo.IntValue(10))
+	if err != nil || res.Value.I != 0 {
+		t.Fatalf("down: 10 = (%v, %v), want 0", res, err)
+	}
+}
+
+// TestErrorKindDNU: a doesNotUnderstand classifies as
+// KindDoesNotUnderstand and carries a Self-level backtrace through the
+// calling frames.
+func TestErrorKindDNU(t *testing.T) {
+	// ST80 keeps user sends out-of-line, so the failing send sits under
+	// real activation frames and the trace has depth.
+	sys, err := selfgo.NewSystem(selfgo.ST80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := `
+outer = ( middle ).
+middle = ( inner ).
+inner = ( 3 zorkify ).
+`
+	if err := sys.LoadSource(src); err != nil {
+		t.Fatal(err)
+	}
+	_, err = sys.Call("outer")
+	if k, ok := selfgo.ErrorKind(err); !ok || k != selfgo.KindDoesNotUnderstand {
+		t.Fatalf("kind = %v (ok=%v), want KindDoesNotUnderstand; err: %v", k, ok, err)
+	}
+	var re *selfgo.RuntimeError
+	if !errors.As(err, &re) {
+		t.Fatalf("error %T is not a RuntimeError", err)
+	}
+	if len(re.Trace) < 3 {
+		t.Fatalf("trace has %d frames, want >= 3: %q", len(re.Trace), re.Backtrace())
+	}
+	bt := re.Backtrace()
+	for _, name := range []string{"inner", "middle", "outer"} {
+		if !strings.Contains(bt, name) {
+			t.Fatalf("backtrace missing frame %q:\n%s", name, bt)
+		}
+	}
+}

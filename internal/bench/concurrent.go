@@ -1,12 +1,21 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
 
 	"selfgo"
 )
+
+// Limits bounds a concurrent measurement: a wall-clock timeout applied
+// to every worker's context, and a per-run Budget installed on every
+// worker VM. Zero fields are unlimited.
+type Limits struct {
+	Timeout time.Duration
+	Budget  selfgo.Budget
+}
 
 // ConcurrentMeasurement is one benchmark run on N worker VMs sharing a
 // single world and code cache.
@@ -46,6 +55,13 @@ func (m *ConcurrentMeasurement) CompileOnce() bool {
 // check value is verified against Expect (when known) and against the
 // other runs.
 func RunConcurrent(b Benchmark, cfg selfgo.Config, workers, reps int) (*ConcurrentMeasurement, error) {
+	return RunConcurrentLimits(b, cfg, workers, reps, Limits{})
+}
+
+// RunConcurrentLimits is RunConcurrent under Limits: runaway or hung
+// benchmark programs abort with an error (KindOutOfFuel, KindCancelled)
+// instead of wedging the measurement harness.
+func RunConcurrentLimits(b Benchmark, cfg selfgo.Config, workers, reps int, lim Limits) (*ConcurrentMeasurement, error) {
 	if !b.ParallelSafe {
 		return nil, fmt.Errorf("%s mutates lobby globals and cannot run on concurrent workers", b.Name)
 	}
@@ -59,12 +75,19 @@ func RunConcurrent(b Benchmark, cfg selfgo.Config, workers, reps int) (*Concurre
 	if err := root.LoadSource(b.Source); err != nil {
 		return nil, fmt.Errorf("%s: %w", b.Name, err)
 	}
+	root.SetBudget(lim.Budget)
 	systems := make([]*selfgo.System, workers)
 	systems[0] = root
 	for i := 1; i < workers; i++ {
 		if systems[i], err = root.Fork(); err != nil {
 			return nil, err
 		}
+	}
+	ctx := context.Background()
+	if lim.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, lim.Timeout)
+		defer cancel()
 	}
 
 	values := make([]int64, workers)
@@ -80,7 +103,7 @@ func RunConcurrent(b Benchmark, cfg selfgo.Config, workers, reps int) (*Concurre
 			defer wg.Done()
 			<-start
 			for r := 0; r < reps; r++ {
-				res, err := systems[i].Call(b.Entry)
+				res, err := systems[i].CallCtx(ctx, b.Entry)
 				if err != nil {
 					errs[i] = fmt.Errorf("worker %d rep %d: %w", i, r, err)
 					return

@@ -15,6 +15,9 @@
 package codecache
 
 import (
+	"errors"
+	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -128,8 +131,32 @@ type shard[V any] struct {
 	mu      sync.Mutex
 	entries map[Key]*entry[V]
 
+	// fails counts consecutive failed flights per key; at
+	// maxCompileFails the error entry stays resident (negative cache)
+	// so persistently-failing keys cannot start a retry storm. Cleared
+	// by a successful compile or by invalidation.
+	fails map[Key]int
+
 	hits, misses, waits, evicted int64
 }
+
+// maxCompileFails bounds retry storms: after this many consecutive
+// failed flights for one key, the error itself is cached and later
+// Gets return it without re-running the compiler, until the key is
+// invalidated or the cache flushed.
+const maxCompileFails = 3
+
+// PanicError is delivered to every caller of a flight whose compile
+// callback panicked: the panic is contained inside Get (the flight's
+// entry is always completed, so waiters never deadlock) and surfaces
+// as an error instead of crashing the process. Stack holds the Go
+// stack captured at the panic.
+type PanicError struct {
+	Val   any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string { return fmt.Sprintf("compile panicked: %v", e.Val) }
 
 // Cache is the sharded single-flight code cache. V is the compiled
 // representation (the VM instantiates it with *vm.Code; keeping it a
@@ -154,6 +181,7 @@ func New[V any]() *Cache[V] {
 	c := &Cache[V]{}
 	for i := range c.shards {
 		c.shards[i].entries = map[Key]*entry[V]{}
+		c.shards[i].fails = map[Key]int{}
 	}
 	return c
 }
@@ -162,8 +190,14 @@ func New[V any]() *Cache[V] {
 // the first requester runs compile outside the shard lock while
 // concurrent requesters for the same key block on its result. A failed
 // compile is not cached — the error is delivered to every goroutine of
-// that flight, and a later Get retries.
-func (c *Cache[V]) Get(k Key, compile func() (V, error)) (V, Outcome, error) {
+// that flight, and a later Get retries — until maxCompileFails
+// consecutive failures, after which the error entry stays resident and
+// later Gets return it without recompiling (bounded retry storms).
+//
+// Get never lets a panicking compile escape: the flight's entry is
+// completed (and e.done closed) on every path, so waiters cannot
+// deadlock, and the panic reaches every caller as a *PanicError.
+func (c *Cache[V]) Get(k Key, compile func() (V, error)) (v V, outcome Outcome, err error) {
 	s := &c.shards[k.shardIndex()]
 	s.mu.Lock()
 	if e, ok := s.entries[k]; ok {
@@ -184,18 +218,37 @@ func (c *Cache[V]) Get(k Key, compile func() (V, error)) (V, Outcome, error) {
 	s.misses++
 	s.mu.Unlock()
 
-	v, err := compile()
-	if err != nil {
+	outcome = Compiled
+	completed := false
+	defer func() {
+		if r := recover(); r != nil {
+			var zero V
+			v, err = zero, &PanicError{Val: r, Stack: debug.Stack()}
+		} else if !completed && err == nil {
+			// compile unwound without returning or panicking
+			// (runtime.Goexit): still complete the flight.
+			err = errors.New("codecache: compile aborted before returning")
+		}
 		s.mu.Lock()
-		// Only remove our own entry: an invalidation may have removed
-		// it already, and a fresh flight may have taken the slot.
-		if s.entries[k] == e {
-			delete(s.entries, k)
+		if err != nil {
+			// Only touch our own entry: an invalidation may have
+			// removed it already, and a fresh flight may have taken
+			// the slot.
+			if s.entries[k] == e {
+				s.fails[k]++
+				if s.fails[k] < maxCompileFails {
+					delete(s.entries, k) // a later Get retries
+				}
+			}
+		} else {
+			delete(s.fails, k)
 		}
 		s.mu.Unlock()
-	}
-	e.val, e.err = v, err
-	close(e.done)
+		e.val, e.err = v, err
+		close(e.done)
+	}()
+	v, err = compile()
+	completed = true
 	return v, Compiled, err
 }
 
@@ -241,6 +294,13 @@ func (c *Cache[V]) InvalidateMap(m *obj.Map) int {
 				n++
 			}
 		}
+		// The reshaped map may fix what made a key fail: give it a
+		// fresh run of retries.
+		for k := range s.fails {
+			if k.RMap == m || (k.Meth != nil && k.Meth.Holder == m) {
+				delete(s.fails, k)
+			}
+		}
 		s.mu.Unlock()
 	}
 	if n > 0 {
@@ -261,6 +321,7 @@ func (c *Cache[V]) Flush() int {
 			s.evicted++
 			n++
 		}
+		clear(s.fails)
 		s.mu.Unlock()
 	}
 	if n > 0 {

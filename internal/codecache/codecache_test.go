@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"selfgo/internal/obj"
 )
@@ -223,5 +224,103 @@ func TestFlush(t *testing.T) {
 	st := c.Stats()
 	if st.Entries != 0 || st.Evicted != 5 {
 		t.Fatalf("stats after flush = %+v", st)
+	}
+}
+
+// TestPanickingCompileNoDeadlock is the regression test for the flight
+// finalization bug: a panicking compile() used to leave e.done open
+// forever, deadlocking every waiter of that flight and every later Get
+// for the key. Eight goroutines request the same key while the compile
+// panics; all must return (with errors), promptly.
+func TestPanickingCompileNoDeadlock(t *testing.T) {
+	w := obj.NewWorld()
+	c := New[int]()
+	k := methKey(w, "boom", w.IntMap)
+
+	const n = 8
+	var invoked atomic.Int32
+	gate := make(chan struct{})
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-gate
+			_, _, errs[i] = c.Get(k, func() (int, error) {
+				invoked.Add(1)
+				panic("compiler bug")
+			})
+		}()
+	}
+	close(gate)
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("deadlock: goroutines still blocked on a panicked flight")
+	}
+
+	for i, err := range errs {
+		if err == nil {
+			t.Fatalf("goroutine %d got nil error from a panicked compile", i)
+		}
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("goroutine %d: error %v is not a *PanicError", i, err)
+		}
+		if len(pe.Stack) == 0 {
+			t.Fatalf("goroutine %d: PanicError carries no Go stack", i)
+		}
+	}
+	// Losers of the flight wait on the winner's result; goroutines
+	// arriving after a failed flight may retry, but never past the
+	// negative-cache bound.
+	if got := invoked.Load(); got < 1 || got > maxCompileFails {
+		t.Fatalf("compile invoked %d times, want between 1 and %d", got, maxCompileFails)
+	}
+}
+
+// TestNegativeCacheBoundsRetries: after maxCompileFails consecutive
+// failed flights, the error entry stays resident — later Gets return
+// the cached error without re-running the compiler — until the key is
+// invalidated, which clears the negative cache and lets a fixed
+// compiler succeed.
+func TestNegativeCacheBoundsRetries(t *testing.T) {
+	w := obj.NewWorld()
+	c := New[int]()
+	k := methKey(w, "persistentlyBroken", w.IntMap)
+	failErr := errors.New("bad method")
+
+	calls := 0
+	for i := 0; i < maxCompileFails; i++ {
+		_, out, err := c.Get(k, func() (int, error) { calls++; return 0, failErr })
+		if err != failErr || out != Compiled {
+			t.Fatalf("attempt %d: got (%v, %v), want (Compiled, failErr)", i, out, err)
+		}
+	}
+	if calls != maxCompileFails {
+		t.Fatalf("compile ran %d times, want %d", calls, maxCompileFails)
+	}
+
+	// The next Get must hit the resident error entry without compiling.
+	_, out, err := c.Get(k, func() (int, error) { calls++; return 42, nil })
+	if calls != maxCompileFails {
+		t.Fatalf("negative cache did not stop the retry: compile ran %d times", calls)
+	}
+	if err != failErr || out != Hit {
+		t.Fatalf("negative-cached Get = (%v, %v), want (Hit, failErr)", out, err)
+	}
+
+	// Invalidation clears both the entry and its failure count: the key
+	// gets a fresh run of retries and can now succeed.
+	if n := c.InvalidateMap(w.IntMap); n != 1 {
+		t.Fatalf("InvalidateMap removed %d entries, want 1", n)
+	}
+	v, out, err := c.Get(k, func() (int, error) { calls++; return 42, nil })
+	if err != nil || v != 42 || out != Compiled {
+		t.Fatalf("post-invalidation Get = (%d, %v, %v), want (42, Compiled, nil)", v, out, err)
 	}
 }

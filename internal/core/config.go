@@ -228,6 +228,37 @@ var (
 	}
 )
 
+// Degraded is the fallback tier used when an optimizing compilation
+// fails or panics: splitting, method inlining, type and range
+// analysis, multi-version loops, comparison facts and the
+// static-ideal check removal are switched off, landing on the simple,
+// well-exercised ST-80-shaped repertoire (robust inlined primitives,
+// special-selector prediction, pessimistic loops). Degraded code is
+// slower but carries every run-time check, so a bug in an optimization
+// pass degrades one method's code quality instead of failing the
+// request (the tier-fallback shape of basic-block-versioning JITs).
+// Customization is kept as-is: the cache key still carries the
+// receiver map, and compiling a customized key without exploiting the
+// map is sound, merely less specialized.
+func Degraded(c Config) Config {
+	c.Name = c.Name + " (degraded)"
+	c.TypeAnalysis = false
+	c.RangeAnalysis = false
+	c.InlineMethods = false
+	c.LocalSplitting = false
+	c.ExtendedSplitting = false
+	c.IterativeLoops = false
+	c.MultiVersionLoops = false
+	c.MaxLoopIterations = 1
+	c.MaxFlows = 2
+	c.InlineDepth = 1
+	c.InlineBudget = 0
+	c.StaticIdeal = false
+	c.ComparisonFacts = false
+	c.AnnotateTypes = false
+	return c
+}
+
 func withMultiLoop(c Config) Config {
 	c.MultiVersionLoops = true
 	return c

@@ -120,8 +120,13 @@ func (w *World) MapOf(v Value) *Map {
 }
 
 // NewVector returns a fresh vector of n elements, each initialized to
-// fill.
+// fill. A negative n yields an empty vector: callers on checked paths
+// reject negative sizes before getting here, and the unchecked path
+// must not be able to panic the Go runtime through make.
 func (w *World) NewVector(n int, fill Value) *Object {
+	if n < 0 {
+		n = 0
+	}
 	e := make([]Value, n)
 	for i := range e {
 		e[i] = fill

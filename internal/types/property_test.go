@@ -49,13 +49,17 @@ func TestQuickSubtractSound(t *testing.T) {
 			// Everything subtracted: b must cover a.
 			return rb.Lo <= ra.Lo && ra.Hi <= rb.Hi
 		}
+		// A Diff result is conservative: its base must stay within a,
+		// but its points may still overlap b (the subtraction is kept
+		// symbolic). Check before RangeOf — RangeOf sees through Diff
+		// to the base range, which would wrongly subject Diff results
+		// to the exclusion check below.
+		if d, isDiff := out.(Diff); isDiff {
+			rr, ok2 := RangeOf(d.Base)
+			return ok2 && rr.Lo >= ra.Lo && rr.Hi <= ra.Hi
+		}
 		ro, ok := RangeOf(out)
 		if !ok {
-			// A Diff type: conservative, still must be within a.
-			if d, isDiff := out.(Diff); isDiff {
-				rr, ok2 := RangeOf(d.Base)
-				return ok2 && rr.Lo >= ra.Lo && rr.Hi <= ra.Hi
-			}
 			return false
 		}
 		p := pointIn(ro, salt)

@@ -1,0 +1,325 @@
+package types
+
+import (
+	"testing"
+
+	"selfgo/internal/obj"
+)
+
+// Brute-force soundness checks for every transfer function in range.go:
+// enumerate small ranges (plus ranges hugging the small-integer bounds),
+// enumerate every concrete point pair, and verify that the abstract
+// result covers the concrete one. These complement the quick.Check
+// tests in property_test.go, which sample; here the small domain is
+// covered exhaustively, so a boundary off-by-one cannot hide.
+
+// testBounds are the range endpoints enumerated: a dense window around
+// zero plus the extremes of the small-integer class, where clamping and
+// overflow classification happen.
+var testBounds = []int64{
+	-4, -3, -2, -1, 0, 1, 2, 3, 4,
+	obj.MinSmallInt, obj.MinSmallInt + 1, obj.MinSmallInt + 2,
+	obj.MaxSmallInt - 2, obj.MaxSmallInt - 1, obj.MaxSmallInt,
+}
+
+// testRanges is every non-empty range over testBounds.
+func testRanges() []Range {
+	var rs []Range
+	for _, lo := range testBounds {
+		for _, hi := range testBounds {
+			if lo <= hi {
+				rs = append(rs, Range{Lo: lo, Hi: hi})
+			}
+		}
+	}
+	return rs
+}
+
+// points returns concrete sample values of r sufficient to witness
+// soundness violations at the extremes and (for huge ranges) in the
+// interior: both endpoints, their neighbors, and the values nearest
+// zero.
+func points(r Range) []int64 {
+	add := func(dst []int64, v int64) []int64 {
+		if v < r.Lo || v > r.Hi {
+			return dst
+		}
+		for _, x := range dst {
+			if x == v {
+				return dst
+			}
+		}
+		return append(dst, v)
+	}
+	var ps []int64
+	for _, v := range []int64{r.Lo, r.Lo + 1, r.Hi - 1, r.Hi, -1, 0, 1} {
+		ps = add(ps, v)
+	}
+	return ps
+}
+
+func inRange(v int64, r Range) bool { return r.Lo <= v && v <= r.Hi }
+
+func inSmallInt(v int64) bool { return obj.MinSmallInt <= v && v <= obj.MaxSmallInt }
+
+// checkBinop verifies one arithmetic transfer function against its
+// concrete operation: for every pair of test ranges and every concrete
+// point pair, an in-class concrete result must lie in z, and an
+// out-of-class concrete result is only legal when overflow was
+// reported.
+func checkBinop(t *testing.T, name string,
+	abstract func(x, y Range) (Range, bool),
+	concrete func(a, b int64) (int64, bool)) {
+	t.Helper()
+	rs := testRanges()
+	for _, x := range rs {
+		for _, y := range rs {
+			z, overflow := abstract(x, y)
+			for _, a := range points(x) {
+				for _, b := range points(y) {
+					c, ok := concrete(a, b)
+					if !ok {
+						continue // operation undefined (division by zero)
+					}
+					if inSmallInt(c) {
+						if !inRange(c, z) {
+							t.Fatalf("%s unsound: [%d,%d] op [%d,%d] -> [%d,%d], but %d op %d = %d escapes",
+								name, x.Lo, x.Hi, y.Lo, y.Hi, z.Lo, z.Hi, a, b, c)
+						}
+					} else if !overflow {
+						t.Fatalf("%s missed overflow: [%d,%d] op [%d,%d] reported none, but %d op %d = %d leaves the class",
+							name, x.Lo, x.Hi, y.Lo, y.Hi, a, b, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAddRangesSound(t *testing.T) {
+	checkBinop(t, "AddRanges", AddRanges,
+		func(a, b int64) (int64, bool) { return a + b, true })
+}
+
+func TestSubRangesSound(t *testing.T) {
+	checkBinop(t, "SubRanges", SubRanges,
+		func(a, b int64) (int64, bool) { return a - b, true })
+}
+
+func TestMulRangesSound(t *testing.T) {
+	checkBinop(t, "MulRanges", MulRanges,
+		func(a, b int64) (int64, bool) { return a * b, true })
+}
+
+func TestDivRangesSound(t *testing.T) {
+	divZeroSeen := false
+	rs := testRanges()
+	for _, x := range rs {
+		for _, y := range rs {
+			z, divZero := DivRanges(x, y)
+			if inRange(0, y) {
+				if !divZero {
+					t.Fatalf("DivRanges: divisor [%d,%d] includes 0 but divZero is false", y.Lo, y.Hi)
+				}
+				divZeroSeen = true
+			}
+			for _, a := range points(x) {
+				for _, b := range points(y) {
+					if b == 0 {
+						continue
+					}
+					c := a / b
+					if inSmallInt(c) && !inRange(c, z) {
+						t.Fatalf("DivRanges unsound: [%d,%d] / [%d,%d] -> [%d,%d], but %d / %d = %d escapes",
+							x.Lo, x.Hi, y.Lo, y.Hi, z.Lo, z.Hi, a, b, c)
+					}
+				}
+			}
+		}
+	}
+	if !divZeroSeen {
+		t.Fatal("test domain never exercised a zero-including divisor")
+	}
+}
+
+func TestModRangesSound(t *testing.T) {
+	rs := testRanges()
+	for _, x := range rs {
+		for _, y := range rs {
+			z, divZero := ModRanges(x, y)
+			if inRange(0, y) && !divZero {
+				t.Fatalf("ModRanges: divisor [%d,%d] includes 0 but divZero is false", y.Lo, y.Hi)
+			}
+			for _, a := range points(x) {
+				for _, b := range points(y) {
+					if b == 0 {
+						continue
+					}
+					c := a % b
+					if inSmallInt(c) && !inRange(c, z) {
+						t.Fatalf("ModRanges unsound: [%d,%d] %% [%d,%d] -> [%d,%d], but %d %% %d = %d escapes",
+							x.Lo, x.Hi, y.Lo, y.Hi, z.Lo, z.Hi, a, b, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBitRangesSound(t *testing.T) {
+	rs := testRanges()
+	ops := []func(a, b int64) int64{
+		func(a, b int64) int64 { return a & b },
+		func(a, b int64) int64 { return a | b },
+		func(a, b int64) int64 { return a ^ b },
+	}
+	for _, x := range rs {
+		for _, y := range rs {
+			z, overflow := BitRanges(x, y)
+			if overflow {
+				continue // conservative full-range answer, nothing to check
+			}
+			for _, a := range points(x) {
+				for _, b := range points(y) {
+					for oi, op := range ops {
+						c := op(a, b)
+						if !inRange(c, z) {
+							t.Fatalf("BitRanges unsound (op %d): [%d,%d] . [%d,%d] -> [%d,%d] without overflow, but %d . %d = %d escapes",
+								oi, x.Lo, x.Hi, y.Lo, y.Hi, z.Lo, z.Hi, a, b, c)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// checkCmp verifies a comparison fold: AlwaysTrue means every concrete
+// pair satisfies the predicate, AlwaysFalse means none does.
+func checkCmp(t *testing.T, name string, fold func(x, y Range) Tri, pred func(a, b int64) bool) {
+	t.Helper()
+	rs := testRanges()
+	for _, x := range rs {
+		for _, y := range rs {
+			tri := fold(x, y)
+			if tri == MaybeTrue {
+				continue
+			}
+			for _, a := range points(x) {
+				for _, b := range points(y) {
+					got := pred(a, b)
+					if tri == AlwaysTrue && !got {
+						t.Fatalf("%s unsound: [%d,%d] vs [%d,%d] folded true, but %d vs %d is false",
+							name, x.Lo, x.Hi, y.Lo, y.Hi, a, b)
+					}
+					if tri == AlwaysFalse && got {
+						t.Fatalf("%s unsound: [%d,%d] vs [%d,%d] folded false, but %d vs %d is true",
+							name, x.Lo, x.Hi, y.Lo, y.Hi, a, b)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCmpLTSound(t *testing.T) {
+	checkCmp(t, "CmpLT", CmpLT, func(a, b int64) bool { return a < b })
+}
+
+func TestCmpLESound(t *testing.T) {
+	checkCmp(t, "CmpLE", CmpLE, func(a, b int64) bool { return a <= b })
+}
+
+func TestCmpEQSound(t *testing.T) {
+	checkCmp(t, "CmpEQ", CmpEQ, func(a, b int64) bool { return a == b })
+}
+
+// TestRefineLTSound / LE: every concrete pair taking a branch must lie
+// in that branch's refined ranges (the refinement may narrow, never
+// exclude a live value).
+func TestRefineLTSound(t *testing.T) {
+	rs := testRanges()
+	for _, x := range rs {
+		for _, y := range rs {
+			tx, ty, fx, fy := RefineLT(x, y)
+			for _, a := range points(x) {
+				for _, b := range points(y) {
+					if a < b {
+						if !inRange(a, tx) || !inRange(b, ty) {
+							t.Fatalf("RefineLT true-branch unsound: %d < %d but refined to x∈[%d,%d] y∈[%d,%d]",
+								a, b, tx.Lo, tx.Hi, ty.Lo, ty.Hi)
+						}
+					} else {
+						if !inRange(a, fx) || !inRange(b, fy) {
+							t.Fatalf("RefineLT false-branch unsound: %d >= %d but refined to x∈[%d,%d] y∈[%d,%d]",
+								a, b, fx.Lo, fx.Hi, fy.Lo, fy.Hi)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRefineLESound(t *testing.T) {
+	rs := testRanges()
+	for _, x := range rs {
+		for _, y := range rs {
+			tx, ty, fx, fy := RefineLE(x, y)
+			for _, a := range points(x) {
+				for _, b := range points(y) {
+					if a <= b {
+						if !inRange(a, tx) || !inRange(b, ty) {
+							t.Fatalf("RefineLE true-branch unsound: %d <= %d but refined to x∈[%d,%d] y∈[%d,%d]",
+								a, b, tx.Lo, tx.Hi, ty.Lo, ty.Hi)
+						}
+					} else {
+						if !inRange(a, fx) || !inRange(b, fy) {
+							t.Fatalf("RefineLE false-branch unsound: %d > %d but refined to x∈[%d,%d] y∈[%d,%d]",
+								a, b, fx.Lo, fx.Hi, fy.Lo, fy.Hi)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRefineEQSound(t *testing.T) {
+	rs := testRanges()
+	for _, x := range rs {
+		for _, y := range rs {
+			tx, ty := RefineEQ(x, y)
+			for _, a := range points(x) {
+				for _, b := range points(y) {
+					if a == b {
+						if !inRange(a, tx) || !inRange(b, ty) {
+							t.Fatalf("RefineEQ unsound: %d = %d but refined to x∈[%d,%d] y∈[%d,%d]",
+								a, b, tx.Lo, tx.Hi, ty.Lo, ty.Hi)
+						}
+					}
+				}
+			}
+			// The equal branch must also be the intersection: no value
+			// outside either input range may appear.
+			if !tx.Empty() && (tx.Lo < max64(x.Lo, y.Lo) || tx.Hi > min64(x.Hi, y.Hi)) {
+				t.Fatalf("RefineEQ too wide: [%d,%d] = [%d,%d] refined to [%d,%d]",
+					x.Lo, x.Hi, y.Lo, y.Hi, tx.Lo, tx.Hi)
+			}
+		}
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,98 @@
+package vm
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime/debug"
+
+	"selfgo/internal/obj"
+)
+
+// Budget bounds one execution (one RunMethod/RunMethodCtx call). Zero
+// fields are unlimited. Instruction and allocation budgets are checked
+// cooperatively every budgetPollInterval instructions; MaxDepth is
+// checked at every activation. The checks consume no modelled cycles,
+// so the §6.1 cost model is unchanged whether or not a budget is set.
+type Budget struct {
+	// MaxInstrs bounds executed instructions; exceeding it returns a
+	// KindOutOfFuel error.
+	MaxInstrs int64
+	// MaxDepth bounds activation depth (tighter than the VM's own
+	// limit); exceeding it returns a KindStackOverflow error.
+	MaxDepth int
+	// MaxAllocs bounds allocation operations (vectors, clones,
+	// closures); exceeding it returns a KindOutOfFuel error.
+	MaxAllocs int64
+}
+
+// budgetPollInterval is how many instructions run between cooperative
+// budget/cancellation checks. Small enough that a cancelled context or
+// exhausted budget is noticed promptly, large enough that the poll is
+// noise against the interpreter loop.
+const budgetPollInterval = 1024
+
+// RunMethodCtx executes meth like RunMethod, honoring ctx cancellation
+// and deadline (checked cooperatively alongside the VM's Budget): a
+// cancelled context surfaces as a KindCancelled RuntimeError.
+func (vm *VM) RunMethodCtx(ctx context.Context, meth *obj.Method, recv obj.Value, args ...obj.Value) (obj.Value, error) {
+	return vm.runMethod(ctx, meth, recv, args)
+}
+
+// startRun arms the cooperative poll for one execution: budgets are
+// per-run, so the fuel and allocation baselines snapshot the current
+// counters. Unbudgeted runs park the poll trigger at MaxInt64 — the
+// per-instruction cost is then a single always-false comparison.
+func (vm *VM) startRun(ctx context.Context) {
+	vm.ctx = ctx
+	vm.fuelStart = vm.Stats.Instrs
+	vm.allocStart = vm.Stats.Allocs
+	// context.Background() has a nil Done channel: such a context can
+	// never be cancelled, so it does not force polling on.
+	if (ctx != nil && ctx.Done() != nil) || vm.Budget != (Budget{}) {
+		vm.pollAt = vm.Stats.Instrs + budgetPollInterval
+	} else {
+		vm.pollAt = math.MaxInt64
+	}
+}
+
+// poll is the cooperative budget and cancellation check.
+func (vm *VM) poll(st *RunStats) error {
+	vm.pollAt = st.Instrs + budgetPollInterval
+	b := &vm.Budget
+	if b.MaxInstrs > 0 && st.Instrs-vm.fuelStart > b.MaxInstrs {
+		return &RuntimeError{Kind: KindOutOfFuel,
+			Msg: fmt.Sprintf("out of fuel: instruction budget %d exhausted", b.MaxInstrs)}
+	}
+	if b.MaxAllocs > 0 && st.Allocs-vm.allocStart > b.MaxAllocs {
+		return &RuntimeError{Kind: KindOutOfFuel,
+			Msg: fmt.Sprintf("out of fuel: allocation budget %d exhausted", b.MaxAllocs)}
+	}
+	if vm.ctx != nil {
+		if cerr := vm.ctx.Err(); cerr != nil {
+			return &RuntimeError{Kind: KindCancelled, Msg: "cancelled: " + cerr.Error()}
+		}
+	}
+	return nil
+}
+
+// depthLimit is the effective activation-depth bound for this run.
+func (vm *VM) depthLimit() int {
+	if b := vm.Budget.MaxDepth; b > 0 && b < maxDepth {
+		return b
+	}
+	return maxDepth
+}
+
+// containPanic converts a Go panic that reached the public RunMethod
+// boundary into an error: no guest program or VM/compiler bug may crash
+// the host process. Non-local-return payloads that escape every frame
+// are VM invariant violations and classify as internal too.
+func containPanic(r any) error {
+	if n, ok := r.(nlr); ok {
+		return &RuntimeError{Kind: KindInternal,
+			Msg: fmt.Sprintf("non-local return escaped all frames (value %s)", n.val)}
+	}
+	return &RuntimeError{Kind: KindInternal,
+		Msg: fmt.Sprintf("internal VM panic: %v", r), GoStack: debug.Stack()}
+}

@@ -1,8 +1,11 @@
 package vm
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 
@@ -45,6 +48,11 @@ type CompileRecord struct {
 	Methods   int
 	CodeBytes int
 
+	// Degraded counts compilations that succeeded only under the
+	// degraded fallback configuration after the optimizing compiler
+	// failed or panicked (see core.Degraded).
+	Degraded int
+
 	// Shared-cache outcomes observed by this VM; all zero when the VM
 	// runs against its private per-VM cache.
 	CacheHits   int64 // code found already compiled in the shared cache
@@ -77,6 +85,10 @@ type VM struct {
 	// PICs enables polymorphic inline caches (up to picEntries maps
 	// per send site).
 	PICs bool
+
+	// Budget bounds each execution (zero fields are unlimited); see
+	// Budget. RunMethodCtx additionally honors context cancellation.
+	Budget Budget
 
 	// Shared, when non-nil, replaces the private per-VM code caches
 	// with a process-wide sharded single-flight cache: compiled Code is
@@ -114,6 +126,15 @@ type VM struct {
 	sharedGen int64
 
 	depth int
+
+	// Cooperative budget state for the current run (see budget.go):
+	// ctx is the cancellation context (nil when none), pollAt the
+	// Instrs count at which the next poll fires, fuelStart/allocStart
+	// the counters at run entry (budgets are per-run).
+	ctx        context.Context
+	pollAt     int64
+	fuelStart  int64
+	allocStart int64
 }
 
 type methodKey struct {
@@ -145,13 +166,10 @@ type nlr struct {
 	val obj.Value
 }
 
-// RuntimeError is a SELF-level error (primitive failure with no
-// handler, message not understood, etc.).
-type RuntimeError struct{ Msg string }
-
-func (e *RuntimeError) Error() string { return "runtime error: " + e.Msg }
-
 func (vm *VM) init() {
+	if vm.pollAt == 0 {
+		vm.pollAt = math.MaxInt64
+	}
 	if vm.methodCache == nil {
 		vm.methodCache = map[methodKey]*Code{}
 	}
@@ -257,10 +275,16 @@ func (vm *VM) checkSharedGen() {
 // sharedGet routes a compilation through the shared cache, folding the
 // single-flight outcome into this VM's compile record: only the flight
 // winner charges Methods/CodeBytes, so summing records across VMs still
-// counts each compilation exactly once.
+// counts each compilation exactly once. A compile callback that
+// panicked inside the flight surfaces to every caller as a
+// KindInternal RuntimeError with the Go stack attached.
 func (vm *VM) sharedGet(key codecache.Key, compile func() (*Code, error)) (*Code, error) {
 	c, outcome, err := vm.Shared.Get(key, compile)
 	if err != nil {
+		var pe *codecache.PanicError
+		if errors.As(err, &pe) {
+			return nil, &RuntimeError{Kind: KindInternal, Msg: pe.Error(), GoStack: pe.Stack}
+		}
 		return nil, err
 	}
 	switch outcome {
@@ -295,7 +319,30 @@ const maxDepth = 100000
 
 // RunMethod executes meth with the given receiver and arguments.
 func (vm *VM) RunMethod(meth *obj.Method, recv obj.Value, args ...obj.Value) (obj.Value, error) {
+	return vm.runMethod(nil, meth, recv, args)
+}
+
+// runMethod is the public execution boundary shared by RunMethod and
+// RunMethodCtx: it validates arity, arms the cooperative budget poll,
+// and contains any Go panic that escapes the interpreter or an
+// on-demand compilation — a misbehaving guest program or a compiler
+// bug degrades this call, never the process.
+func (vm *VM) runMethod(ctx context.Context, meth *obj.Method, recv obj.Value, args []obj.Value) (val obj.Value, err error) {
 	vm.init()
+	if meth.Ast != nil {
+		if want := len(meth.Ast.Params); len(args) != want {
+			return obj.Nil(), &RuntimeError{Kind: KindError,
+				Msg: fmt.Sprintf("%s takes %d argument(s), got %d", meth, want, len(args))}
+		}
+	}
+	vm.startRun(ctx)
+	defer func() {
+		vm.ctx = nil
+		vm.pollAt = math.MaxInt64
+		if r := recover(); r != nil {
+			val, err = obj.Nil(), containPanic(r)
+		}
+	}()
 	code, err := vm.CodeFor(meth, vm.World.MapOf(recv))
 	if err != nil {
 		return obj.Nil(), err
@@ -309,9 +356,9 @@ func (vm *VM) invoke(code *Code, recv obj.Value, args []obj.Value, up map[string
 	if vm.depth > vm.Stats.MaxDepth {
 		vm.Stats.MaxDepth = vm.depth
 	}
-	if vm.depth > maxDepth {
+	if vm.depth > vm.depthLimit() {
 		vm.depth--
-		return obj.Nil(), &RuntimeError{Msg: "stack overflow"}
+		return obj.Nil(), &RuntimeError{Kind: KindStackOverflow, Msg: "stack overflow"}
 	}
 	fr := &frame{regs: make([]obj.Value, code.NumRegs), up: up}
 	fr.home = homeRef{fr: fr, resume: -1}
@@ -369,7 +416,15 @@ func (vm *VM) execFrom(code *Code, fr *frame, startPC int) (val obj.Value, resum
 	return val, -1, err
 }
 
-func (vm *VM) run(code *Code, fr *frame, pc int) (obj.Value, error) {
+func (vm *VM) run(code *Code, fr *frame, pc int) (val obj.Value, err error) {
+	// As an error unwinds through the activations it grows a Self-level
+	// backtrace, one frame per run invocation; pc holds the faulting
+	// (or calling) instruction when the deferred append runs.
+	defer func() {
+		if err != nil {
+			pushFrame(err, code, pc)
+		}
+	}()
 	st := &vm.Stats
 	for pc >= 0 && pc < len(code.Instrs) {
 		in := &code.Instrs[pc]
@@ -377,6 +432,11 @@ func (vm *VM) run(code *Code, fr *frame, pc int) (obj.Value, error) {
 			fmt.Fprintf(vm.Trace, "%*s%s @%d: %s\n", vm.depth, "", code.Name, pc, in)
 		}
 		st.Instrs++
+		if st.Instrs >= vm.pollAt {
+			if perr := vm.poll(st); perr != nil {
+				return obj.Nil(), perr
+			}
+		}
 		st.Cycles += vm.InstrExtra
 		switch in.Op {
 		case opJmp:
@@ -428,6 +488,12 @@ func (vm *VM) run(code *Code, fr *frame, pc int) (obj.Value, error) {
 			fr.regs[in.Dst] = obj.Int(int64(len(o.Elems)))
 		case ir.NewVec:
 			n := fr.regs[in.A].I
+			if n < 0 {
+				// Reachable when the compiler's size guard was removed
+				// (StaticIdeal); without this check make([]Value, n)
+				// would panic the Go runtime.
+				return obj.Nil(), &RuntimeError{Msg: "negative vector size on unchecked path"}
+			}
 			st.Cycles += CostNewVecBase + n>>NewVecFillShift
 			st.Allocs++
 			fill := obj.Nil()
@@ -599,7 +665,17 @@ func (vm *VM) run(code *Code, fr *frame, pc int) (obj.Value, error) {
 			if in.A != ir.NoReg {
 				msg += ": " + fr.regs[in.A].String()
 			}
-			return obj.Nil(), &RuntimeError{Msg: fmt.Sprintf("%s (in %s)", msg, code.Name)}
+			// Classify by the failure the compiler baked in: statically
+			// unresolvable sends and the _Error primitive (which the
+			// prelude's primitiveFailed: routes through) carry kinds.
+			kind := KindError
+			switch {
+			case strings.HasPrefix(in.Sel, "doesNotUnderstand:"):
+				kind = KindDoesNotUnderstand
+			case strings.HasPrefix(in.Sel, "_Error"):
+				kind = KindPrimitiveFailed
+			}
+			return obj.Nil(), &RuntimeError{Kind: kind, Msg: fmt.Sprintf("%s (in %s)", msg, code.Name)}
 		case ir.Return:
 			st.Cycles += CostReturn
 			return fr.regs[in.A], nil
@@ -690,7 +766,8 @@ func (vm *VM) execSend(in *Instr, fr *frame, code *Code) (obj.Value, error) {
 		}
 		r := obj.Lookup(m, in.Sel)
 		if r == nil {
-			return obj.Nil(), &RuntimeError{Msg: fmt.Sprintf("%s does not understand %q", m.Name, in.Sel)}
+			return obj.Nil(), &RuntimeError{Kind: KindDoesNotUnderstand,
+				Msg: fmt.Sprintf("%s does not understand %q", m.Name, in.Sel)}
 		}
 		slot = r.Slot
 		holder = r.Holder
@@ -747,9 +824,9 @@ func (vm *VM) invokeClosure(cl *obj.Closure, args []obj.Value) (obj.Value, error
 	if vm.depth > vm.Stats.MaxDepth {
 		vm.Stats.MaxDepth = vm.depth
 	}
-	if vm.depth > maxDepth {
+	if vm.depth > vm.depthLimit() {
 		vm.depth--
-		return obj.Nil(), &RuntimeError{Msg: "stack overflow"}
+		return obj.Nil(), &RuntimeError{Kind: KindStackOverflow, Msg: "stack overflow"}
 	}
 	fr := &frame{regs: make([]obj.Value, code.NumRegs), up: cl.UpLocals}
 	fr.home, _ = cl.Home.(homeRef)
@@ -778,7 +855,8 @@ func (vm *VM) execPrim(in *Instr, fr *frame) (obj.Value, error) {
 				return vm.invokeClosure(fb.Blk, nil)
 			}
 		}
-		return obj.Nil(), &RuntimeError{Msg: fmt.Sprintf("primitive %s failed: %s", in.Sel, why)}
+		return obj.Nil(), &RuntimeError{Kind: KindPrimitiveFailed,
+			Msg: fmt.Sprintf("primitive %s failed: %s", in.Sel, why)}
 	}
 	wantInt := func(v obj.Value) bool { return v.K == obj.KInt }
 	switch in.Sel {

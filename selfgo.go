@@ -15,7 +15,10 @@
 package selfgo
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -51,7 +54,36 @@ type (
 	Code = vm.Code
 	// CacheStats is a snapshot of the shared code cache's counters.
 	CacheStats = codecache.Stats
+	// Budget bounds one execution (instructions, depth, allocations);
+	// zero fields are unlimited. See SetBudget and CallCtx.
+	Budget = vm.Budget
+	// RuntimeError is a guest-level error with a Kind classification
+	// and a captured Self-level backtrace.
+	RuntimeError = vm.RuntimeError
+	// ErrKind classifies a RuntimeError.
+	ErrKind = vm.ErrKind
 )
+
+// RuntimeError kinds, re-exported for hosts that route faults.
+const (
+	KindError             = vm.KindError
+	KindDoesNotUnderstand = vm.KindDoesNotUnderstand
+	KindStackOverflow     = vm.KindStackOverflow
+	KindOutOfFuel         = vm.KindOutOfFuel
+	KindCancelled         = vm.KindCancelled
+	KindPrimitiveFailed   = vm.KindPrimitiveFailed
+	KindInternal          = vm.KindInternal
+)
+
+// ErrorKind extracts the ErrKind classification from err, unwrapping
+// as needed; ok is false when err carries no RuntimeError.
+func ErrorKind(err error) (kind ErrKind, ok bool) {
+	var re *RuntimeError
+	if errors.As(err, &re) {
+		return re.Kind, true
+	}
+	return KindError, false
+}
 
 // Compiler generation presets, matching the systems measured in §6 of
 // the paper.
@@ -86,6 +118,9 @@ type System struct {
 	Cfg      Config
 	world    *obj.World
 	compiler *core.Compiler
+	// fallback is the degraded-tier compiler (core.Degraded) used when
+	// an optimizing compilation fails or panics.
+	fallback *core.Compiler
 	machine  *vm.VM
 
 	// shared is the process-wide code cache, nil for a private system.
@@ -163,6 +198,7 @@ func newSystem(cfg Config, shared *codecache.Cache[*vm.Code]) (*System, error) {
 	w := obj.NewWorld()
 	s := &System{Cfg: cfg, world: w, shared: shared, log: &compileLog{}}
 	s.compiler = core.New(w, cfg)
+	s.fallback = core.New(w, core.Degraded(cfg))
 	s.machine = s.newVM()
 	if shared != nil {
 		// Invalidate customizations when later loads reshape a map the
@@ -175,10 +211,37 @@ func newSystem(cfg Config, shared *codecache.Cache[*vm.Code]) (*System, error) {
 	return s, nil
 }
 
+// compileFault, when non-nil, runs before every method compilation and
+// may return an error or panic to simulate a compiler fault (degraded
+// reports which tier is asking). Test hook for the degraded-fallback
+// path; never set in production.
+var compileFault func(name string, degraded bool) error
+
+// safeCompile runs one compiler invocation with a panic backstop: a
+// panicking pass surfaces as a KindInternal error (with the Go stack
+// attached) instead of unwinding into the caller — or, under the
+// shared cache, into the single-flight Get.
+func safeCompile(f func() (*vm.Code, error)) (c *vm.Code, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &vm.RuntimeError{Kind: vm.KindInternal,
+				Msg: fmt.Sprintf("compiler panic: %v", r), GoStack: debug.Stack()}
+		}
+	}()
+	return f()
+}
+
 // newVM builds a VM wired to this system's world, compiler, shared
 // cache and compile log. The compile callbacks may run on any worker
 // goroutine (inside the cache's single flight), so they touch only the
-// stateless compiler and the locked log.
+// stateless compilers, the locked log, and the owning VM's own compile
+// record (the flight winner runs the callback on its own goroutine).
+//
+// Compilation is tiered: when the optimizing compiler fails or panics,
+// the method is retried once under the degraded configuration
+// (core.Degraded — splitting and inlining off, every check kept), and
+// the degradation is counted in CompileRecord.Degraded. Only when both
+// tiers fail does the error reach the runner.
 func (s *System) newVM() *vm.VM {
 	cfg := s.Cfg
 	m := &vm.VM{
@@ -190,23 +253,56 @@ func (s *System) newVM() *vm.VM {
 		PICs:         cfg.PolymorphicInlineCaches,
 		Shared:       s.shared,
 	}
+	methodWith := func(cc *core.Compiler, meth *obj.Method, rmap *obj.Map) (*vm.Code, error) {
+		return safeCompile(func() (*vm.Code, error) {
+			if compileFault != nil {
+				if err := compileFault(meth.Sel, cc == s.fallback); err != nil {
+					return nil, err
+				}
+			}
+			g, st, err := cc.CompileMethod(meth, rmap)
+			if err != nil {
+				return nil, fmt.Errorf("compiling %s: %w", meth, err)
+			}
+			c := vm.Assemble(g)
+			s.log.add(MethodCompile{Name: c.Name, Stats: *st, Bytes: c.Bytes})
+			return c, nil
+		})
+	}
+	blockWith := func(cc *core.Compiler, b *ast.Block, upNames []string) (*vm.Code, error) {
+		return safeCompile(func() (*vm.Code, error) {
+			g, st, err := cc.CompileBlock(b, upNames)
+			if err != nil {
+				return nil, fmt.Errorf("compiling block at %s: %w", b.P, err)
+			}
+			c := vm.Assemble(g)
+			c.IsBlock = true
+			s.log.add(MethodCompile{Name: c.Name, Stats: *st, Bytes: c.Bytes})
+			return c, nil
+		})
+	}
 	m.CompileMethod = func(meth *obj.Method, rmap *obj.Map) (*vm.Code, error) {
-		g, st, err := s.compiler.CompileMethod(meth, rmap)
-		if err != nil {
-			return nil, fmt.Errorf("compiling %s: %w", meth, err)
+		c, err := methodWith(s.compiler, meth, rmap)
+		if err == nil {
+			return c, nil
 		}
-		c := vm.Assemble(g)
-		s.log.add(MethodCompile{Name: c.Name, Stats: *st, Bytes: c.Bytes})
+		c, err2 := methodWith(s.fallback, meth, rmap)
+		if err2 != nil {
+			return nil, fmt.Errorf("%w (degraded retry also failed: %v)", err, err2)
+		}
+		m.Compile.Degraded++
 		return c, nil
 	}
 	m.CompileBlock = func(b *ast.Block, upNames []string) (*vm.Code, error) {
-		g, st, err := s.compiler.CompileBlock(b, upNames)
-		if err != nil {
-			return nil, fmt.Errorf("compiling block at %s: %w", b.P, err)
+		c, err := blockWith(s.compiler, b, upNames)
+		if err == nil {
+			return c, nil
 		}
-		c := vm.Assemble(g)
-		c.IsBlock = true
-		s.log.add(MethodCompile{Name: c.Name, Stats: *st, Bytes: c.Bytes})
+		c, err2 := blockWith(s.fallback, b, upNames)
+		if err2 != nil {
+			return nil, fmt.Errorf("%w (degraded retry also failed: %v)", err, err2)
+		}
+		m.Compile.Degraded++
 		return c, nil
 	}
 	return m
@@ -226,12 +322,21 @@ func (s *System) Fork() (*System, error) {
 		Cfg:      s.Cfg,
 		world:    s.world,
 		compiler: s.compiler,
+		fallback: s.fallback,
 		shared:   s.shared,
 		log:      s.log,
 	}
 	w.machine = w.newVM()
+	w.machine.Budget = s.machine.Budget
 	return w, nil
 }
+
+// SetBudget bounds every subsequent Call/Eval on this system (and on
+// workers forked afterwards). Zero fields are unlimited; the zero
+// Budget removes all limits. Exceeding a limit aborts the run with a
+// RuntimeError of KindOutOfFuel (instructions, allocations) or
+// KindStackOverflow (depth).
+func (s *System) SetBudget(b Budget) { s.machine.Budget = b }
 
 // CacheStats snapshots the shared code cache's summed counters; ok is
 // false for a private (non-shared) system.
@@ -271,6 +376,13 @@ func (s *System) LoadSource(src string) error {
 // execution. Statistics are reset per call; compiled code is reused
 // across calls (dynamic compilation warms up once).
 func (s *System) Call(selector string, args ...Value) (*Result, error) {
+	return s.CallCtx(context.Background(), selector, args...)
+}
+
+// CallCtx is Call honoring ctx: cancellation or deadline expiry aborts
+// the run promptly (at the next budget poll) with a RuntimeError of
+// KindCancelled. The system's Budget (SetBudget) applies as well.
+func (s *System) CallCtx(ctx context.Context, selector string, args ...Value) (*Result, error) {
 	r := obj.Lookup(s.world.Lobby.Map, selector)
 	if r == nil {
 		return nil, fmt.Errorf("lobby does not define %q", selector)
@@ -279,7 +391,7 @@ func (s *System) Call(selector string, args ...Value) (*Result, error) {
 		return nil, fmt.Errorf("lobby slot %q is not a method", selector)
 	}
 	s.machine.Stats = vm.RunStats{}
-	v, err := s.machine.RunMethod(r.Slot.Meth, obj.Obj(s.world.Lobby), args...)
+	v, err := s.machine.RunMethodCtx(ctx, r.Slot.Meth, obj.Obj(s.world.Lobby), args...)
 	if err != nil {
 		return nil, err
 	}
@@ -294,13 +406,18 @@ func (s *System) Call(selector string, args ...Value) (*Result, error) {
 // Eval compiles and runs an expression sequence in a scratch method on
 // the lobby: "|locals| statements".
 func (s *System) Eval(src string) (*Result, error) {
+	return s.EvalCtx(context.Background(), src)
+}
+
+// EvalCtx is Eval honoring ctx (see CallCtx).
+func (s *System) EvalCtx(ctx context.Context, src string) (*Result, error) {
 	m, err := parser.ParseMethodBody(src)
 	if err != nil {
 		return nil, err
 	}
 	meth := &obj.Method{Sel: "doIt", Ast: m, Holder: s.world.Lobby.Map}
 	s.machine.Stats = vm.RunStats{}
-	v, err := s.machine.RunMethod(meth, obj.Obj(s.world.Lobby))
+	v, err := s.machine.RunMethodCtx(ctx, meth, obj.Obj(s.world.Lobby))
 	if err != nil {
 		return nil, err
 	}
