@@ -137,6 +137,58 @@ func BenchmarkVMThroughput(b *testing.B) {
 	}
 }
 
+// benchHost runs one benchmark in steady state (warmed system) and
+// reports million guest (modelled) instructions retired per wall
+// second — the host-speed headline metric of BENCH_host.json.
+func benchHost(b *testing.B, cfg selfgo.Config, bm bench.Benchmark) {
+	sys, err := selfgo.NewSystem(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.LoadSource(bm.Source); err != nil {
+		b.Fatal(err)
+	}
+	warm, err := sys.Call(bm.Entry)
+	if err != nil {
+		b.Fatal(err) // warm the code cache and inline caches
+	}
+	if bm.HasExpect && warm.Value.I != bm.Expect {
+		b.Fatalf("%s: got %d, want %d", bm.Name, warm.Value.I, bm.Expect)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var instrs int64
+	for i := 0; i < b.N; i++ {
+		res, err := sys.Call(bm.Entry)
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs += res.Run.Instrs
+	}
+	if el := b.Elapsed().Seconds(); el > 0 {
+		b.ReportMetric(float64(instrs)/el/1e6, "Mginstrs/s")
+	}
+}
+
+// BenchmarkHost measures host wall-clock speed of every benchmark
+// under new SELF — the same measurement `selfbench -hostbench` records
+// into BENCH_host.json, here as sub-benchmarks for `go test -bench`.
+func BenchmarkHost(b *testing.B) {
+	for _, bm := range bench.All() {
+		bm := bm
+		b.Run(bm.Name, func(b *testing.B) { benchHost(b, selfgo.NewSELF, bm) })
+	}
+}
+
+// BenchmarkHostUnfused is the A/B partner of BenchmarkHost/richards:
+// the same program with superinstruction fusion disabled, so
+// `go test -bench='Host.*richards'` shows the fusion win directly.
+func BenchmarkHostUnfused(b *testing.B) {
+	cfg := selfgo.NewSELF
+	cfg.NoSuperinstructions = true
+	b.Run("richards", func(b *testing.B) { benchHost(b, cfg, bench.Richards()) })
+}
+
 // BenchmarkCompileTriangle measures one compilation of the §5.3
 // example under each configuration.
 func BenchmarkCompileTriangle(b *testing.B) {

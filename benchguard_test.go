@@ -39,6 +39,11 @@ func TestBenchmarkGuard(t *testing.T) {
 	r := bench.NewRunner()
 	for _, file := range files {
 		file := file
+		if filepath.Base(file) == "BENCH_host.json" {
+			// Wall-clock measurements, machine-dependent by nature —
+			// not a pin. ci.sh smoke-runs its rail instead.
+			continue
+		}
 		t.Run(filepath.Base(file), func(t *testing.T) {
 			data, err := os.ReadFile(file)
 			if err != nil {

@@ -24,6 +24,12 @@ go test $short ./...
 echo "== go test -race ./..."
 go test -race $short ./...
 
+# Host-bench smoke: every BenchmarkHost* sub-benchmark runs one
+# iteration, proving the wall-clock rail (warm-up, expect checks,
+# metric reporting) still works without paying for a real measurement.
+echo "== host-bench smoke"
+go test -run=NONE -bench=BenchmarkHost -benchtime=1x .
+
 # Fuzz smoke: a short budget per front-end fuzzer, enough to catch
 # easy regressions in the lexer and parser without stalling CI.
 # Trimmed from -short runs.

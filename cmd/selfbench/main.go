@@ -13,6 +13,7 @@
 //	selfbench -table guard             # §6.1 guard records (JSON) for BENCH_*.json
 //	selfbench -bench richards          # one benchmark across all systems
 //	selfbench -workers 8               # concurrent VMs against one shared code cache
+//	selfbench -hostbench               # host wall-clock speed (BENCH_host.json schema)
 //	selfbench -list                    # list benchmarks
 package main
 
@@ -21,6 +22,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"selfgo"
@@ -35,10 +38,28 @@ func main() {
 	quiet := flag.Bool("q", false, "suppress progress output")
 	workers := flag.Int("workers", 0, "run benchmarks on N concurrent VMs sharing one code cache")
 	reps := flag.Int("reps", 4, "with -workers: benchmark runs per worker")
-	configName := flag.String("config", "new", "with -workers: compiler config (new, new-multi, old89, old90, st80, c)")
+	configName := flag.String("config", "new", "compiler config (new, new-multi, old89, old90, st80, c); used by -workers and -hostbench")
 	timeout := flag.Duration("timeout", 0, "with -workers: wall-clock limit per benchmark measurement (e.g. 30s)")
 	fuel := flag.Int64("fuel", 0, "with -workers: instruction budget per benchmark run")
+	hostbench := flag.Bool("hostbench", false, "measure host wall-clock speed per benchmark and print BENCH_host.json to stdout")
+	hostbase := flag.String("hostbase", "", "with -hostbench: previous BENCH_host.json to carry as baseline and compute the geomean speedup against")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer writeMemProfile(*memprofile)
+	}
 
 	if *list {
 		for _, b := range bench.All() {
@@ -58,6 +79,17 @@ func main() {
 		}
 		lim := bench.Limits{Timeout: *timeout, Budget: selfgo.Budget{MaxInstrs: *fuel}}
 		if err := runWorkers(cfg, *workers, *reps, *one, lim); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *hostbench {
+		cfg, err := cli.ConfigByName(*configName)
+		if err != nil {
+			fatal(err)
+		}
+		if err := runHostBench(cfg, *one, *hostbase, *quiet); err != nil {
 			fatal(err)
 		}
 		return
@@ -173,6 +205,68 @@ func runWorkers(cfg selfgo.Config, workers, reps int, filter string, lim bench.L
 	}
 	fmt.Printf("\ncompile-once holds: every (method, receiver map) customization was compiled exactly once.\n")
 	return nil
+}
+
+// runHostBench measures host wall-clock speed (ns/op, guest-instrs/s,
+// Go allocs/op) for every benchmark — or just the one named by filter —
+// under cfg, and prints a BENCH_host.json document to stdout. With
+// basePath, the previous file's records ride along as the baseline and
+// the geomean guest-instrs/sec speedup against them is computed.
+func runHostBench(cfg selfgo.Config, filter, basePath string, quiet bool) error {
+	benches := bench.All()
+	if filter != "" {
+		b, ok := bench.ByName(filter)
+		if !ok {
+			return fmt.Errorf("unknown benchmark %q (try -list)", filter)
+		}
+		benches = []bench.Benchmark{b}
+	}
+	var progress func(r *bench.HostRecord)
+	if !quiet {
+		progress = func(r *bench.HostRecord) {
+			fmt.Fprintf(os.Stderr, "%-12s %-12s %12d ns/op %10.2f Mginstrs/s %6d allocs/op\n",
+				r.Bench, r.Config, r.NsPerOp, r.GuestMInstrsPerSec, r.AllocsPerOp)
+		}
+	}
+	recs, err := bench.HostBench(cfg, benches, progress)
+	if err != nil {
+		return err
+	}
+	out := bench.HostFile{
+		Note:    "host wall-clock speed; modelled quantities are pinned separately by BENCH_guard.json",
+		Records: recs,
+	}
+	if basePath != "" {
+		data, err := os.ReadFile(basePath)
+		if err != nil {
+			return err
+		}
+		var prev bench.HostFile
+		if err := json.Unmarshal(data, &prev); err != nil {
+			return fmt.Errorf("%s: %w", basePath, err)
+		}
+		out.Baseline = prev.Records
+		out.GeomeanSpeedup = bench.HostGeomeanSpeedup(prev.Records, recs)
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(data))
+	return nil
+}
+
+func writeMemProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "selfbench:", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "selfbench:", err)
+	}
 }
 
 func fatal(err error) {

@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -30,7 +32,23 @@ func main() {
 	workers := flag.Int("workers", 0, "run the selector on N concurrent VMs sharing one code cache")
 	timeout := flag.Duration("timeout", 0, "abort the run after this wall-clock duration (e.g. 5s)")
 	fuel := flag.Int64("fuel", 0, "abort the run after this many interpreted instructions")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer writeMemProfile(*memprofile)
+	}
 
 	cfg, err := cli.ConfigByName(*configName)
 	if err != nil {
@@ -168,6 +186,19 @@ func runWorkers(ctx context.Context, root *selfgo.System, n int, sel string, arg
 			n, elapsed.Round(time.Microsecond), st.Misses, st.Hits, st.Waits, st.Evicted, st.CompileOnce())
 	}
 	return nil
+}
+
+func writeMemProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "selfrun:", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "selfrun:", err)
+	}
 }
 
 func fatal(err error) {

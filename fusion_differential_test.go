@@ -1,0 +1,161 @@
+package selfgo_test
+
+import (
+	"errors"
+	"testing"
+
+	"selfgo"
+	"selfgo/internal/bench"
+)
+
+// unfused returns cfg with superinstruction fusion disabled — the
+// differential oracle configuration. Everything else (name included)
+// stays identical so compiled code and cost accounting can be compared
+// field by field.
+func unfused(cfg selfgo.Config) selfgo.Config {
+	cfg.NoSuperinstructions = true
+	return cfg
+}
+
+// TestFusedVsUnfusedBenchmarks: superinstruction fusion is a host-speed
+// optimization only. Every benchmark must produce the identical check
+// value, identical full RunStats (cycles, instrs, sends, type tests,
+// overflow/bounds checks, allocs, depth), and identical modelled code
+// size with fusion on and off.
+func TestFusedVsUnfusedBenchmarks(t *testing.T) {
+	configs := map[string][]bench.Benchmark{
+		"new SELF":    bench.All(),
+		"optimized C": bench.All(),
+		"ST-80":       bench.ByGroup("small"),
+	}
+	byName := map[string]selfgo.Config{
+		"new SELF":    selfgo.NewSELF,
+		"optimized C": selfgo.OptimizedC,
+		"ST-80":       selfgo.ST80,
+	}
+	for name, benches := range configs {
+		cfg := byName[name]
+		t.Run(name, func(t *testing.T) {
+			for _, b := range benches {
+				fused, err := bench.Run(b, cfg)
+				if err != nil {
+					t.Fatalf("%s fused: %v", b.Name, err)
+				}
+				plain, err := bench.Run(b, unfused(cfg))
+				if err != nil {
+					t.Fatalf("%s unfused: %v", b.Name, err)
+				}
+				if fused.Value != plain.Value {
+					t.Errorf("%s: value fused=%d unfused=%d", b.Name, fused.Value, plain.Value)
+				}
+				if fused.Run != plain.Run {
+					t.Errorf("%s: RunStats diverged:\nfused:   %+v\nunfused: %+v", b.Name, fused.Run, plain.Run)
+				}
+				if fused.CodeBytes != plain.CodeBytes || fused.Methods != plain.Methods {
+					t.Errorf("%s: compile record diverged: fused=(%d bytes, %d methods) unfused=(%d bytes, %d methods)",
+						b.Name, fused.CodeBytes, fused.Methods, plain.CodeBytes, plain.Methods)
+				}
+			}
+		})
+	}
+}
+
+// TestFusedVsUnfusedFaultBacktraces: faulting programs must fail the
+// same way with fusion on and off — same error kind, same message, and
+// the same sequence of Self-level backtrace frame names. (Frame PCs are
+// not compared: fusion legitimately renumbers pcs within a method.)
+func TestFusedVsUnfusedFaultBacktraces(t *testing.T) {
+	cases := []struct {
+		name  string
+		cfg   selfgo.Config
+		src   string
+		entry string
+		args  []selfgo.Value
+	}{
+		{
+			// DNU under real activation frames (ST-80 keeps user sends
+			// out of line) — the program from TestErrorKindDNU.
+			name: "dnu depth",
+			cfg:  selfgo.ST80,
+			src: `
+outer = ( middle ).
+middle = ( inner ).
+inner = ( 3 zorkify ).
+`,
+			entry: "outer",
+		},
+		{
+			// Unchecked division by zero (StaticIdeal removes the
+			// checks); the Div sits in fusable arithmetic context.
+			name:  "unchecked div zero",
+			cfg:   selfgo.OptimizedC,
+			src:   `crash: n = ( (7 * 3) / n ).`,
+			entry: "crash:",
+			args:  []selfgo.Value{selfgo.IntValue(0)},
+		},
+		{
+			// Unchecked element access out of bounds.
+			name: "unchecked elem oob",
+			cfg:  selfgo.OptimizedC,
+			src: `
+vecAt: i = ( | v | v: (vector copySize: 3 FillWith: 0). v at: i ).
+`,
+			entry: "vecAt:",
+			args:  []selfgo.Value{selfgo.IntValue(99)},
+		},
+		{
+			// Checked overflow cascading into the failure path.
+			name:  "overflow",
+			cfg:   selfgo.NewSELF,
+			src:   `blow: n = ( (n * n) * n ).`,
+			entry: "blow:",
+			args:  []selfgo.Value{selfgo.IntValue(1 << 40)},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			ferr := runFault(t, c.cfg, c.src, c.entry, c.args)
+			perr := runFault(t, unfused(c.cfg), c.src, c.entry, c.args)
+			if (ferr == nil) != (perr == nil) {
+				t.Fatalf("error presence mismatch: fused=%v unfused=%v", ferr, perr)
+			}
+			if ferr == nil {
+				return // both succeeded; covered by the benchmark test
+			}
+			fk, _ := selfgo.ErrorKind(ferr)
+			pk, _ := selfgo.ErrorKind(perr)
+			if fk != pk {
+				t.Errorf("kind fused=%v unfused=%v", fk, pk)
+			}
+			var fre, pre *selfgo.RuntimeError
+			if !errors.As(ferr, &fre) || !errors.As(perr, &pre) {
+				t.Fatalf("not RuntimeErrors: fused=%T unfused=%T", ferr, perr)
+			}
+			if fre.Msg != pre.Msg {
+				t.Errorf("message fused=%q unfused=%q", fre.Msg, pre.Msg)
+			}
+			if len(fre.Trace) != len(pre.Trace) {
+				t.Fatalf("trace depth fused=%d unfused=%d\nfused:\n%s\nunfused:\n%s",
+					len(fre.Trace), len(pre.Trace), fre.Backtrace(), pre.Backtrace())
+			}
+			for i := range fre.Trace {
+				if fre.Trace[i].Name != pre.Trace[i].Name {
+					t.Errorf("trace frame %d: fused=%q unfused=%q", i, fre.Trace[i].Name, pre.Trace[i].Name)
+				}
+			}
+		})
+	}
+}
+
+func runFault(t *testing.T, cfg selfgo.Config, src, entry string, args []selfgo.Value) error {
+	t.Helper()
+	sys, err := selfgo.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.LoadSource(src); err != nil {
+		t.Fatal(err)
+	}
+	_, err = sys.Call(entry, args...)
+	return err
+}

@@ -1,0 +1,132 @@
+// Host-speed benchmark rail: while BENCH_guard.json pins the MODELLED
+// quantities (cycles, instrs — the paper's numbers), this file measures
+// how fast the host actually executes them, so host-performance claims
+// about the interpreter are provable. `selfbench -hostbench` emits
+// BENCH_host.json; the committed file carries before/after records so
+// every future PR has a trajectory to compare against.
+package bench
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"selfgo"
+)
+
+// HostRecord is one benchmark's host-speed measurement under one
+// compiler configuration: wall-clock per run, modelled (guest)
+// instructions retired per wall-clock second, and Go allocation
+// traffic per run. Guest quantities are fixed by the cost-model guard;
+// this record tracks the host-side cost of executing them.
+type HostRecord struct {
+	Bench              string  `json:"bench"`
+	Group              string  `json:"group"`
+	Config             string  `json:"config"`
+	NsPerOp            int64   `json:"nsPerOp"`
+	GuestInstrs        int64   `json:"guestInstrs"`        // modelled instrs per run
+	GuestMInstrsPerSec float64 `json:"guestMInstrsPerSec"` // million guest instrs / wall second
+	AllocsPerOp        int64   `json:"allocsPerOp"`        // Go allocations per run (steady state)
+	BytesPerOp         int64   `json:"bytesPerOp"`         // Go bytes allocated per run
+}
+
+// HostFile is the schema of BENCH_host.json. Records holds the current
+// measurements; Baseline, when present, the measurements from before
+// the change being evaluated (`selfbench -hostbench -hostbase old.json`
+// copies the old file's records there and computes the geomean
+// speedup of guest-instrs/sec across matching records).
+type HostFile struct {
+	Note           string       `json:"note"`
+	Records        []HostRecord `json:"records"`
+	Baseline       []HostRecord `json:"baseline,omitempty"`
+	GeomeanSpeedup float64      `json:"geomeanSpeedup,omitempty"`
+}
+
+// HostBenchOne measures one benchmark under one configuration with
+// testing.Benchmark: the system is warmed (code compiled, inline
+// caches filled, result checked) before timing, so the measurement is
+// steady-state interpretation, not compilation.
+func HostBenchOne(cfg selfgo.Config, b Benchmark) (*HostRecord, error) {
+	sys, err := selfgo.NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.LoadSource(b.Source); err != nil {
+		return nil, fmt.Errorf("%s: %w", b.Name, err)
+	}
+	warm, err := sys.Call(b.Entry)
+	if err != nil {
+		return nil, fmt.Errorf("%s under %s: %w", b.Name, cfg.Name, err)
+	}
+	if b.HasExpect && warm.Value.I != b.Expect {
+		return nil, fmt.Errorf("%s under %s: got %d, want %d", b.Name, cfg.Name, warm.Value.I, b.Expect)
+	}
+	instrs := warm.Run.Instrs
+
+	var failed error
+	r := testing.Benchmark(func(tb *testing.B) {
+		tb.ReportAllocs()
+		for i := 0; i < tb.N; i++ {
+			if _, err := sys.Call(b.Entry); err != nil {
+				failed = err
+				tb.FailNow()
+			}
+		}
+	})
+	if failed != nil {
+		return nil, fmt.Errorf("%s under %s: %w", b.Name, cfg.Name, failed)
+	}
+	ns := r.NsPerOp()
+	rec := &HostRecord{
+		Bench:       b.Name,
+		Group:       b.Group,
+		Config:      cfg.Name,
+		NsPerOp:     ns,
+		GuestInstrs: instrs,
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if ns > 0 {
+		rec.GuestMInstrsPerSec = float64(instrs) / (float64(ns) / 1e9) / 1e6
+	}
+	return rec, nil
+}
+
+// HostBench measures benches under cfg, in order.
+func HostBench(cfg selfgo.Config, benches []Benchmark, progress func(r *HostRecord)) ([]HostRecord, error) {
+	out := make([]HostRecord, 0, len(benches))
+	for _, b := range benches {
+		rec, err := HostBenchOne(cfg, b)
+		if err != nil {
+			return nil, err
+		}
+		if progress != nil {
+			progress(rec)
+		}
+		out = append(out, *rec)
+	}
+	return out, nil
+}
+
+// HostGeomeanSpeedup returns the geometric mean over matching
+// (bench, config) pairs of after/before guest-instrs-per-second —
+// >1 means the interpreter got faster. Zero when nothing matches.
+func HostGeomeanSpeedup(before, after []HostRecord) float64 {
+	base := map[string]HostRecord{}
+	for _, r := range before {
+		base[r.Bench+"\x00"+r.Config] = r
+	}
+	logSum, n := 0.0, 0
+	for _, r := range after {
+		b, ok := base[r.Bench+"\x00"+r.Config]
+		if !ok || b.GuestMInstrsPerSec <= 0 || r.GuestMInstrsPerSec <= 0 {
+			continue
+		}
+		logSum += math.Log(r.GuestMInstrsPerSec / b.GuestMInstrsPerSec)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}

@@ -45,6 +45,24 @@ type Instr struct {
 	// bounds marks compare-branches that implement array bounds checks
 	// (for the run-time statistics).
 	bounds bool
+
+	// Cost is the compile-time-constant part of the instruction's
+	// modelled cycle cost (see staticCost), precomputed at assembly so
+	// the hot loop charges one add per dispatch. For a superinstruction
+	// it is the exact sum of all constituents' static costs.
+	Cost int64
+
+	// N is the number of modelled instructions this entry represents:
+	// 1 normally, 2-3 for superinstructions (Instrs accounting).
+	N int32
+
+	// Fused chains the remaining constituents of a superinstruction
+	// (nil for ordinary instructions). The head instruction keeps the
+	// first constituent's fields with a fused Op; each element of the
+	// chain is the next constituent verbatim, so fused execution can
+	// run — and, on an early fault or overflow branch, uncharge — the
+	// constituents exactly as the unfused stream would.
+	Fused *Instr
 }
 
 // opJmp is an assembler-introduced unconditional jump. It reuses an Op
@@ -105,6 +123,11 @@ type Code struct {
 	// IsBlock marks out-of-line block code (self arrives via the
 	// closure, parameters start at register 2).
 	IsBlock bool
+
+	// hasLandings records whether any MkBlk carries a non-local-return
+	// landing (Resume >= 0). When false, exec can skip the
+	// recover-and-resume wrapper entirely.
+	hasLandings bool
 }
 
 // Assemble linearizes a control flow graph: dead pure instructions are
@@ -135,6 +158,8 @@ func Assemble(g *ir.Graph) *Code {
 	schedule(g.Entry, false)
 
 	emit := func(in Instr, size int) int {
+		in.Cost = staticCost(&in)
+		in.N = 1
 		c.Instrs = append(c.Instrs, in)
 		c.Bytes += size
 		return len(c.Instrs) - 1
@@ -211,6 +236,7 @@ func Assemble(g *ir.Graph) *Code {
 					}
 					idx := emit(in, sizeOf(n))
 					if n.Op == ir.MkBlk && n.Landing != nil {
+						c.hasLandings = true
 						landing := n.Landing
 						schedule(landing, true)
 						fixups = append(fixups, func() {
@@ -371,6 +397,16 @@ func (c *Code) Disasm() string {
 }
 
 func (in Instr) String() string {
+	if base, ok := fusedHeadOp(in.Op); ok {
+		head := in
+		head.Op = base
+		head.Fused = nil
+		parts := []string{head.String()}
+		for f := in.Fused; f != nil; f = f.Fused {
+			parts = append(parts, f.String())
+		}
+		return "fused{" + strings.Join(parts, "; ") + "}"
+	}
 	switch in.Op {
 	case opJmp:
 		return fmt.Sprintf("jmp %d", in.T)

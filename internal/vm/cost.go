@@ -10,6 +10,8 @@
 // send machinery and SPARC-era latencies the paper assumes.
 package vm
 
+import "selfgo/internal/ir"
+
 // Cycle costs per executed instruction.
 const (
 	CostMove  = 1 // register move
@@ -94,3 +96,74 @@ const (
 	SizeNLReturn = 16
 	SizePrologue = 16 // per compiled method
 )
+
+// arithOpCost is the modelled cycle cost of one arithmetic operation's
+// raw op (before any overflow-check surcharge).
+func arithOpCost(k ir.ArithKind) int64 {
+	switch k {
+	case ir.Mul:
+		return CostMul
+	case ir.Div, ir.Mod:
+		return CostDiv
+	}
+	return CostArith
+}
+
+// staticCost is the compile-time-constant part of an instruction's
+// modelled cycle cost, folded into Instr.Cost at assembly so the hot
+// loop charges one add per dispatch. Ops whose cost is partly or wholly
+// dynamic keep the dynamic remainder in the interpreter:
+//
+//   - NewVec/CloneOp charge only the base here; the size-dependent fill
+//     and per-field copy are charged at execution.
+//   - Send and PrimOp charge zero here; dispatch cost depends on the
+//     cache outcome (execSend) and CostPrimOp is charged in execPrim.
+//   - Checked Arith includes the overflow-check surcharge: both the
+//     overflow branch and the checked div/mod-by-zero branch charged
+//     op + CostOverflowChk in the original interpreter.
+//
+// The per-instruction InstrExtra (ST-80 code-quality penalty) is NOT
+// included: it is a VM parameter, not a property of the code, and is
+// charged per constituent in the run loop.
+func staticCost(in *Instr) int64 {
+	switch in.Op {
+	case opJmp:
+		return CostJump
+	case ir.Const:
+		return CostConst
+	case ir.Move:
+		return CostMove
+	case ir.LoadF, ir.StoreF, ir.LoadE, ir.StoreE:
+		return CostLoadStore
+	case ir.VecLen:
+		return CostVecLen
+	case ir.NewVec:
+		return CostNewVecBase
+	case ir.CloneOp:
+		return CostCloneBase
+	case ir.Arith:
+		c := arithOpCost(in.AOp)
+		if in.Checked {
+			c += CostOverflowChk
+		}
+		return c
+	case ir.CmpBr:
+		return CostCmpBranch
+	case ir.TypeTest:
+		return CostTypeTest
+	case ir.Call:
+		return CostCall
+	case ir.MkBlk:
+		return CostMkBlkBase + int64(len(in.Caps))*CostMkBlkPerCap
+	case ir.Fail:
+		return CostFail
+	case ir.Return:
+		return CostReturn
+	case ir.NLReturn:
+		return CostNLReturn
+	case ir.LoadUp, ir.StoreUp:
+		return CostLoadUp
+	}
+	// Send, PrimOp: fully dynamic.
+	return 0
+}

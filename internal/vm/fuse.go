@@ -1,0 +1,168 @@
+package vm
+
+import "selfgo/internal/ir"
+
+// Superinstruction fusion: a peephole pass over the linearized stream
+// that rewrites the hottest adjacent pairs/triples into single fused
+// dispatches, in the spirit of the instruction-stream specialization of
+// the basic-block-versioning line of work. Fusion changes HOST speed
+// only: every modelled quantity is preserved exactly, because a fused
+// instruction charges the precomputed sum of its constituents' static
+// cycle costs, counts all constituents in Instrs (Instr.N), and — when
+// an early constituent faults or takes its overflow branch — uncharges
+// the unexecuted tail (VM.uncharge). The unfused interpreter therefore
+// remains a bit-exact differential oracle, selected with
+// core.Config.NoSuperinstructions.
+//
+// Fused Op values live far outside the ir.Op range, adjacent to opJmp.
+const (
+	opMoveMove        ir.Op = 240 // Move; Move
+	opConstArith      ir.Op = 241 // Const; Arith
+	opLoadFArith      ir.Op = 242 // LoadF; Arith
+	opLoadEArith      ir.Op = 243 // LoadE; Arith
+	opArithCmpBr      ir.Op = 244 // Arith; CmpBr (compare-and-branch on a fresh result)
+	opArithJmp        ir.Op = 245 // Arith; Jmp (increment-and-jump loop tail)
+	opConstArithCmpBr ir.Op = 246 // Const; Arith; CmpBr
+)
+
+// fusedHeadOp maps a fused opcode to the Op of its head constituent
+// (ok=false for ordinary opcodes). The head instruction keeps that
+// constituent's operand fields.
+func fusedHeadOp(op ir.Op) (ir.Op, bool) {
+	switch op {
+	case opMoveMove:
+		return ir.Move, true
+	case opConstArith, opConstArithCmpBr:
+		return ir.Const, true
+	case opLoadFArith:
+		return ir.LoadF, true
+	case opLoadEArith:
+		return ir.LoadE, true
+	case opArithCmpBr, opArithJmp:
+		return ir.Arith, true
+	}
+	return 0, false
+}
+
+// Fuse rewrites code in place, combining adjacent instructions into
+// superinstructions. A constituent other than the head must not be a
+// branch target: jumping into the middle of a fused group would skip
+// its earlier constituents. (Jumping AT the head is fine — the group
+// executes exactly the instructions the target pc denoted.) Branch
+// targets are remapped from old to new pcs afterwards, including
+// targets held by interior constituents (a fused checked Arith keeps
+// its overflow target).
+//
+// Modelled code Bytes are untouched: fusion is an interpreter-dispatch
+// artifact, not a change to the modelled machine code.
+func Fuse(c *Code) {
+	n := len(c.Instrs)
+	if n < 2 {
+		return
+	}
+
+	// Collect branch-target pcs; an instruction that is a target can
+	// only head a group, never sit inside one.
+	target := make([]bool, n)
+	mark := func(pc int) {
+		if pc >= 0 && pc < n {
+			target[pc] = true
+		}
+	}
+	for i := range c.Instrs {
+		in := &c.Instrs[i]
+		switch in.Op {
+		case opJmp:
+			mark(in.T)
+		case ir.CmpBr, ir.TypeTest:
+			mark(in.T)
+			mark(in.F)
+		case ir.Arith:
+			if in.Checked {
+				mark(in.F)
+			}
+		case ir.MkBlk:
+			if in.Resume >= 0 {
+				mark(in.Resume)
+			}
+		}
+	}
+
+	newPC := make([]int, n)
+	out := make([]Instr, 0, n)
+	for i := 0; i < n; {
+		op, k := fuseAt(c.Instrs, target, i)
+		for j := 0; j < k; j++ {
+			newPC[i+j] = len(out)
+		}
+		if k == 1 {
+			out = append(out, c.Instrs[i])
+			i++
+			continue
+		}
+		head := c.Instrs[i]
+		head.Op = op
+		head.N = int32(k)
+		var tail *Instr
+		for j := k - 1; j >= 1; j-- {
+			sub := c.Instrs[i+j]
+			sub.Fused = tail
+			head.Cost += sub.Cost
+			tail = &sub
+		}
+		head.Fused = tail
+		out = append(out, head)
+		i += k
+	}
+
+	for i := range out {
+		for in := &out[i]; in != nil; in = in.Fused {
+			switch in.Op {
+			case opJmp:
+				in.T = newPC[in.T]
+			case ir.CmpBr, ir.TypeTest:
+				in.T = newPC[in.T]
+				in.F = newPC[in.F]
+			case ir.Arith, opArithCmpBr, opArithJmp:
+				// Head Arith of a fused group keeps its own overflow
+				// target, like a plain Arith.
+				if in.Checked {
+					in.F = newPC[in.F]
+				}
+			case ir.MkBlk:
+				if in.Resume >= 0 {
+					in.Resume = newPC[in.Resume]
+				}
+			}
+		}
+	}
+	c.Instrs = out
+}
+
+// fuseAt reports the fused opcode and group length starting at pc i
+// (length 1: no fusion). Triples are preferred over pairs.
+func fuseAt(ins []Instr, target []bool, i int) (ir.Op, int) {
+	if i+1 >= len(ins) || target[i+1] {
+		return 0, 1
+	}
+	a, b := ins[i].Op, ins[i+1].Op
+	if a == ir.Const && b == ir.Arith &&
+		i+2 < len(ins) && !target[i+2] && ins[i+2].Op == ir.CmpBr {
+		return opConstArithCmpBr, 3
+	}
+	switch {
+	case a == ir.Move && b == ir.Move:
+		return opMoveMove, 2
+	case a == ir.Const && b == ir.Arith:
+		return opConstArith, 2
+	case a == ir.LoadF && b == ir.Arith:
+		return opLoadFArith, 2
+	case a == ir.LoadE && b == ir.Arith:
+		return opLoadEArith, 2
+	case a == ir.Arith && b == ir.CmpBr:
+		return opArithCmpBr, 2
+	case a == ir.Arith && b == opJmp:
+		return opArithJmp, 2
+	}
+	return 0, 1
+}

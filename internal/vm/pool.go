@@ -1,0 +1,64 @@
+package vm
+
+import "selfgo/internal/obj"
+
+// Frame pooling: invoke used to heap-allocate a register file per
+// activation — one Go allocation per non-inlined send. A per-VM
+// freelist removes that from the steady state. No synchronization: a
+// VM is single-goroutine and frames never cross VMs.
+//
+// Correctness hinges on two rules:
+//
+//  1. Escaped frames are never pooled. A MkBlk pins its frame (captured
+//     registers by address, the frame pointer as non-local-return
+//     home), and the dead-home check compares frame identity — a
+//     recycled home frame with dead=false would make a dead home look
+//     live. makeBlock sets frame.escaped; putFrame drops such frames
+//     for the garbage collector.
+//  2. Reused register files are zeroed. A fresh `make` hands out zero
+//     Values; getFrame clears the reused prefix so no activation can
+//     observe a previous activation's registers.
+//
+// Modelled Allocs accounting is untouched: it counts guest-level
+// allocations (vectors, clones, closures), not Go frame allocations.
+const (
+	// maxPoolFrames bounds the freelist; deeper recursion spills to the
+	// allocator rather than pinning an arbitrarily large high-water
+	// mark of register files.
+	maxPoolFrames = 128
+	// maxPoolRegs bounds the register files worth keeping; oversized
+	// outliers are dropped.
+	maxPoolRegs = 256
+)
+
+// getFrame returns a frame with a zeroed n-register file, reusing a
+// pooled frame when one fits. Callers overwrite up and home
+// unconditionally.
+func (vm *VM) getFrame(n int) *frame {
+	if k := len(vm.freeFrames) - 1; k >= 0 {
+		fr := vm.freeFrames[k]
+		vm.freeFrames[k] = nil
+		vm.freeFrames = vm.freeFrames[:k]
+		if cap(fr.regs) >= n {
+			fr.regs = fr.regs[:n]
+			clear(fr.regs)
+		} else {
+			fr.regs = make([]obj.Value, n)
+		}
+		fr.up = nil
+		fr.home = homeRef{}
+		fr.dead = false
+		fr.escaped = false
+		return fr
+	}
+	return &frame{regs: make([]obj.Value, n)}
+}
+
+// putFrame returns a dead frame to the pool, unless a closure pinned it
+// (escaped) or it is not worth keeping.
+func (vm *VM) putFrame(fr *frame) {
+	if fr.escaped || len(vm.freeFrames) >= maxPoolFrames || cap(fr.regs) > maxPoolRegs {
+		return
+	}
+	vm.freeFrames = append(vm.freeFrames, fr)
+}

@@ -127,6 +127,15 @@ type VM struct {
 
 	depth int
 
+	// freeFrames is the activation-frame freelist (see pool.go). No
+	// locking: a VM is single-goroutine, frames never cross VMs.
+	freeFrames []*frame
+
+	// argScratch is the reusable argument buffer for argVals. Safe as a
+	// single per-VM buffer because every consumer copies or consumes the
+	// arguments before any nested guest execution can refill it.
+	argScratch []obj.Value
+
 	// Cooperative budget state for the current run (see budget.go):
 	// ctx is the cancellation context (nil when none), pollAt the
 	// Instrs count at which the next poll fires, fuelStart/allocStart
@@ -148,6 +157,12 @@ type frame struct {
 	up   map[string]*obj.Value // block frames: captured variables
 	home homeRef               // where a non-local return lands
 	dead bool
+
+	// escaped marks frames a closure has captured (registers by address
+	// and/or the frame itself as a non-local-return home); such frames
+	// must never return to the pool — a recycled home would make a dead
+	// frame look live again. See makeBlock and pool.go.
+	escaped bool
 }
 
 // homeRef identifies the home of a non-local return: a frame, plus —
@@ -360,7 +375,8 @@ func (vm *VM) invoke(code *Code, recv obj.Value, args []obj.Value, up map[string
 		vm.depth--
 		return obj.Nil(), &RuntimeError{Kind: KindStackOverflow, Msg: "stack overflow"}
 	}
-	fr := &frame{regs: make([]obj.Value, code.NumRegs), up: up}
+	fr := vm.getFrame(code.NumRegs)
+	fr.up = up
 	fr.home = homeRef{fr: fr, resume: -1}
 	if code.NumRegs > RegSelf {
 		fr.regs[RegSelf] = recv
@@ -373,6 +389,11 @@ func (vm *VM) invoke(code *Code, recv obj.Value, args []obj.Value, up map[string
 	defer func() {
 		fr.dead = true
 		vm.depth--
+		// Recycling before the recover logic keeps the frame pooled on
+		// every exit (return, nlr catch, re-panic); putFrame refuses
+		// escaped frames, and no getFrame can run until unwinding ends,
+		// so the identity checks below still see this fr unaliased.
+		vm.putFrame(fr)
 		if r := recover(); r != nil {
 			if n, ok := r.(nlr); ok {
 				if n.ref.fr == fr && n.ref.resume < 0 {
@@ -390,6 +411,11 @@ func (vm *VM) invoke(code *Code, recv obj.Value, args []obj.Value, up map[string
 // exec runs a frame, restarting at the landing pc whenever a non-local
 // return from an inlined home method unwinds into this frame.
 func (vm *VM) exec(code *Code, fr *frame) (obj.Value, error) {
+	if !code.hasLandings {
+		// No MkBlk in this code carries a resume landing, so no nlr can
+		// ever target (fr, resume>=0): skip the recover wrapper.
+		return vm.run(code, fr, 0)
+	}
 	pc := 0
 	for {
 		v, resume, err := vm.execFrom(code, fr, pc)
@@ -416,7 +442,31 @@ func (vm *VM) execFrom(code *Code, fr *frame, startPC int) (val obj.Value, resum
 	return val, -1, err
 }
 
-func (vm *VM) run(code *Code, fr *frame, pc int) (val obj.Value, err error) {
+// run dispatches one frame's execution to the hot loop, or to the
+// instrumented loop when single-step tracing is enabled, so the
+// Trace check leaves the per-instruction path.
+func (vm *VM) run(code *Code, fr *frame, pc int) (obj.Value, error) {
+	if vm.Trace != nil {
+		return vm.runTraced(code, fr, pc)
+	}
+	return vm.runFast(code, fr, pc)
+}
+
+// runFast is the hot interpreter loop.
+//
+// Cycle accounting is precomputed: every instruction's static modelled
+// cost — and, for superinstructions, the summed cost of all
+// constituents — was folded into Instr.Cost at assembly, so the loop
+// charges one add per dispatch; only genuinely dynamic costs (vector
+// fill, clone size, send dispatch, primitive calls) remain in the
+// cases. A fused case that bails out early (fault, or a checked-arith
+// branch to the overflow target) uncharges its unexecuted tail,
+// keeping Stats bit-identical to the unfused stream.
+//
+// KEEP IN SYNC with runTraced: the two loops must execute identically;
+// the traced loop only adds the per-instruction trace line. The
+// fused-vs-unfused and traced-vs-fast differential tests pin this.
+func (vm *VM) runFast(code *Code, fr *frame, pc int) (val obj.Value, err error) {
 	// As an error unwinds through the activations it grows a Self-level
 	// backtrace, one frame per run invocation; pc holds the faulting
 	// (or calling) instruction when the deferred append runs.
@@ -426,174 +476,91 @@ func (vm *VM) run(code *Code, fr *frame, pc int) (val obj.Value, err error) {
 		}
 	}()
 	st := &vm.Stats
+	extra := vm.InstrExtra
 	for pc >= 0 && pc < len(code.Instrs) {
 		in := &code.Instrs[pc]
-		if vm.Trace != nil {
-			fmt.Fprintf(vm.Trace, "%*s%s @%d: %s\n", vm.depth, "", code.Name, pc, in)
-		}
-		st.Instrs++
+		st.Instrs += int64(in.N)
 		if st.Instrs >= vm.pollAt {
 			if perr := vm.poll(st); perr != nil {
 				return obj.Nil(), perr
 			}
 		}
-		st.Cycles += vm.InstrExtra
+		st.Cycles += in.Cost
+		if extra != 0 {
+			st.Cycles += extra * int64(in.N)
+		}
 		switch in.Op {
 		case opJmp:
-			st.Cycles += CostJump
 			pc = in.T
 			continue
 		case ir.Const:
-			st.Cycles += CostConst
 			fr.regs[in.Dst] = in.Val
 		case ir.Move:
-			st.Cycles += CostMove
 			fr.regs[in.Dst] = fr.regs[in.A]
 		case ir.LoadF:
-			st.Cycles += CostLoadStore
 			o := fr.regs[in.A].Obj
 			if o == nil || in.Index >= len(o.Fields) {
-				return obj.Nil(), &RuntimeError{Msg: fmt.Sprintf("%s: bad field access", code.Name)}
+				return obj.Nil(), errBadField(code, "access")
 			}
 			fr.regs[in.Dst] = o.Fields[in.Index]
 		case ir.StoreF:
-			st.Cycles += CostLoadStore
 			o := fr.regs[in.A].Obj
 			if o == nil || in.Index >= len(o.Fields) {
-				return obj.Nil(), &RuntimeError{Msg: fmt.Sprintf("%s: bad field store", code.Name)}
+				return obj.Nil(), errBadField(code, "store")
 			}
 			o.Fields[in.Index] = fr.regs[in.B]
 		case ir.LoadE:
-			st.Cycles += CostLoadStore
 			o := fr.regs[in.A].Obj
+			if o == nil {
+				return obj.Nil(), errElemNonObject(code, "load")
+			}
 			i := fr.regs[in.B].I
-			if o == nil || i < 0 || i >= int64(len(o.Elems)) {
-				return obj.Nil(), &RuntimeError{Msg: fmt.Sprintf("%s: element load out of bounds (unchecked path)", code.Name)}
+			if i < 0 || i >= int64(len(o.Elems)) {
+				return obj.Nil(), errElemOOB(code, "load", i, len(o.Elems))
 			}
 			fr.regs[in.Dst] = o.Elems[i]
 		case ir.StoreE:
-			st.Cycles += CostLoadStore
 			o := fr.regs[in.A].Obj
+			if o == nil {
+				return obj.Nil(), errElemNonObject(code, "store")
+			}
 			i := fr.regs[in.B].I
-			if o == nil || i < 0 || i >= int64(len(o.Elems)) {
-				return obj.Nil(), &RuntimeError{Msg: fmt.Sprintf("%s: element store out of bounds (unchecked path)", code.Name)}
+			if i < 0 || i >= int64(len(o.Elems)) {
+				return obj.Nil(), errElemOOB(code, "store", i, len(o.Elems))
 			}
 			o.Elems[i] = fr.regs[in.C]
 		case ir.VecLen:
-			st.Cycles += CostVecLen
 			o := fr.regs[in.A].Obj
 			if o == nil {
 				return obj.Nil(), &RuntimeError{Msg: "vecLen of non-vector"}
 			}
 			fr.regs[in.Dst] = obj.Int(int64(len(o.Elems)))
 		case ir.NewVec:
-			n := fr.regs[in.A].I
-			if n < 0 {
-				// Reachable when the compiler's size guard was removed
-				// (StaticIdeal); without this check make([]Value, n)
-				// would panic the Go runtime.
-				return obj.Nil(), &RuntimeError{Msg: "negative vector size on unchecked path"}
+			if verr := vm.makeVector(st, fr, in); verr != nil {
+				return obj.Nil(), verr
 			}
-			st.Cycles += CostNewVecBase + n>>NewVecFillShift
-			st.Allocs++
-			fill := obj.Nil()
-			if in.B != ir.NoReg {
-				fill = fr.regs[in.B]
-			}
-			fr.regs[in.Dst] = obj.Obj(vm.World.NewVector(int(n), fill))
 		case ir.CloneOp:
-			src := fr.regs[in.A]
-			if src.K != obj.KObj {
-				fr.regs[in.Dst] = src // immediates clone to themselves
-				st.Cycles += CostCloneBase
-				break
-			}
-			st.Cycles += CostCloneBase + int64(len(src.Obj.Fields)+len(src.Obj.Elems))*CostClonePerField
-			st.Allocs++
-			fr.regs[in.Dst] = obj.Obj(src.Obj.Clone())
+			vm.makeClone(st, fr, in)
 		case ir.Arith:
-			a, b := fr.regs[in.A].I, fr.regs[in.B].I
-			var v int64
-			switch in.AOp {
-			case ir.Add:
-				st.Cycles += CostArith
-				v = a + b
-			case ir.Sub:
-				st.Cycles += CostArith
-				v = a - b
-			case ir.Mul:
-				st.Cycles += CostMul
-				v = a * b
-			case ir.Div:
-				st.Cycles += CostDiv
-				if b == 0 {
-					if in.Checked {
-						st.Cycles += CostOverflowChk
-						pc = in.F
-						continue
-					}
-					return obj.Nil(), &RuntimeError{Msg: "division by zero on unchecked path"}
-				}
-				v = a / b
-			case ir.Mod:
-				st.Cycles += CostDiv
-				if b == 0 {
-					if in.Checked {
-						st.Cycles += CostOverflowChk
-						pc = in.F
-						continue
-					}
-					return obj.Nil(), &RuntimeError{Msg: "modulo by zero on unchecked path"}
-				}
-				v = a % b
-			case ir.BAnd:
-				st.Cycles += CostArith
-				v = a & b
-			case ir.BOr:
-				st.Cycles += CostArith
-				v = a | b
-			case ir.BXor:
-				st.Cycles += CostArith
-				v = a ^ b
+			br, aerr := arithVal(st, in, fr)
+			if aerr != nil {
+				return obj.Nil(), aerr
 			}
-			if in.Checked {
-				st.Cycles += CostOverflowChk
-				st.OvflChecks++
-				if v < obj.MinSmallInt || v > obj.MaxSmallInt {
-					pc = in.F
-					continue
-				}
+			if br {
+				pc = in.F
+				continue
 			}
-			fr.regs[in.Dst] = obj.Int(v)
 		case ir.CmpBr:
-			st.Cycles += CostCmpBranch
 			if in.bounds {
 				st.BoundsChecks++
 			}
-			a, b := fr.regs[in.A], fr.regs[in.B]
-			var taken bool
-			switch in.COp {
-			case ir.LT:
-				taken = a.I < b.I
-			case ir.LE:
-				taken = a.I <= b.I
-			case ir.GT:
-				taken = a.I > b.I
-			case ir.GE:
-				taken = a.I >= b.I
-			case ir.EQ:
-				taken = a.Eq(b)
-			case ir.NE:
-				taken = !a.Eq(b)
-			}
-			if taken {
+			if cmpTaken(in.COp, fr.regs[in.A], fr.regs[in.B]) {
 				pc = in.T
 			} else {
 				pc = in.F
 			}
 			continue
 		case ir.TypeTest:
-			st.Cycles += CostTypeTest
 			st.TypeTests++
 			if vm.World.MapOf(fr.regs[in.A]) == in.TestMap {
 				pc = in.T
@@ -602,103 +569,172 @@ func (vm *VM) run(code *Code, fr *frame, pc int) (val obj.Value, err error) {
 			}
 			continue
 		case ir.Send:
-			v, err := vm.execSend(in, fr, code)
-			if err != nil {
-				return obj.Nil(), err
+			v, serr := vm.execSend(in, fr, code)
+			if serr != nil {
+				return obj.Nil(), serr
 			}
 			if in.Dst != ir.NoReg {
 				fr.regs[in.Dst] = v
 			}
 		case ir.Call:
-			st.Cycles += CostCall
 			st.Calls++
-			callee, err := vm.CodeFor(in.Callee.Meth, in.Callee.RMap)
-			if err != nil {
-				return obj.Nil(), err
+			callee, cerr := vm.CodeFor(in.Callee.Meth, in.Callee.RMap)
+			if cerr != nil {
+				return obj.Nil(), cerr
 			}
-			v, err := vm.invoke(callee, fr.regs[in.Args[0]], vm.argVals(in.Args[1:], fr), nil)
-			if err != nil {
-				return obj.Nil(), err
+			v, cerr := vm.invoke(callee, fr.regs[in.Args[0]], vm.argVals(in.Args[1:], fr), nil)
+			if cerr != nil {
+				return obj.Nil(), cerr
 			}
 			if in.Dst != ir.NoReg {
 				fr.regs[in.Dst] = v
 			}
 		case ir.PrimOp:
-			v, err := vm.execPrim(in, fr)
-			if err != nil {
-				return obj.Nil(), err
+			v, perr := vm.execPrim(in, fr)
+			if perr != nil {
+				return obj.Nil(), perr
 			}
 			if in.Dst != ir.NoReg {
 				fr.regs[in.Dst] = v
 			}
 		case ir.MkBlk:
-			st.Cycles += CostMkBlkBase + int64(len(in.Caps))*CostMkBlkPerCap
-			st.Allocs++
-			cl := &obj.Closure{Ast: in.Blk, Map: vm.World.BlockMap, UpLocals: map[string]*obj.Value{}}
-			for _, cap := range in.Caps {
-				switch {
-				case cap.ByValue && cap.FromUp:
-					v := *fr.up[cap.Name]
-					cl.UpLocals[cap.Name] = &v
-				case cap.ByValue:
-					v := fr.regs[cap.Src]
-					cl.UpLocals[cap.Name] = &v
-				case cap.FromUp:
-					cl.UpLocals[cap.Name] = fr.up[cap.Name]
-				default:
-					cl.UpLocals[cap.Name] = &fr.regs[cap.Src]
-				}
-			}
-			// The closure's home for non-local return: a landing in
-			// this frame when the home method was inlined here,
-			// otherwise this frame's own home (method frames are their
-			// own home; block frames inherited theirs).
-			if in.Resume >= 0 {
-				cl.Home = homeRef{fr: fr, resume: in.Resume, reg: in.A}
-			} else {
-				cl.Home = fr.home
-			}
-			fr.regs[in.Dst] = obj.Blk(cl)
+			vm.makeBlock(st, fr, in)
 		case ir.Fail:
-			st.Cycles += CostFail
-			msg := in.Sel
-			if in.A != ir.NoReg {
-				msg += ": " + fr.regs[in.A].String()
-			}
-			// Classify by the failure the compiler baked in: statically
-			// unresolvable sends and the _Error primitive (which the
-			// prelude's primitiveFailed: routes through) carry kinds.
-			kind := KindError
-			switch {
-			case strings.HasPrefix(in.Sel, "doesNotUnderstand:"):
-				kind = KindDoesNotUnderstand
-			case strings.HasPrefix(in.Sel, "_Error"):
-				kind = KindPrimitiveFailed
-			}
-			return obj.Nil(), &RuntimeError{Kind: kind, Msg: fmt.Sprintf("%s (in %s)", msg, code.Name)}
+			return obj.Nil(), failError(code, fr, in)
 		case ir.Return:
-			st.Cycles += CostReturn
 			return fr.regs[in.A], nil
 		case ir.NLReturn:
-			st.Cycles += CostNLReturn
 			if fr.home.fr == nil || fr.home.fr.dead {
 				return obj.Nil(), &RuntimeError{Msg: "non-local return from dead home frame"}
 			}
 			panic(nlr{ref: fr.home, val: fr.regs[in.A]})
 		case ir.LoadUp:
-			st.Cycles += CostLoadUp
 			p := fr.up[in.Sel]
 			if p == nil {
 				return obj.Nil(), &RuntimeError{Msg: "unbound up-level variable " + in.Sel}
 			}
 			fr.regs[in.Dst] = *p
 		case ir.StoreUp:
-			st.Cycles += CostLoadUp
 			p := fr.up[in.Sel]
 			if p == nil {
 				return obj.Nil(), &RuntimeError{Msg: "unbound up-level variable " + in.Sel}
 			}
 			*p = fr.regs[in.A]
+
+		// Superinstructions (fuse.go): each executes its constituents
+		// exactly in order, bailing out — with an uncharge of the
+		// unexecuted tail — when an early constituent faults or takes
+		// its overflow branch.
+		case opMoveMove:
+			f := in.Fused
+			fr.regs[in.Dst] = fr.regs[in.A]
+			fr.regs[f.Dst] = fr.regs[f.A]
+		case opConstArith:
+			f := in.Fused
+			fr.regs[in.Dst] = in.Val
+			br, aerr := arithVal(st, f, fr)
+			if aerr != nil {
+				return obj.Nil(), aerr
+			}
+			if br {
+				pc = f.F
+				continue
+			}
+		case opLoadFArith:
+			f := in.Fused
+			o := fr.regs[in.A].Obj
+			if o == nil || in.Index >= len(o.Fields) {
+				vm.uncharge(st, f)
+				return obj.Nil(), errBadField(code, "access")
+			}
+			fr.regs[in.Dst] = o.Fields[in.Index]
+			br, aerr := arithVal(st, f, fr)
+			if aerr != nil {
+				return obj.Nil(), aerr
+			}
+			if br {
+				pc = f.F
+				continue
+			}
+		case opLoadEArith:
+			f := in.Fused
+			o := fr.regs[in.A].Obj
+			if o == nil {
+				vm.uncharge(st, f)
+				return obj.Nil(), errElemNonObject(code, "load")
+			}
+			i := fr.regs[in.B].I
+			if i < 0 || i >= int64(len(o.Elems)) {
+				vm.uncharge(st, f)
+				return obj.Nil(), errElemOOB(code, "load", i, len(o.Elems))
+			}
+			fr.regs[in.Dst] = o.Elems[i]
+			br, aerr := arithVal(st, f, fr)
+			if aerr != nil {
+				return obj.Nil(), aerr
+			}
+			if br {
+				pc = f.F
+				continue
+			}
+		case opArithCmpBr:
+			f := in.Fused
+			br, aerr := arithVal(st, in, fr)
+			if aerr != nil {
+				vm.uncharge(st, f)
+				return obj.Nil(), aerr
+			}
+			if br {
+				vm.uncharge(st, f)
+				pc = in.F
+				continue
+			}
+			if f.bounds {
+				st.BoundsChecks++
+			}
+			if cmpTaken(f.COp, fr.regs[f.A], fr.regs[f.B]) {
+				pc = f.T
+			} else {
+				pc = f.F
+			}
+			continue
+		case opArithJmp:
+			f := in.Fused
+			br, aerr := arithVal(st, in, fr)
+			if aerr != nil {
+				vm.uncharge(st, f)
+				return obj.Nil(), aerr
+			}
+			if br {
+				vm.uncharge(st, f)
+				pc = in.F
+				continue
+			}
+			pc = f.T
+			continue
+		case opConstArithCmpBr:
+			f := in.Fused // the Arith
+			g := f.Fused  // the CmpBr
+			fr.regs[in.Dst] = in.Val
+			br, aerr := arithVal(st, f, fr)
+			if aerr != nil {
+				vm.uncharge(st, g)
+				return obj.Nil(), aerr
+			}
+			if br {
+				vm.uncharge(st, g)
+				pc = f.F
+				continue
+			}
+			if g.bounds {
+				st.BoundsChecks++
+			}
+			if cmpTaken(g.COp, fr.regs[g.A], fr.regs[g.B]) {
+				pc = g.T
+			} else {
+				pc = g.F
+			}
+			continue
 		default:
 			return obj.Nil(), &RuntimeError{Msg: "bad opcode " + in.Op.String()}
 		}
@@ -712,8 +748,480 @@ func (vm *VM) run(code *Code, fr *frame, pc int) (val obj.Value, err error) {
 	return obj.Nil(), nil
 }
 
+// runTraced is runFast plus a per-instruction trace line. Fused
+// instructions trace once as their fused rendering (constituents
+// joined), since they dispatch once.
+//
+// KEEP IN SYNC with runFast (see its comment).
+func (vm *VM) runTraced(code *Code, fr *frame, pc int) (val obj.Value, err error) {
+	defer func() {
+		if err != nil {
+			pushFrame(err, code, pc)
+		}
+	}()
+	st := &vm.Stats
+	extra := vm.InstrExtra
+	for pc >= 0 && pc < len(code.Instrs) {
+		in := &code.Instrs[pc]
+		fmt.Fprintf(vm.Trace, "%*s%s @%d: %s\n", vm.depth, "", code.Name, pc, in)
+		st.Instrs += int64(in.N)
+		if st.Instrs >= vm.pollAt {
+			if perr := vm.poll(st); perr != nil {
+				return obj.Nil(), perr
+			}
+		}
+		st.Cycles += in.Cost
+		if extra != 0 {
+			st.Cycles += extra * int64(in.N)
+		}
+		switch in.Op {
+		case opJmp:
+			pc = in.T
+			continue
+		case ir.Const:
+			fr.regs[in.Dst] = in.Val
+		case ir.Move:
+			fr.regs[in.Dst] = fr.regs[in.A]
+		case ir.LoadF:
+			o := fr.regs[in.A].Obj
+			if o == nil || in.Index >= len(o.Fields) {
+				return obj.Nil(), errBadField(code, "access")
+			}
+			fr.regs[in.Dst] = o.Fields[in.Index]
+		case ir.StoreF:
+			o := fr.regs[in.A].Obj
+			if o == nil || in.Index >= len(o.Fields) {
+				return obj.Nil(), errBadField(code, "store")
+			}
+			o.Fields[in.Index] = fr.regs[in.B]
+		case ir.LoadE:
+			o := fr.regs[in.A].Obj
+			if o == nil {
+				return obj.Nil(), errElemNonObject(code, "load")
+			}
+			i := fr.regs[in.B].I
+			if i < 0 || i >= int64(len(o.Elems)) {
+				return obj.Nil(), errElemOOB(code, "load", i, len(o.Elems))
+			}
+			fr.regs[in.Dst] = o.Elems[i]
+		case ir.StoreE:
+			o := fr.regs[in.A].Obj
+			if o == nil {
+				return obj.Nil(), errElemNonObject(code, "store")
+			}
+			i := fr.regs[in.B].I
+			if i < 0 || i >= int64(len(o.Elems)) {
+				return obj.Nil(), errElemOOB(code, "store", i, len(o.Elems))
+			}
+			o.Elems[i] = fr.regs[in.C]
+		case ir.VecLen:
+			o := fr.regs[in.A].Obj
+			if o == nil {
+				return obj.Nil(), &RuntimeError{Msg: "vecLen of non-vector"}
+			}
+			fr.regs[in.Dst] = obj.Int(int64(len(o.Elems)))
+		case ir.NewVec:
+			if verr := vm.makeVector(st, fr, in); verr != nil {
+				return obj.Nil(), verr
+			}
+		case ir.CloneOp:
+			vm.makeClone(st, fr, in)
+		case ir.Arith:
+			br, aerr := arithVal(st, in, fr)
+			if aerr != nil {
+				return obj.Nil(), aerr
+			}
+			if br {
+				pc = in.F
+				continue
+			}
+		case ir.CmpBr:
+			if in.bounds {
+				st.BoundsChecks++
+			}
+			if cmpTaken(in.COp, fr.regs[in.A], fr.regs[in.B]) {
+				pc = in.T
+			} else {
+				pc = in.F
+			}
+			continue
+		case ir.TypeTest:
+			st.TypeTests++
+			if vm.World.MapOf(fr.regs[in.A]) == in.TestMap {
+				pc = in.T
+			} else {
+				pc = in.F
+			}
+			continue
+		case ir.Send:
+			v, serr := vm.execSend(in, fr, code)
+			if serr != nil {
+				return obj.Nil(), serr
+			}
+			if in.Dst != ir.NoReg {
+				fr.regs[in.Dst] = v
+			}
+		case ir.Call:
+			st.Calls++
+			callee, cerr := vm.CodeFor(in.Callee.Meth, in.Callee.RMap)
+			if cerr != nil {
+				return obj.Nil(), cerr
+			}
+			v, cerr := vm.invoke(callee, fr.regs[in.Args[0]], vm.argVals(in.Args[1:], fr), nil)
+			if cerr != nil {
+				return obj.Nil(), cerr
+			}
+			if in.Dst != ir.NoReg {
+				fr.regs[in.Dst] = v
+			}
+		case ir.PrimOp:
+			v, perr := vm.execPrim(in, fr)
+			if perr != nil {
+				return obj.Nil(), perr
+			}
+			if in.Dst != ir.NoReg {
+				fr.regs[in.Dst] = v
+			}
+		case ir.MkBlk:
+			vm.makeBlock(st, fr, in)
+		case ir.Fail:
+			return obj.Nil(), failError(code, fr, in)
+		case ir.Return:
+			return fr.regs[in.A], nil
+		case ir.NLReturn:
+			if fr.home.fr == nil || fr.home.fr.dead {
+				return obj.Nil(), &RuntimeError{Msg: "non-local return from dead home frame"}
+			}
+			panic(nlr{ref: fr.home, val: fr.regs[in.A]})
+		case ir.LoadUp:
+			p := fr.up[in.Sel]
+			if p == nil {
+				return obj.Nil(), &RuntimeError{Msg: "unbound up-level variable " + in.Sel}
+			}
+			fr.regs[in.Dst] = *p
+		case ir.StoreUp:
+			p := fr.up[in.Sel]
+			if p == nil {
+				return obj.Nil(), &RuntimeError{Msg: "unbound up-level variable " + in.Sel}
+			}
+			*p = fr.regs[in.A]
+		case opMoveMove:
+			f := in.Fused
+			fr.regs[in.Dst] = fr.regs[in.A]
+			fr.regs[f.Dst] = fr.regs[f.A]
+		case opConstArith:
+			f := in.Fused
+			fr.regs[in.Dst] = in.Val
+			br, aerr := arithVal(st, f, fr)
+			if aerr != nil {
+				return obj.Nil(), aerr
+			}
+			if br {
+				pc = f.F
+				continue
+			}
+		case opLoadFArith:
+			f := in.Fused
+			o := fr.regs[in.A].Obj
+			if o == nil || in.Index >= len(o.Fields) {
+				vm.uncharge(st, f)
+				return obj.Nil(), errBadField(code, "access")
+			}
+			fr.regs[in.Dst] = o.Fields[in.Index]
+			br, aerr := arithVal(st, f, fr)
+			if aerr != nil {
+				return obj.Nil(), aerr
+			}
+			if br {
+				pc = f.F
+				continue
+			}
+		case opLoadEArith:
+			f := in.Fused
+			o := fr.regs[in.A].Obj
+			if o == nil {
+				vm.uncharge(st, f)
+				return obj.Nil(), errElemNonObject(code, "load")
+			}
+			i := fr.regs[in.B].I
+			if i < 0 || i >= int64(len(o.Elems)) {
+				vm.uncharge(st, f)
+				return obj.Nil(), errElemOOB(code, "load", i, len(o.Elems))
+			}
+			fr.regs[in.Dst] = o.Elems[i]
+			br, aerr := arithVal(st, f, fr)
+			if aerr != nil {
+				return obj.Nil(), aerr
+			}
+			if br {
+				pc = f.F
+				continue
+			}
+		case opArithCmpBr:
+			f := in.Fused
+			br, aerr := arithVal(st, in, fr)
+			if aerr != nil {
+				vm.uncharge(st, f)
+				return obj.Nil(), aerr
+			}
+			if br {
+				vm.uncharge(st, f)
+				pc = in.F
+				continue
+			}
+			if f.bounds {
+				st.BoundsChecks++
+			}
+			if cmpTaken(f.COp, fr.regs[f.A], fr.regs[f.B]) {
+				pc = f.T
+			} else {
+				pc = f.F
+			}
+			continue
+		case opArithJmp:
+			f := in.Fused
+			br, aerr := arithVal(st, in, fr)
+			if aerr != nil {
+				vm.uncharge(st, f)
+				return obj.Nil(), aerr
+			}
+			if br {
+				vm.uncharge(st, f)
+				pc = in.F
+				continue
+			}
+			pc = f.T
+			continue
+		case opConstArithCmpBr:
+			f := in.Fused
+			g := f.Fused
+			fr.regs[in.Dst] = in.Val
+			br, aerr := arithVal(st, f, fr)
+			if aerr != nil {
+				vm.uncharge(st, g)
+				return obj.Nil(), aerr
+			}
+			if br {
+				vm.uncharge(st, g)
+				pc = f.F
+				continue
+			}
+			if g.bounds {
+				st.BoundsChecks++
+			}
+			if cmpTaken(g.COp, fr.regs[g.A], fr.regs[g.B]) {
+				pc = g.T
+			} else {
+				pc = g.F
+			}
+			continue
+		default:
+			return obj.Nil(), &RuntimeError{Msg: "bad opcode " + in.Op.String()}
+		}
+		pc++
+	}
+	if len(fr.regs) > RegSelf {
+		return fr.regs[RegSelf], nil
+	}
+	return obj.Nil(), nil
+}
+
+// uncharge backs out the precharged cost of a superinstruction's
+// unexecuted tail: when a constituent faults or branches to its
+// overflow target, the remaining constituents never run, and the
+// modelled Stats must match the unfused stream, which would never have
+// dispatched them.
+func (vm *VM) uncharge(st *RunStats, sub *Instr) {
+	for ; sub != nil; sub = sub.Fused {
+		st.Cycles -= sub.Cost + vm.InstrExtra
+		st.Instrs--
+	}
+}
+
+// arithVal executes the arithmetic of in, writing the result register
+// on success. branchF reports that control must transfer to the
+// instruction's overflow target (checked overflow, or checked division
+// by zero); err reports an unchecked-path fault. The static cycle cost
+// — including the overflow-check surcharge when Checked — is precharged
+// via Instr.Cost; only the OvflChecks counter is dynamic, because a
+// checked div/mod by zero branches away before the overflow check runs,
+// exactly as in the unfused interpreter.
+func arithVal(st *RunStats, in *Instr, fr *frame) (branchF bool, err error) {
+	a, b := fr.regs[in.A].I, fr.regs[in.B].I
+	var v int64
+	switch in.AOp {
+	case ir.Add:
+		v = a + b
+	case ir.Sub:
+		v = a - b
+	case ir.Mul:
+		v = a * b
+	case ir.Div:
+		if b == 0 {
+			if in.Checked {
+				return true, nil
+			}
+			return false, &RuntimeError{Msg: "division by zero on unchecked path"}
+		}
+		v = a / b
+	case ir.Mod:
+		if b == 0 {
+			if in.Checked {
+				return true, nil
+			}
+			return false, &RuntimeError{Msg: "modulo by zero on unchecked path"}
+		}
+		v = a % b
+	case ir.BAnd:
+		v = a & b
+	case ir.BOr:
+		v = a | b
+	case ir.BXor:
+		v = a ^ b
+	}
+	if in.Checked {
+		st.OvflChecks++
+		if v < obj.MinSmallInt || v > obj.MaxSmallInt {
+			return true, nil
+		}
+	}
+	fr.regs[in.Dst] = obj.Int(v)
+	return false, nil
+}
+
+func cmpTaken(op ir.CmpKind, a, b obj.Value) bool {
+	switch op {
+	case ir.LT:
+		return a.I < b.I
+	case ir.LE:
+		return a.I <= b.I
+	case ir.GT:
+		return a.I > b.I
+	case ir.GE:
+		return a.I >= b.I
+	case ir.EQ:
+		return a.Eq(b)
+	case ir.NE:
+		return !a.Eq(b)
+	}
+	return false
+}
+
+// makeVector executes NewVec: the base cost is precharged via
+// Instr.Cost, the size-dependent fill cost is charged here. On the
+// negative-size fault the base is uncharged — the unfused interpreter
+// faulted before charging anything for this instruction.
+func (vm *VM) makeVector(st *RunStats, fr *frame, in *Instr) error {
+	n := fr.regs[in.A].I
+	if n < 0 {
+		// Reachable when the compiler's size guard was removed
+		// (StaticIdeal); without this check make([]Value, n) would
+		// panic the Go runtime.
+		st.Cycles -= CostNewVecBase
+		return &RuntimeError{Msg: "negative vector size on unchecked path"}
+	}
+	st.Cycles += n >> NewVecFillShift
+	st.Allocs++
+	fill := obj.Nil()
+	if in.B != ir.NoReg {
+		fill = fr.regs[in.B]
+	}
+	fr.regs[in.Dst] = obj.Obj(vm.World.NewVector(int(n), fill))
+	return nil
+}
+
+// makeClone executes CloneOp; the base cost is precharged, the
+// per-field copy cost is charged here.
+func (vm *VM) makeClone(st *RunStats, fr *frame, in *Instr) {
+	src := fr.regs[in.A]
+	if src.K != obj.KObj {
+		fr.regs[in.Dst] = src // immediates clone to themselves
+		return
+	}
+	st.Cycles += int64(len(src.Obj.Fields)+len(src.Obj.Elems)) * CostClonePerField
+	st.Allocs++
+	fr.regs[in.Dst] = obj.Obj(src.Obj.Clone())
+}
+
+// makeBlock executes MkBlk. Closure creation pins the frame: captured
+// registers are taken by address and the closure's non-local-return
+// home references the frame itself, so the frame must never return to
+// the pool when this activation ends (see pool.go).
+func (vm *VM) makeBlock(st *RunStats, fr *frame, in *Instr) {
+	fr.escaped = true
+	st.Allocs++
+	cl := &obj.Closure{Ast: in.Blk, Map: vm.World.BlockMap, UpLocals: map[string]*obj.Value{}}
+	for _, cap := range in.Caps {
+		switch {
+		case cap.ByValue && cap.FromUp:
+			v := *fr.up[cap.Name]
+			cl.UpLocals[cap.Name] = &v
+		case cap.ByValue:
+			v := fr.regs[cap.Src]
+			cl.UpLocals[cap.Name] = &v
+		case cap.FromUp:
+			cl.UpLocals[cap.Name] = fr.up[cap.Name]
+		default:
+			cl.UpLocals[cap.Name] = &fr.regs[cap.Src]
+		}
+	}
+	// The closure's home for non-local return: a landing in this frame
+	// when the home method was inlined here, otherwise this frame's own
+	// home (method frames are their own home; block frames inherited
+	// theirs).
+	if in.Resume >= 0 {
+		cl.Home = homeRef{fr: fr, resume: in.Resume, reg: in.A}
+	} else {
+		cl.Home = fr.home
+	}
+	fr.regs[in.Dst] = obj.Blk(cl)
+}
+
+// failError builds the error for an ir.Fail instruction, classifying by
+// the failure the compiler baked in: statically unresolvable sends and
+// the _Error primitive (which the prelude's primitiveFailed: routes
+// through) carry kinds.
+func failError(code *Code, fr *frame, in *Instr) error {
+	msg := in.Sel
+	if in.A != ir.NoReg {
+		msg += ": " + fr.regs[in.A].String()
+	}
+	kind := KindError
+	switch {
+	case strings.HasPrefix(in.Sel, "doesNotUnderstand:"):
+		kind = KindDoesNotUnderstand
+	case strings.HasPrefix(in.Sel, "_Error"):
+		kind = KindPrimitiveFailed
+	}
+	return &RuntimeError{Kind: kind, Msg: fmt.Sprintf("%s (in %s)", msg, code.Name)}
+}
+
+func errBadField(code *Code, what string) error {
+	return &RuntimeError{Msg: fmt.Sprintf("%s: bad field %s", code.Name, what)}
+}
+
+// The unchecked element-access path distinguishes its two failure
+// modes: a receiver that is not a heap object at all (nil or an
+// immediate, so there is nothing to index) versus an index outside the
+// vector's bounds.
+func errElemNonObject(code *Code, what string) error {
+	return &RuntimeError{Msg: fmt.Sprintf("%s: element %s on non-object receiver (unchecked path)", code.Name, what)}
+}
+
+func errElemOOB(code *Code, what string, i int64, n int) error {
+	return &RuntimeError{Msg: fmt.Sprintf("%s: element %s index %d out of bounds (length %d) (unchecked path)", code.Name, what, i, n)}
+}
+
+// argVals gathers argument registers into a per-VM scratch buffer,
+// avoiding a Go allocation per send. Safe because every consumer
+// (invoke, invokeClosure, execPrim, the assignment-slot store) copies
+// or fully consumes the values before any nested guest execution could
+// refill the buffer.
 func (vm *VM) argVals(regs []ir.Reg, fr *frame) []obj.Value {
-	out := make([]obj.Value, len(regs))
+	if cap(vm.argScratch) < len(regs) {
+		vm.argScratch = make([]obj.Value, len(regs), len(regs)+8)
+	}
+	out := vm.argScratch[:len(regs)]
 	for i, r := range regs {
 		out[i] = fr.regs[r]
 	}
@@ -828,7 +1336,8 @@ func (vm *VM) invokeClosure(cl *obj.Closure, args []obj.Value) (obj.Value, error
 		vm.depth--
 		return obj.Nil(), &RuntimeError{Kind: KindStackOverflow, Msg: "stack overflow"}
 	}
-	fr := &frame{regs: make([]obj.Value, code.NumRegs), up: cl.UpLocals}
+	fr := vm.getFrame(code.NumRegs)
+	fr.up = cl.UpLocals
 	fr.home, _ = cl.Home.(homeRef)
 	for i, a := range args {
 		if RegParamBase+i < len(fr.regs) {
@@ -838,6 +1347,7 @@ func (vm *VM) invokeClosure(cl *obj.Closure, args []obj.Value) (obj.Value, error
 	defer func() {
 		fr.dead = true
 		vm.depth--
+		vm.putFrame(fr)
 	}()
 	return vm.exec(code, fr)
 }

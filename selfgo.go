@@ -265,6 +265,9 @@ func (s *System) newVM() *vm.VM {
 				return nil, fmt.Errorf("compiling %s: %w", meth, err)
 			}
 			c := vm.Assemble(g)
+			if !cfg.NoSuperinstructions {
+				vm.Fuse(c)
+			}
 			s.log.add(MethodCompile{Name: c.Name, Stats: *st, Bytes: c.Bytes})
 			return c, nil
 		})
@@ -276,6 +279,9 @@ func (s *System) newVM() *vm.VM {
 				return nil, fmt.Errorf("compiling block at %s: %w", b.P, err)
 			}
 			c := vm.Assemble(g)
+			if !cfg.NoSuperinstructions {
+				vm.Fuse(c)
+			}
 			c.IsBlock = true
 			s.log.add(MethodCompile{Name: c.Name, Stats: *st, Bytes: c.Bytes})
 			return c, nil
