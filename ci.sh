@@ -30,6 +30,18 @@ go test -race $short ./...
 echo "== host-bench smoke"
 go test -run=NONE -bench=BenchmarkHost -benchtime=1x .
 
+# Adaptive smoke: richards under an adaptive tier schedule with a low
+# promotion threshold must install at least one background promotion
+# (-assert-promoted fails otherwise) and keep its check value.
+echo "== adaptive smoke"
+go run ./cmd/selfbench -bench richards -tier adaptive -promote 50 -assert-promoted -q
+
+# Tier differential: -tier=opt must stay bit-identical to the
+# hand-built pre-tiering compile path in every modelled quantity,
+# across the full benchmark suite.
+echo "== tier differential"
+go test -run 'TestTierOptBitIdentical' .
+
 # Fuzz smoke: a short budget per front-end fuzzer, enough to catch
 # easy regressions in the lexer and parser without stalling CI.
 # Trimmed from -short runs.

@@ -14,6 +14,7 @@
 //	selfbench -bench richards          # one benchmark across all systems
 //	selfbench -workers 8               # concurrent VMs against one shared code cache
 //	selfbench -hostbench               # host wall-clock speed (BENCH_host.json schema)
+//	selfbench -tier adaptive -promote 50 -bench richards   # adaptive-mode measurement
 //	selfbench -list                    # list benchmarks
 package main
 
@@ -39,6 +40,9 @@ func main() {
 	workers := flag.Int("workers", 0, "run benchmarks on N concurrent VMs sharing one code cache")
 	reps := flag.Int("reps", 4, "with -workers: benchmark runs per worker")
 	configName := flag.String("config", "new", "compiler config (new, new-multi, old89, old90, st80, c); used by -workers and -hostbench")
+	tierName := flag.String("tier", "opt", "tier schedule: opt (eager optimizing), baseline, adaptive")
+	promote := flag.Int64("promote", 0, "adaptive promotion threshold (invocations+backedges; 0 = default)")
+	assertPromoted := flag.Bool("assert-promoted", false, "with -tier adaptive: exit nonzero unless every measured benchmark installs >= 1 promotion")
 	timeout := flag.Duration("timeout", 0, "with -workers: wall-clock limit per benchmark measurement (e.g. 30s)")
 	fuel := flag.Int64("fuel", 0, "with -workers: instruction budget per benchmark run")
 	hostbench := flag.Bool("hostbench", false, "measure host wall-clock speed per benchmark and print BENCH_host.json to stdout")
@@ -84,12 +88,28 @@ func main() {
 		return
 	}
 
+	mode, err := selfgo.TierModeByName(*tierName)
+	if err != nil {
+		fatal(err)
+	}
+
 	if *hostbench {
 		cfg, err := cli.ConfigByName(*configName)
 		if err != nil {
 			fatal(err)
 		}
-		if err := runHostBench(cfg, *one, *hostbase, *quiet); err != nil {
+		if err := runHostBench(cfg, mode, *promote, *one, *hostbase, *quiet); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if mode != selfgo.ModeOpt {
+		cfg, err := cli.ConfigByName(*configName)
+		if err != nil {
+			fatal(err)
+		}
+		if err := runTiered(cfg, mode, *promote, *one, *assertPromoted, *quiet); err != nil {
 			fatal(err)
 		}
 		return
@@ -207,12 +227,48 @@ func runWorkers(cfg selfgo.Config, workers, reps int, filter string, lim bench.L
 	return nil
 }
 
+// runTiered measures every benchmark (or the one named by filter)
+// under a non-default tier schedule, printing the cold-vs-steady
+// modelled cost and the promotion activity. With assertPromoted, it
+// fails unless each measured benchmark installed at least one
+// promotion — the CI smoke check for adaptive mode.
+func runTiered(cfg selfgo.Config, mode selfgo.TierMode, threshold int64, filter string, assertPromoted, quiet bool) error {
+	benches := bench.All()
+	if filter != "" {
+		b, ok := bench.ByName(filter)
+		if !ok {
+			return fmt.Errorf("unknown benchmark %q (try -list)", filter)
+		}
+		benches = []bench.Benchmark{b}
+	}
+	if !quiet {
+		fmt.Printf("tier schedule %q, config %q, promotion threshold %d\n\n", mode, cfg.Name, threshold)
+	}
+	fmt.Printf("%-12s %12s %14s %14s %10s %10s %10s %12s\n",
+		"benchmark", "value", "cold cycles", "steady cycles", "promoted", "fails", "discards", "mean promote")
+	for _, b := range benches {
+		m, err := bench.RunTiered(b, cfg, mode, threshold)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12s %12d %14d %14d %10d %10d %10d %12s\n",
+			m.Bench, m.Value, m.FirstRun.Cycles, m.SteadyRun.Cycles,
+			m.Promotions.Installed, m.Promotions.Fails, m.Promotions.Discards,
+			m.Promotions.MeanLatency.Round(time.Microsecond))
+		if assertPromoted && mode == selfgo.ModeAdaptive && m.Promotions.Installed < 1 {
+			return fmt.Errorf("%s: adaptive run installed no promotions (RunStats promotions=%d)",
+				m.Bench, m.FirstRun.Promotions)
+		}
+	}
+	return nil
+}
+
 // runHostBench measures host wall-clock speed (ns/op, guest-instrs/s,
 // Go allocs/op) for every benchmark — or just the one named by filter —
 // under cfg, and prints a BENCH_host.json document to stdout. With
 // basePath, the previous file's records ride along as the baseline and
 // the geomean guest-instrs/sec speedup against them is computed.
-func runHostBench(cfg selfgo.Config, filter, basePath string, quiet bool) error {
+func runHostBench(cfg selfgo.Config, mode selfgo.TierMode, threshold int64, filter, basePath string, quiet bool) error {
 	benches := bench.All()
 	if filter != "" {
 		b, ok := bench.ByName(filter)
@@ -228,9 +284,20 @@ func runHostBench(cfg selfgo.Config, filter, basePath string, quiet bool) error 
 				r.Bench, r.Config, r.NsPerOp, r.GuestMInstrsPerSec, r.AllocsPerOp)
 		}
 	}
+	// The eager records are always measured (they are the pinned
+	// comparison point); a non-default tier schedule rides along as a
+	// second record set, so the file tracks adaptive vs eager speed on
+	// the same build.
 	recs, err := bench.HostBench(cfg, benches, progress)
 	if err != nil {
 		return err
+	}
+	if mode != selfgo.ModeOpt {
+		tiered, err := bench.HostBenchMode(cfg, benches, mode, threshold, progress)
+		if err != nil {
+			return err
+		}
+		recs = append(recs, tiered...)
 	}
 	out := bench.HostFile{
 		Note:    "host wall-clock speed; modelled quantities are pinned separately by BENCH_guard.json",

@@ -5,6 +5,7 @@
 //
 //	selfrun [-config new] [-args 1,2,3] [-stats] file.self... selector
 //	selfrun -workers 8 file.self... selector   # N concurrent VMs, shared code cache
+//	selfrun -tier adaptive -promote 100 -stats file.self... selector
 //	selfrun -e '| s <- 0 | 1 to: 10 Do: [ :i | s: s + i ]. s'
 package main
 
@@ -26,6 +27,8 @@ import (
 
 func main() {
 	configName := flag.String("config", "new", "compiler: new, new-multi, old89, old90, st80, c")
+	tierName := flag.String("tier", "opt", "tier schedule: opt (eager optimizing), baseline, adaptive")
+	promote := flag.Int64("promote", 0, "adaptive promotion threshold (invocations+backedges; 0 = default)")
 	expr := flag.String("e", "", "evaluate an expression sequence instead of calling a selector")
 	argList := flag.String("args", "", "comma-separated integer arguments for the selector")
 	stats := flag.Bool("stats", false, "print run statistics")
@@ -54,12 +57,18 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	mode, err := selfgo.TierModeByName(*tierName)
+	if err != nil {
+		fatal(err)
+	}
 	var sys *selfgo.System
 	if *workers > 0 {
 		if *expr != "" {
 			fatal(fmt.Errorf("-workers runs a selector; it cannot be combined with -e"))
 		}
-		sys, err = selfgo.NewSharedSystem(cfg)
+		sys, err = selfgo.NewTieredSystem(cfg, mode, *promote)
+	} else if mode != selfgo.ModeOpt {
+		sys, err = selfgo.NewTieredSystem(cfg, mode, *promote)
 	} else {
 		sys, err = selfgo.NewSystem(cfg)
 	}
@@ -135,6 +144,15 @@ func main() {
 			fmt.Printf(" (%d degraded)", res.Compile.Degraded)
 		}
 		fmt.Println()
+		if sys.Mode == selfgo.ModeAdaptive {
+			sys.DrainPromotions()
+			ps := sys.PromotionStats()
+			tiers := sys.TierCounts()
+			fmt.Printf("adaptive: harvests=%d promotions=%d installed=%d fails=%d discards=%d meanLatency=%v compiles=[baseline %d, optimizing %d, degraded %d]\n",
+				res.Run.Harvests, res.Run.Promotions, ps.Installed, ps.Fails, ps.Discards,
+				ps.MeanLatency.Round(time.Microsecond),
+				tiers["baseline"], tiers["optimizing"], tiers["degraded"])
+		}
 	}
 }
 
@@ -184,6 +202,12 @@ func runWorkers(ctx context.Context, root *selfgo.System, n int, sel string, arg
 		st, _ := root.CacheStats()
 		fmt.Printf("%d workers in %v; shared cache: %d compiled, %d hits, %d waits, %d evicted, compile-once=%v\n",
 			n, elapsed.Round(time.Microsecond), st.Misses, st.Hits, st.Waits, st.Evicted, st.CompileOnce())
+		if root.Mode == selfgo.ModeAdaptive {
+			root.DrainPromotions()
+			ps := root.PromotionStats()
+			fmt.Printf("adaptive: promotions installed=%d fails=%d discards=%d meanLatency=%v\n",
+				ps.Installed, ps.Fails, ps.Discards, ps.MeanLatency.Round(time.Microsecond))
+		}
 	}
 	return nil
 }

@@ -28,6 +28,18 @@ type HostRecord struct {
 	GuestMInstrsPerSec float64 `json:"guestMInstrsPerSec"` // million guest instrs / wall second
 	AllocsPerOp        int64   `json:"allocsPerOp"`        // Go allocations per run (steady state)
 	BytesPerOp         int64   `json:"bytesPerOp"`         // Go bytes allocated per run
+
+	// Tier-schedule fields, present only for non-default schedules
+	// (eager optimizing records keep them empty so files from before
+	// tiering still match as geomean baselines). Compile counts are per
+	// tier; PromoteNsMean is the mean hot-trigger-to-install latency of
+	// the promotions the warm-up performed.
+	TierMode           string `json:"tierMode,omitempty"`
+	BaselineCompiles   int    `json:"baselineCompiles,omitempty"`
+	OptimizingCompiles int    `json:"optimizingCompiles,omitempty"`
+	DegradedCompiles   int    `json:"degradedCompiles,omitempty"`
+	Promotions         int64  `json:"promotions,omitempty"`
+	PromoteNsMean      int64  `json:"promoteNsMean,omitempty"`
 }
 
 // HostFile is the schema of BENCH_host.json. Records holds the current
@@ -47,7 +59,22 @@ type HostFile struct {
 // caches filled, result checked) before timing, so the measurement is
 // steady-state interpretation, not compilation.
 func HostBenchOne(cfg selfgo.Config, b Benchmark) (*HostRecord, error) {
-	sys, err := selfgo.NewSystem(cfg)
+	return HostBenchOneMode(cfg, b, selfgo.ModeOpt, 0)
+}
+
+// HostBenchOneMode is HostBenchOne under a tier schedule. For
+// non-default schedules the warm-up additionally drains background
+// promotions (so adaptive mode is timed on its promoted steady state)
+// and the record carries the per-tier compile counts and promotion
+// latency.
+func HostBenchOneMode(cfg selfgo.Config, b Benchmark, mode selfgo.TierMode, threshold int64) (*HostRecord, error) {
+	var sys *selfgo.System
+	var err error
+	if mode == selfgo.ModeOpt {
+		sys, err = selfgo.NewSystem(cfg)
+	} else {
+		sys, err = selfgo.NewTieredSystem(cfg, mode, threshold)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -60,6 +87,14 @@ func HostBenchOne(cfg selfgo.Config, b Benchmark) (*HostRecord, error) {
 	}
 	if b.HasExpect && warm.Value.I != b.Expect {
 		return nil, fmt.Errorf("%s under %s: got %d, want %d", b.Name, cfg.Name, warm.Value.I, b.Expect)
+	}
+	if mode != selfgo.ModeOpt {
+		// Let in-flight promotions land and take one more warm lap so
+		// the timed loop runs the promoted code.
+		sys.DrainPromotions()
+		if warm, err = sys.Call(b.Entry); err != nil {
+			return nil, fmt.Errorf("%s under %s (steady): %w", b.Name, cfg.Name, err)
+		}
 	}
 	instrs := warm.Run.Instrs
 
@@ -89,14 +124,29 @@ func HostBenchOne(cfg selfgo.Config, b Benchmark) (*HostRecord, error) {
 	if ns > 0 {
 		rec.GuestMInstrsPerSec = float64(instrs) / (float64(ns) / 1e9) / 1e6
 	}
+	if mode != selfgo.ModeOpt {
+		rec.TierMode = mode.String()
+		tiers := sys.TierCounts()
+		rec.BaselineCompiles = tiers["baseline"]
+		rec.OptimizingCompiles = tiers["optimizing"]
+		rec.DegradedCompiles = tiers["degraded"]
+		ps := sys.PromotionStats()
+		rec.Promotions = ps.Installed
+		rec.PromoteNsMean = ps.MeanLatency.Nanoseconds()
+	}
 	return rec, nil
 }
 
 // HostBench measures benches under cfg, in order.
 func HostBench(cfg selfgo.Config, benches []Benchmark, progress func(r *HostRecord)) ([]HostRecord, error) {
+	return HostBenchMode(cfg, benches, selfgo.ModeOpt, 0, progress)
+}
+
+// HostBenchMode measures benches under cfg and a tier schedule.
+func HostBenchMode(cfg selfgo.Config, benches []Benchmark, mode selfgo.TierMode, threshold int64, progress func(r *HostRecord)) ([]HostRecord, error) {
 	out := make([]HostRecord, 0, len(benches))
 	for _, b := range benches {
-		rec, err := HostBenchOne(cfg, b)
+		rec, err := HostBenchOneMode(cfg, b, mode, threshold)
 		if err != nil {
 			return nil, err
 		}
@@ -109,16 +159,19 @@ func HostBench(cfg selfgo.Config, benches []Benchmark, progress func(r *HostReco
 }
 
 // HostGeomeanSpeedup returns the geometric mean over matching
-// (bench, config) pairs of after/before guest-instrs-per-second —
-// >1 means the interpreter got faster. Zero when nothing matches.
+// (bench, config, tier-mode) triples of after/before
+// guest-instrs-per-second — >1 means the interpreter got faster. Zero
+// when nothing matches. Eager records carry an empty TierMode, so
+// files written before tiering existed still match.
 func HostGeomeanSpeedup(before, after []HostRecord) float64 {
+	key := func(r HostRecord) string { return r.Bench + "\x00" + r.Config + "\x00" + r.TierMode }
 	base := map[string]HostRecord{}
 	for _, r := range before {
-		base[r.Bench+"\x00"+r.Config] = r
+		base[key(r)] = r
 	}
 	logSum, n := 0.0, 0
 	for _, r := range after {
-		b, ok := base[r.Bench+"\x00"+r.Config]
+		b, ok := base[key(r)]
 		if !ok || b.GuestMInstrsPerSec <= 0 || r.GuestMInstrsPerSec <= 0 {
 			continue
 		}

@@ -107,6 +107,14 @@ type Stats struct {
 	Waits   int64 // Get blocked on another goroutine's compile
 	Evicted int64 // entries removed by invalidation
 	Entries int64 // entries currently resident
+
+	// Promotion outcomes (see Promote). A promotion swaps an entry in
+	// place, so it affects none of the counters above: CompileOnce
+	// keeps holding in adaptive runs, with the higher-tier recompiles
+	// accounted here instead.
+	Promotions      int64 // promoted code installed
+	PromoteFails    int64 // promotion compile failed or panicked
+	PromoteDiscards int64 // promoted code discarded (entry invalidated meanwhile)
 }
 
 // Add accumulates o into s.
@@ -116,6 +124,9 @@ func (s *Stats) Add(o Stats) {
 	s.Waits += o.Waits
 	s.Evicted += o.Evicted
 	s.Entries += o.Entries
+	s.Promotions += o.Promotions
+	s.PromoteFails += o.PromoteFails
+	s.PromoteDiscards += o.PromoteDiscards
 }
 
 // entry is one cached compilation. done is closed when val/err are
@@ -137,7 +148,13 @@ type shard[V any] struct {
 	// by a successful compile or by invalidation.
 	fails map[Key]int
 
-	hits, misses, waits, evicted int64
+	// promoting marks keys with a tier-promotion flight in progress
+	// (see Promote); concurrent Promote calls for such a key return
+	// false instead of starting a second compile.
+	promoting map[Key]bool
+
+	hits, misses, waits, evicted                int64
+	promotions, promoteFails, promoteDiscards int64
 }
 
 // maxCompileFails bounds retry storms: after this many consecutive
@@ -168,8 +185,13 @@ type Cache[V any] struct {
 	// gen counts invalidations. VMs keep private read-through memos of
 	// resolved code (sends are far hotter than compiles — a shard lock
 	// per send would serialize the workers) and drop them whenever the
-	// generation moves, so eviction still reaches every VM.
+	// generation moves, so eviction still reaches every VM. Successful
+	// promotions bump it too: swapping in higher-tier code must reach
+	// every VM's memo the same way eviction does.
 	gen atomic.Int64
+
+	// promWG tracks in-flight promotion goroutines (DrainPromotions).
+	promWG sync.WaitGroup
 }
 
 // Generation returns the invalidation epoch. Any privately memoized
@@ -182,6 +204,7 @@ func New[V any]() *Cache[V] {
 	for i := range c.shards {
 		c.shards[i].entries = map[Key]*entry[V]{}
 		c.shards[i].fails = map[Key]int{}
+		c.shards[i].promoting = map[Key]bool{}
 	}
 	return c
 }
@@ -349,6 +372,8 @@ func (c *Cache[V]) ShardStats() []Stats {
 		out[i] = Stats{
 			Hits: s.hits, Misses: s.misses, Waits: s.waits,
 			Evicted: s.evicted, Entries: int64(len(s.entries)),
+			Promotions: s.promotions, PromoteFails: s.promoteFails,
+			PromoteDiscards: s.promoteDiscards,
 		}
 		s.mu.Unlock()
 	}

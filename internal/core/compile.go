@@ -30,7 +30,16 @@ func New(world *obj.World, cfg Config) *Compiler {
 // customization disabled (or rmap nil) the receiver is unknown, as in
 // Smalltalk-80. Returns the optimized control flow graph.
 func (c *Compiler) CompileMethod(meth *obj.Method, rmap *obj.Map) (*ir.Graph, *Stats, error) {
+	return c.compileMethodFB(meth, rmap, nil)
+}
+
+// compileMethodFB is CompileMethod seeded with receiver-map type
+// feedback harvested from a lower tier's inline caches (nil feedback
+// compiles bit-identically to CompileMethod); the Pipeline's hot
+// recompiles use it.
+func (c *Compiler) compileMethodFB(meth *obj.Method, rmap *obj.Map, fb *types.Feedback) (*ir.Graph, *Stats, error) {
 	cp := newCompilation(c)
+	cp.fb = fb
 	name := meth.String()
 	if c.Cfg.Customization && rmap != nil {
 		name = fmt.Sprintf("%s>>%s", rmap.Name, meth.Sel)
@@ -79,7 +88,14 @@ func (c *Compiler) CompileMethod(meth *obj.Method, rmap *obj.Map) (*ir.Graph, *S
 // MkBlk instruction recorded), so compilation agrees with the runtime
 // representation.
 func (c *Compiler) CompileBlock(blk *ast.Block, upNames []string) (*ir.Graph, *Stats, error) {
+	return c.compileBlockFB(blk, upNames, nil)
+}
+
+// compileBlockFB is CompileBlock with optional type feedback (see
+// compileMethodFB).
+func (c *Compiler) compileBlockFB(blk *ast.Block, upNames []string, fb *types.Feedback) (*ir.Graph, *Stats, error) {
 	cp := newCompilation(c)
+	cp.fb = fb
 	g := ir.NewGraph(fmt.Sprintf("block@%s", blk.P))
 	cp.g = g
 
@@ -134,6 +150,12 @@ type compilation struct {
 	topScope    *scope          // the outermost (non-inlined) scope
 	mergeSeq    int
 	err         error
+
+	// fb is receiver-map type feedback from a lower tier's inline
+	// caches (nil outside feedback-seeded recompiles); sendUnknown
+	// consults it when neither static types nor prediction decide a
+	// receiver.
+	fb *types.Feedback
 
 	protoCache map[*ast.ObjectLit]obj.Value
 }

@@ -237,34 +237,13 @@ var (
 )
 
 // Degraded is the fallback tier used when an optimizing compilation
-// fails or panics: splitting, method inlining, type and range
-// analysis, multi-version loops, comparison facts and the
-// static-ideal check removal are switched off, landing on the simple,
-// well-exercised ST-80-shaped repertoire (robust inlined primitives,
-// special-selector prediction, pessimistic loops). Degraded code is
-// slower but carries every run-time check, so a bug in an optimization
-// pass degrades one method's code quality instead of failing the
-// request (the tier-fallback shape of basic-block-versioning JITs).
-// Customization is kept as-is: the cache key still carries the
-// receiver map, and compiling a customized key without exploiting the
-// map is sound, merely less specialized.
+// fails or panics (the tier-fallback shape of basic-block-versioning
+// JITs). It is TierDegraded applied to c — see tier.go for the single
+// table all tiers derive from. Customization is kept as-is: the cache
+// key still carries the receiver map, and compiling a customized key
+// without exploiting the map is sound, merely less specialized.
 func Degraded(c Config) Config {
-	c.Name = c.Name + " (degraded)"
-	c.TypeAnalysis = false
-	c.RangeAnalysis = false
-	c.InlineMethods = false
-	c.LocalSplitting = false
-	c.ExtendedSplitting = false
-	c.IterativeLoops = false
-	c.MultiVersionLoops = false
-	c.MaxLoopIterations = 1
-	c.MaxFlows = 2
-	c.InlineDepth = 1
-	c.InlineBudget = 0
-	c.StaticIdeal = false
-	c.ComparisonFacts = false
-	c.AnnotateTypes = false
-	return c
+	return TierDegraded.Apply(c)
 }
 
 func withMultiLoop(c Config) Config {
@@ -290,5 +269,10 @@ type Stats struct {
 	FoldedPrims    int // constant-folded primitives
 	RemovedOvfl    int // overflow checks removed by range analysis
 	RemovedTests   int // type tests eliminated by analysis
+	FeedbackTests  int // run-time type tests inserted from harvested PIC feedback
 	Nodes          int // reachable IR nodes emitted
+
+	// Passes is the per-pass breakdown recorded by Pipeline compiles
+	// (nil when a bare Compiler was driven directly); see PassStat.
+	Passes []PassStat
 }

@@ -221,7 +221,53 @@ func (cp *compilation) sendUnknown(f *flow, rr ir.Reg, sel string, args []ir.Reg
 			return cp.predictBool(f, rr, sel, args, sc)
 		}
 	}
+	if maps := cp.fb.Maps(sel); len(maps) > 0 {
+		return cp.feedbackSplit(f, rr, maps, sel, args, sc)
+	}
 	return cp.emitDynSend(f, rr, sel, args, false)
+}
+
+// feedbackSplit compiles a send on a statically-unknown receiver using
+// harvested type feedback: the receiver is tested against each observed
+// map in turn and the send is compiled statically (usually inlined)
+// along every passing branch, with a dynamically-dispatched send left
+// on the final fall-through — structurally identical to predictSplit,
+// but driven by what a lower tier's inline caches actually saw rather
+// than by the selector's statistical prior. Always sound: a receiver
+// matching none of the observed maps takes the dynamic send.
+func (cp *compilation) feedbackSplit(f *flow, rr ir.Reg, maps []*obj.Map, sel string, args []ir.Reg, sc *scope) ([]*flow, ir.Reg) {
+	dst := cp.g.NewReg()
+	var out []*flow
+	rest := f
+	for _, m := range maps {
+		if rest == nil {
+			break
+		}
+		if types.Disjoint(rest.env.get(rr), types.NewClass(m, cp.intMap()), cp.intMap()) {
+			continue
+		}
+		pass, fail := cp.emitTypeTest(rest, rr, m)
+		cp.stats.FeedbackTests++
+		if pass != nil {
+			// Every observed map is a common case: do not let the
+			// previous test's fall-through mark this branch uncommon.
+			pass.uncommon = f.uncommon
+			fs, res := cp.sendOne(pass, rr, sel, args, sc)
+			out = append(out, cp.moveInto(fs, dst, res)...)
+		}
+		rest = fail
+	}
+	if rest != nil {
+		fs, res := cp.emitDynSend(rest, rr, sel, args, false)
+		out = append(out, cp.moveInto(fs, dst, res)...)
+	}
+	if len(out) == 0 {
+		// Defensive: every branch proved impossible (cannot normally
+		// happen — the dynamic fall-through only folds away when a test
+		// always passes, which produces a pass branch).
+		return cp.emitDynSend(f, rr, sel, args, false)
+	}
+	return out, dst
 }
 
 // predictSplit tests the receiver against a predicted map and compiles

@@ -1,0 +1,62 @@
+package types
+
+import "selfgo/internal/obj"
+
+// Feedback is receiver-map type feedback harvested from a running
+// tier's inline caches: for each selector, the receiver maps its send
+// sites actually observed. A higher compilation tier seeds its type
+// analysis with it — a send whose receiver is statically unknown gets
+// a run-time type test against the observed map(s), and the compiler
+// statically binds (and usually inlines) the send along each passing
+// branch, exactly as type prediction does for well-known selectors.
+//
+// Feedback is advisory and always sound to apply: an observed map that
+// no longer matches at run time simply falls through the test to the
+// dynamically-dispatched send. A nil *Feedback means "no feedback" and
+// leaves compilation bit-identical to the eager path.
+type Feedback struct {
+	Sels map[string][]*obj.Map
+}
+
+// NewFeedback returns an empty feedback set.
+func NewFeedback() *Feedback {
+	return &Feedback{Sels: map[string][]*obj.Map{}}
+}
+
+// Add records that sel was observed with receiver map m (deduplicated;
+// insertion order is preserved so the hottest — first-observed — map
+// is tested first).
+func (f *Feedback) Add(sel string, m *obj.Map) {
+	if m == nil {
+		return
+	}
+	for _, have := range f.Sels[sel] {
+		if have == m {
+			return
+		}
+	}
+	f.Sels[sel] = append(f.Sels[sel], m)
+}
+
+// Drop forgets a selector (used by harvesters to discard megamorphic
+// sites, where testing a few maps would not pay).
+func (f *Feedback) Drop(sel string) {
+	delete(f.Sels, sel)
+}
+
+// Maps returns the observed receiver maps for sel (nil when none, or
+// when f itself is nil).
+func (f *Feedback) Maps(sel string) []*obj.Map {
+	if f == nil {
+		return nil
+	}
+	return f.Sels[sel]
+}
+
+// Len returns the number of selectors carrying feedback.
+func (f *Feedback) Len() int {
+	if f == nil {
+		return 0
+	}
+	return len(f.Sels)
+}

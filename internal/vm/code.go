@@ -3,6 +3,7 @@ package vm
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"selfgo/internal/ast"
 	"selfgo/internal/ir"
@@ -112,6 +113,35 @@ func (ic *inlineCache) picStore(vm *VM, m *obj.Map, slot *obj.Slot, holder *obj.
 	ic.pic = append(ic.pic, picEntry{m: m, slot: slot, holder: holder})
 }
 
+// Origin identifies what a Code object was compiled from: the method
+// and the receiver map it was customized for (RMap nil when
+// customization is off). The zero Origin marks code that cannot be
+// tier-promoted (blocks, scratch methods).
+type Origin struct {
+	Meth *obj.Method
+	RMap *obj.Map
+}
+
+// HotCounts is a Code's execution-frequency state for tier promotion:
+// invocations and loop backedges, each one atomic add on the fast path
+// (shared Code is executed by many VMs at once). Promotion fires once
+// per Code — the requested flag is a CAS so exactly one VM's OnHot
+// hook runs even when several cross the threshold together.
+type HotCounts struct {
+	invocations atomic.Int64
+	backedges   atomic.Int64
+	requested   atomic.Bool
+}
+
+// Invocations returns how many times the code was entered.
+func (h *HotCounts) Invocations() int64 { return h.invocations.Load() }
+
+// Backedges returns how many backward jumps the code executed.
+func (h *HotCounts) Backedges() int64 { return h.backedges.Load() }
+
+// Requested reports whether promotion was already requested.
+func (h *HotCounts) Requested() bool { return h.requested.Load() }
+
 // Code is one compiled method or block.
 type Code struct {
 	Name    string
@@ -123,6 +153,21 @@ type Code struct {
 	// IsBlock marks out-of-line block code (self arrives via the
 	// closure, parameters start at register 2).
 	IsBlock bool
+
+	// TierLabel names the compilation tier that produced this code
+	// ("baseline", "optimizing", "degraded"); empty when the builder
+	// does not tier. Informational — it never affects execution.
+	TierLabel string
+
+	// Origin is the (method, receiver map) this code was compiled
+	// from, set by tiering builders so a hot Code can be recompiled
+	// under the same cache key. Zero for blocks.
+	Origin Origin
+
+	// Hot counts executions for hotness-driven tier promotion. The
+	// counters are charged only while the owning VM has an OnHot hook
+	// installed; they have no modelled-cost impact.
+	Hot HotCounts
 
 	// hasLandings records whether any MkBlk carries a non-local-return
 	// landing (Resume >= 0). When false, exec can skip the

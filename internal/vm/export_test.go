@@ -1,0 +1,17 @@
+package vm
+
+// Bridges for the external test package (vm_test): core now imports vm
+// (the Pipeline owns assembly), so tests that drive the compiler must
+// live outside package vm, and these aliases give them the few internal
+// details they assert on.
+const (
+	OpJmp        = opJmp
+	OpArithJmp   = opArithJmp
+	OpArithCmpBr = opArithCmpBr
+)
+
+var (
+	SizeOf      = sizeOf
+	StaticCost  = staticCost
+	FusedHeadOp = fusedHeadOp
+)

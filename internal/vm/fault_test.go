@@ -1,4 +1,4 @@
-package vm
+package vm_test
 
 import (
 	"context"
@@ -14,13 +14,14 @@ import (
 	"selfgo/internal/obj"
 	"selfgo/internal/parser"
 	"selfgo/internal/prelude"
+	"selfgo/internal/vm"
 )
 
 // kindOf extracts the RuntimeError kind, failing the test when err is
 // not a RuntimeError at all.
-func kindOf(t *testing.T, err error) ErrKind {
+func kindOf(t *testing.T, err error) vm.ErrKind {
 	t.Helper()
-	var re *RuntimeError
+	var re *vm.RuntimeError
 	if !errors.As(err, &re) {
 		t.Fatalf("error %v (%T) is not a *RuntimeError", err, err)
 	}
@@ -43,11 +44,11 @@ func TestSharedCompilePanicContained(t *testing.T) {
 	}
 	w.Finalize()
 
-	shared := codecache.New[*Code]()
+	shared := codecache.New[*vm.Code]()
 	cc := core.New(w, core.NewSELF)
-	newVM := func() *VM {
-		m := &VM{World: w, Customize: true, Shared: shared}
-		m.CompileMethod = func(meth *obj.Method, rmap *obj.Map) (*Code, error) {
+	newVM := func() *vm.VM {
+		m := &vm.VM{World: w, Customize: true, Shared: shared}
+		m.CompileMethod = func(meth *obj.Method, rmap *obj.Map) (*vm.Code, error) {
 			if meth.Sel == "broken" {
 				panic("optimizer bug in " + meth.Sel)
 			}
@@ -55,14 +56,14 @@ func TestSharedCompilePanicContained(t *testing.T) {
 			if err != nil {
 				return nil, err
 			}
-			return Assemble(g), nil
+			return vm.Assemble(g), nil
 		}
-		m.CompileBlock = func(b *ast.Block, upNames []string) (*Code, error) {
+		m.CompileBlock = func(b *ast.Block, upNames []string) (*vm.Code, error) {
 			g, _, err := cc.CompileBlock(b, upNames)
 			if err != nil {
 				return nil, err
 			}
-			c := Assemble(g)
+			c := vm.Assemble(g)
 			c.IsBlock = true
 			return c, nil
 		}
@@ -101,7 +102,7 @@ func TestSharedCompilePanicContained(t *testing.T) {
 		if err == nil {
 			t.Fatalf("VM %d: panicking compile returned no error", i)
 		}
-		if k := kindOf(t, err); k != KindInternal {
+		if k := kindOf(t, err); k != vm.KindInternal {
 			t.Fatalf("VM %d: kind = %v, want KindInternal (err: %v)", i, k, err)
 		}
 	}
@@ -142,7 +143,7 @@ func TestNegativeNewVecUnchecked(t *testing.T) {
 	if err == nil {
 		t.Fatal("negative _NewVec: succeeded on the unchecked path")
 	}
-	var re *RuntimeError
+	var re *vm.RuntimeError
 	if !errors.As(err, &re) {
 		t.Fatalf("negative _NewVec: error %T is not a RuntimeError", err)
 	}
@@ -154,7 +155,7 @@ func TestNegativeNewVecUnchecked(t *testing.T) {
 func TestBudgetPollPreservesCycles(t *testing.T) {
 	src := `loop: n = ( |s <- 0| 1 upTo: n Do: [ :i | s: s + i ]. s ).`
 
-	run := func(budget Budget, ctx context.Context) RunStats {
+	run := func(budget vm.Budget, ctx context.Context) vm.RunStats {
 		h := newHarness(t, core.NewSELF, src)
 		h.vm.Budget = budget
 		r := obj.Lookup(h.w.Lobby.Map, "loop:")
@@ -170,10 +171,10 @@ func TestBudgetPollPreservesCycles(t *testing.T) {
 		return h.vm.Stats
 	}
 
-	plain := run(Budget{}, nil)
+	plain := run(vm.Budget{}, nil)
 	ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
 	defer cancel()
-	budgeted := run(Budget{MaxInstrs: 1 << 40, MaxDepth: 1 << 20, MaxAllocs: 1 << 40}, ctx)
+	budgeted := run(vm.Budget{MaxInstrs: 1 << 40, MaxDepth: 1 << 20, MaxAllocs: 1 << 40}, ctx)
 	if plain.Cycles != budgeted.Cycles || plain.Instrs != budgeted.Instrs {
 		t.Fatalf("budget polling changed the cost model: plain (cycles=%d instrs=%d) vs budgeted (cycles=%d instrs=%d)",
 			plain.Cycles, plain.Instrs, budgeted.Cycles, budgeted.Instrs)

@@ -1,4 +1,4 @@
-package vm
+package vm_test
 
 import (
 	"io"
@@ -9,6 +9,7 @@ import (
 	"selfgo/internal/core"
 	"selfgo/internal/ir"
 	"selfgo/internal/obj"
+	"selfgo/internal/vm"
 )
 
 // newFusedHarness is newHarness with the superinstruction pass applied
@@ -17,18 +18,18 @@ func newFusedHarness(t *testing.T, cfg core.Config, src string) *harness {
 	t.Helper()
 	h := newHarness(t, cfg, src)
 	inner := h.vm.CompileMethod
-	h.vm.CompileMethod = func(m *obj.Method, rmap *obj.Map) (*Code, error) {
+	h.vm.CompileMethod = func(m *obj.Method, rmap *obj.Map) (*vm.Code, error) {
 		c, err := inner(m, rmap)
 		if err == nil {
-			Fuse(c)
+			vm.Fuse(c)
 		}
 		return c, err
 	}
 	innerBlk := h.vm.CompileBlock
-	h.vm.CompileBlock = func(b *ast.Block, upNames []string) (*Code, error) {
+	h.vm.CompileBlock = func(b *ast.Block, upNames []string) (*vm.Code, error) {
 		c, err := innerBlk(b, upNames)
 		if err == nil {
-			Fuse(c)
+			vm.Fuse(c)
 		}
 		return c, err
 	}
@@ -51,9 +52,9 @@ func TestFusePreservesModelledTotals(t *testing.T) {
 	fusedAny := false
 	for _, sel := range []string{"sumTo:", "fib:", "quot:Over:", "square:"} {
 		plain := h.codeFor(t, sel)
-		fused := &Code{Name: plain.Name, NumRegs: plain.NumRegs, Bytes: plain.Bytes}
+		fused := &vm.Code{Name: plain.Name, NumRegs: plain.NumRegs, Bytes: plain.Bytes}
 		fused.Instrs = append(fused.Instrs, plain.Instrs...)
-		Fuse(fused)
+		vm.Fuse(fused)
 
 		var plainCost, fusedCost, fusedN int64
 		for i := range plain.Instrs {
@@ -63,7 +64,7 @@ func TestFusePreservesModelledTotals(t *testing.T) {
 			in := &fused.Instrs[i]
 			fusedN += int64(in.N)
 			fusedCost += in.Cost
-			if _, ok := fusedHeadOp(in.Op); ok {
+			if _, ok := vm.FusedHeadOp(in.Op); ok {
 				fusedAny = true
 				if in.Fused == nil {
 					t.Errorf("%s@%d: fused op with nil chain", sel, i)
@@ -80,8 +81,8 @@ func TestFusePreservesModelledTotals(t *testing.T) {
 					}
 				}
 				switch f.Op {
-				case opJmp, opArithJmp:
-					if f.Op == opJmp {
+				case vm.OpJmp, vm.OpArithJmp:
+					if f.Op == vm.OpJmp {
 						checkTarget(f.T, "jmp")
 					}
 				case ir.CmpBr, ir.TypeTest:
@@ -209,26 +210,26 @@ func TestFuseRespectsBranchTargets(t *testing.T) {
 	//   3: ret r2
 	// (0,1) must NOT fuse (1 is a target); (1,2) may fuse into
 	// ArithCmpBr, and the loop branch must then point at the fused head.
-	mk := func(in Instr) Instr {
-		in.Cost = staticCost(&in)
+	mk := func(in vm.Instr) vm.Instr {
+		in.Cost = vm.StaticCost(&in)
 		in.N = 1
 		return in
 	}
-	c := &Code{Name: "handmade", NumRegs: 4}
-	c.Instrs = []Instr{
-		mk(Instr{Op: ir.Const, Dst: 2, Val: obj.Int(1), Resume: -1}),
-		mk(Instr{Op: ir.Arith, Dst: 2, A: 2, B: 2, AOp: ir.Add, Resume: -1}),
-		mk(Instr{Op: ir.CmpBr, A: 2, B: 3, COp: ir.LT, T: 1, F: 3, Resume: -1}),
-		mk(Instr{Op: ir.Return, A: 2, Resume: -1}),
+	c := &vm.Code{Name: "handmade", NumRegs: 4}
+	c.Instrs = []vm.Instr{
+		mk(vm.Instr{Op: ir.Const, Dst: 2, Val: obj.Int(1), Resume: -1}),
+		mk(vm.Instr{Op: ir.Arith, Dst: 2, A: 2, B: 2, AOp: ir.Add, Resume: -1}),
+		mk(vm.Instr{Op: ir.CmpBr, A: 2, B: 3, COp: ir.LT, T: 1, F: 3, Resume: -1}),
+		mk(vm.Instr{Op: ir.Return, A: 2, Resume: -1}),
 	}
-	Fuse(c)
+	vm.Fuse(c)
 	if len(c.Instrs) != 3 {
 		t.Fatalf("got %d instrs, want 3:\n%s", len(c.Instrs), c.Disasm())
 	}
 	if c.Instrs[0].Op != ir.Const {
 		t.Errorf("instr 0 fused across a branch target: %s", c.Instrs[0])
 	}
-	if c.Instrs[1].Op != opArithCmpBr {
+	if c.Instrs[1].Op != vm.OpArithCmpBr {
 		t.Errorf("instr 1 = %s, want fused arith+cmpbr", c.Instrs[1])
 	}
 	if got := c.Instrs[1].Fused.T; got != 1 {

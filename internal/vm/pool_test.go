@@ -1,4 +1,4 @@
-package vm
+package vm_test
 
 import (
 	"strings"
@@ -7,69 +7,6 @@ import (
 	"selfgo/internal/core"
 	"selfgo/internal/obj"
 )
-
-// TestGetPutFrame: the freelist unit contract — zeroing on reuse,
-// escaped frames dropped, size caps respected.
-func TestGetPutFrame(t *testing.T) {
-	vm := &VM{}
-
-	fr := vm.getFrame(10)
-	for i := range fr.regs {
-		fr.regs[i] = obj.Int(int64(i + 1))
-	}
-	fr.dead = true
-	vm.putFrame(fr)
-	if len(vm.freeFrames) != 1 {
-		t.Fatalf("pool size = %d after put, want 1", len(vm.freeFrames))
-	}
-
-	// Reuse at a smaller size: every visible register must be zero, and
-	// the frame flags must be reset.
-	re := vm.getFrame(5)
-	if re != fr {
-		t.Fatalf("expected the pooled frame back")
-	}
-	if re.dead || re.escaped || re.up != nil || re.home.fr != nil {
-		t.Fatalf("pooled frame not reset: %+v", re)
-	}
-	for i, v := range re.regs {
-		if !v.Eq(obj.Nil()) {
-			t.Fatalf("stale register %d = %s after reuse", i, v)
-		}
-	}
-	// Growing it back to full size must expose zeroes, not the old
-	// values hidden past the shortened length.
-	re.dead = true
-	vm.putFrame(re)
-	re2 := vm.getFrame(10)
-	for i, v := range re2.regs {
-		if !v.Eq(obj.Nil()) {
-			t.Fatalf("stale register %d = %s after regrow", i, v)
-		}
-	}
-
-	// Escaped frames never pool.
-	re2.escaped = true
-	vm.putFrame(re2)
-	if len(vm.freeFrames) != 0 {
-		t.Fatalf("escaped frame entered the pool")
-	}
-
-	// Oversized register files are dropped.
-	big := vm.getFrame(maxPoolRegs + 1)
-	vm.putFrame(big)
-	if len(vm.freeFrames) != 0 {
-		t.Fatalf("oversized frame entered the pool")
-	}
-
-	// The pool is bounded.
-	for i := 0; i < maxPoolFrames+10; i++ {
-		vm.putFrame(&frame{regs: make([]obj.Value, 4)})
-	}
-	if len(vm.freeFrames) != maxPoolFrames {
-		t.Fatalf("pool size = %d, want capped at %d", len(vm.freeFrames), maxPoolFrames)
-	}
-}
 
 const poolSrc = `
 down: n = ( (n = 0) ifTrue: [ 0 ] False: [ down: n - 1 ] ).

@@ -36,6 +36,12 @@ type RunStats struct {
 	BlockValues  int64
 	Allocs       int64
 	MaxDepth     int
+
+	// Adaptive-tier activity this VM performed during the run; always
+	// zero outside adaptive mode, so differential comparisons of whole
+	// RunStats across eager modes stay exact.
+	Promotions int64 // tier-promotion requests fired (OnHot accepted by the cache)
+	Harvests   int64 // type-feedback harvests taken from this VM's inline caches
 }
 
 // CompileRecord aggregates on-the-fly compilation work triggered by a
@@ -85,6 +91,18 @@ type VM struct {
 	// PICs enables polymorphic inline caches (up to picEntries maps
 	// per send site).
 	PICs bool
+
+	// OnHot, when non-nil, enables hotness tracking: every invocation
+	// and loop backedge charges one atomic add on the executed Code's
+	// Hot counters, and the first time a Code's combined count reaches
+	// PromoteThreshold the hook fires — exactly once per Code (a CAS
+	// guards it), on this VM's goroutine, from inside the run loop.
+	// The hook must not re-enter the VM. Nil leaves the fast path
+	// entirely free of hotness work.
+	OnHot func(code *Code)
+	// PromoteThreshold is the invocations+backedges count at which
+	// OnHot fires. Values <= 0 fire on the first execution.
+	PromoteThreshold int64
 
 	// Budget bounds each execution (zero fields are unlimited); see
 	// Budget. RunMethodCtx additionally honors context cancellation.
@@ -367,6 +385,9 @@ func (vm *VM) runMethod(ctx context.Context, meth *obj.Method, recv obj.Value, a
 
 // invoke runs code in a fresh frame. up is non-nil for block frames.
 func (vm *VM) invoke(code *Code, recv obj.Value, args []obj.Value, up map[string]*obj.Value) (val obj.Value, err error) {
+	if vm.OnHot != nil {
+		vm.noteInvoke(code)
+	}
 	vm.depth++
 	if vm.depth > vm.Stats.MaxDepth {
 		vm.Stats.MaxDepth = vm.depth
@@ -477,6 +498,7 @@ func (vm *VM) runFast(code *Code, fr *frame, pc int) (val obj.Value, err error) 
 	}()
 	st := &vm.Stats
 	extra := vm.InstrExtra
+	trackHot := vm.OnHot != nil
 	for pc >= 0 && pc < len(code.Instrs) {
 		in := &code.Instrs[pc]
 		st.Instrs += int64(in.N)
@@ -491,6 +513,9 @@ func (vm *VM) runFast(code *Code, fr *frame, pc int) (val obj.Value, err error) 
 		}
 		switch in.Op {
 		case opJmp:
+			if trackHot && in.T <= pc {
+				vm.noteBackedge(code)
+			}
 			pc = in.T
 			continue
 		case ir.Const:
@@ -710,6 +735,9 @@ func (vm *VM) runFast(code *Code, fr *frame, pc int) (val obj.Value, err error) 
 				pc = in.F
 				continue
 			}
+			if trackHot && f.T <= pc {
+				vm.noteBackedge(code)
+			}
 			pc = f.T
 			continue
 		case opConstArithCmpBr:
@@ -761,6 +789,7 @@ func (vm *VM) runTraced(code *Code, fr *frame, pc int) (val obj.Value, err error
 	}()
 	st := &vm.Stats
 	extra := vm.InstrExtra
+	trackHot := vm.OnHot != nil
 	for pc >= 0 && pc < len(code.Instrs) {
 		in := &code.Instrs[pc]
 		fmt.Fprintf(vm.Trace, "%*s%s @%d: %s\n", vm.depth, "", code.Name, pc, in)
@@ -776,6 +805,9 @@ func (vm *VM) runTraced(code *Code, fr *frame, pc int) (val obj.Value, err error
 		}
 		switch in.Op {
 		case opJmp:
+			if trackHot && in.T <= pc {
+				vm.noteBackedge(code)
+			}
 			pc = in.T
 			continue
 		case ir.Const:
@@ -989,6 +1021,9 @@ func (vm *VM) runTraced(code *Code, fr *frame, pc int) (val obj.Value, err error
 				vm.uncharge(st, f)
 				pc = in.F
 				continue
+			}
+			if trackHot && f.T <= pc {
+				vm.noteBackedge(code)
 			}
 			pc = f.T
 			continue

@@ -1,4 +1,4 @@
-package vm
+package vm_test
 
 import (
 	"strings"
@@ -10,6 +10,7 @@ import (
 	"selfgo/internal/obj"
 	"selfgo/internal/parser"
 	"selfgo/internal/prelude"
+	"selfgo/internal/vm"
 )
 
 // harness wires a world, compiler and VM the way the public package
@@ -17,7 +18,7 @@ import (
 type harness struct {
 	w  *obj.World
 	c  *core.Compiler
-	vm *VM
+	vm *vm.VM
 }
 
 func newHarness(t *testing.T, cfg core.Config, src string) *harness {
@@ -34,22 +35,22 @@ func newHarness(t *testing.T, cfg core.Config, src string) *harness {
 	}
 	w.Finalize()
 	h := &harness{w: w, c: core.New(w, cfg)}
-	h.vm = &VM{
+	h.vm = &vm.VM{
 		World:     w,
 		Customize: cfg.Customization,
-		CompileMethod: func(m *obj.Method, rmap *obj.Map) (*Code, error) {
+		CompileMethod: func(m *obj.Method, rmap *obj.Map) (*vm.Code, error) {
 			g, _, err := h.c.CompileMethod(m, rmap)
 			if err != nil {
 				return nil, err
 			}
-			return Assemble(g), nil
+			return vm.Assemble(g), nil
 		},
-		CompileBlock: func(b *ast.Block, upNames []string) (*Code, error) {
+		CompileBlock: func(b *ast.Block, upNames []string) (*vm.Code, error) {
 			g, _, err := h.c.CompileBlock(b, upNames)
 			if err != nil {
 				return nil, err
 			}
-			return Assemble(g), nil
+			return vm.Assemble(g), nil
 		},
 	}
 	return h
@@ -68,7 +69,7 @@ func (h *harness) call(t *testing.T, sel string, args ...obj.Value) obj.Value {
 	return v
 }
 
-func (h *harness) codeFor(t *testing.T, sel string) *Code {
+func (h *harness) codeFor(t *testing.T, sel string) *vm.Code {
 	t.Helper()
 	r := obj.Lookup(h.w.Lobby.Map, sel)
 	if r == nil {
@@ -267,11 +268,11 @@ func TestCodeSizeModel(t *testing.T) {
 		t.Errorf("size model broken: tiny=%d bigger=%d", tiny.Bytes, bigger.Bytes)
 	}
 	// Every instruction kind used must have a nonzero size.
-	total := SizePrologue
+	total := vm.SizePrologue
 	for _, in := range bigger.Instrs {
 		n := &ir.Node{Op: in.Op, Checked: in.Checked, Caps: in.Caps, Direct: in.Direct}
-		total += sizeOf(n)
-		if in.Op != ir.Start && in.Op != ir.Merge && in.Op != ir.LoopHead && sizeOf(n) == 0 && in.Op != opJmp {
+		total += vm.SizeOf(n)
+		if in.Op != ir.Start && in.Op != ir.Merge && in.Op != ir.LoopHead && vm.SizeOf(n) == 0 && in.Op != vm.OpJmp {
 			t.Errorf("instruction %v has zero size", in.Op)
 		}
 	}
@@ -296,7 +297,7 @@ func TestBranchTargetsResolved(t *testing.T) {
 			if in.T < 0 || in.T >= len(code.Instrs) || in.F < 0 || in.F >= len(code.Instrs) {
 				t.Errorf("instr %d: unresolved branch targets T=%d F=%d", i, in.T, in.F)
 			}
-		case opJmp:
+		case vm.OpJmp:
 			if in.T < 0 || in.T >= len(code.Instrs) {
 				t.Errorf("instr %d: unresolved jump %d", i, in.T)
 			}

@@ -12,6 +12,12 @@
 //	_ = sys.LoadSource(`triangleNumber: n = ( |sum <- 0| 1 upTo: n Do: [:i| sum: sum + i]. sum ).`)
 //	res, _ := sys.Call("triangleNumber:", selfgo.IntValue(100))
 //	fmt.Println(res.Value, res.Run.Cycles)
+//
+// Compilation is tiered (see TierMode): the default mode compiles every
+// method eagerly at the optimizing tier, exactly as the paper's system
+// does; adaptive mode compiles at the cheap baseline tier first and
+// promotes hot methods to the optimizing tier in the background, seeded
+// with receiver types harvested from the inline caches.
 package selfgo
 
 import (
@@ -29,6 +35,7 @@ import (
 	"selfgo/internal/obj"
 	"selfgo/internal/parser"
 	"selfgo/internal/prelude"
+	"selfgo/internal/types"
 	"selfgo/internal/vm"
 )
 
@@ -40,6 +47,12 @@ type (
 	Config = core.Config
 	// CompileStats describes one method compilation.
 	CompileStats = core.Stats
+	// PassStat is one pipeline pass's share of a compilation
+	// (CompileStats.Passes).
+	PassStat = core.PassStat
+	// Tier is a compilation tier (TierDegraded, TierBaseline,
+	// TierOptimizing).
+	Tier = core.Tier
 	// RunStats is the dynamic cost accounting of an execution.
 	RunStats = vm.RunStats
 	// CompileRecord sums compilation work triggered by a run.
@@ -64,6 +77,13 @@ type (
 	ErrKind = vm.ErrKind
 )
 
+// Compilation tiers, re-exported from core.
+const (
+	TierDegraded   = core.TierDegraded
+	TierBaseline   = core.TierBaseline
+	TierOptimizing = core.TierOptimizing
+)
+
 // RuntimeError kinds, re-exported for hosts that route faults.
 const (
 	KindError             = vm.KindError
@@ -84,6 +104,54 @@ func ErrorKind(err error) (kind ErrKind, ok bool) {
 	}
 	return KindError, false
 }
+
+// TierMode selects how a System schedules compilation tiers.
+type TierMode int
+
+const (
+	// ModeOpt compiles every method eagerly at the optimizing tier —
+	// the paper's system, and the default. Bit-identical in all
+	// modelled quantities to the pre-tiering compile path.
+	ModeOpt TierMode = iota
+	// ModeBaseline compiles every method at the cheap baseline tier
+	// and never promotes (the floor adaptive mode starts from).
+	ModeBaseline
+	// ModeAdaptive compiles at the baseline tier first; methods whose
+	// invocation+backedge count reaches the promotion threshold are
+	// recompiled at the optimizing tier in the background, seeded with
+	// receiver-map feedback harvested from the inline caches, and
+	// atomically swapped into the shared code cache.
+	ModeAdaptive
+)
+
+func (m TierMode) String() string {
+	switch m {
+	case ModeOpt:
+		return "opt"
+	case ModeBaseline:
+		return "baseline"
+	case ModeAdaptive:
+		return "adaptive"
+	}
+	return fmt.Sprintf("TierMode(%d)", int(m))
+}
+
+// TierModeByName resolves the -tier flag spellings.
+func TierModeByName(name string) (TierMode, error) {
+	switch name {
+	case "opt", "":
+		return ModeOpt, nil
+	case "baseline":
+		return ModeBaseline, nil
+	case "adaptive":
+		return ModeAdaptive, nil
+	}
+	return ModeOpt, fmt.Errorf("unknown tier mode %q (want opt, baseline or adaptive)", name)
+}
+
+// DefaultPromoteThreshold is the invocation+backedge count at which
+// adaptive mode promotes a method when no threshold is given.
+const DefaultPromoteThreshold = 1000
 
 // Compiler generation presets, matching the systems measured in §6 of
 // the paper.
@@ -111,20 +179,38 @@ func NilValue() Value         { return obj.Nil() }
 // its dynamic-compilation cache.
 //
 // A System (and its VM) is single-goroutine. Concurrency comes from
-// NewSharedSystem + Fork: each Fork shares the world, the compiler and
-// one sharded single-flight code cache, but runs its own VM, so worker
-// systems may call methods concurrently once loading is done.
+// NewSharedSystem/NewTieredSystem + Fork: each Fork shares the world,
+// the compile pipelines and one sharded single-flight code cache, but
+// runs its own VM, so worker systems may call methods concurrently once
+// loading is done. Adaptive promotion compiles run on background
+// goroutines against the same shared cache.
 type System struct {
-	Cfg      Config
-	world    *obj.World
-	compiler *core.Compiler
-	// fallback is the degraded-tier compiler (core.Degraded) used when
-	// an optimizing compilation fails or panics.
-	fallback *core.Compiler
-	machine  *vm.VM
+	Cfg Config
+	// Mode is the tier schedule this system runs under (ModeOpt unless
+	// built with NewTieredSystem).
+	Mode  TierMode
+	world *obj.World
+
+	// One pipeline per tier, all derived from Cfg through the tier
+	// table. pipeOpt is the eager/promotion target, pipeBase the cheap
+	// first tier of baseline/adaptive modes, pipeDeg the crash-recovery
+	// fallback when a compilation fails or panics.
+	pipeOpt  *core.Pipeline
+	pipeBase *core.Pipeline
+	pipeDeg  *core.Pipeline
+
+	machine *vm.VM
 
 	// shared is the process-wide code cache, nil for a private system.
 	shared *codecache.Cache[*vm.Code]
+
+	// promoteThreshold is the hotness count that triggers promotion in
+	// ModeAdaptive.
+	promoteThreshold int64
+
+	// prom aggregates promotion latency across this system and all its
+	// forks.
+	prom *promAgg
 
 	// log accumulates per-method compiler statistics in compilation
 	// order; forked workers append to their parent's log, so it is
@@ -160,11 +246,39 @@ func (l *compileLog) totalDuration() time.Duration {
 	return d
 }
 
+// promAgg aggregates promotion latencies (hot-trigger to installed
+// swap) across forks.
+type promAgg struct {
+	mu        sync.Mutex
+	installed int64
+	total     time.Duration
+}
+
+func (a *promAgg) record(d time.Duration) {
+	a.mu.Lock()
+	a.installed++
+	a.total += d
+	a.mu.Unlock()
+}
+
 // MethodCompile is one entry of the compile log.
 type MethodCompile struct {
-	Name  string
+	Name string
+	// Tier labels the tier this compilation ran at ("baseline",
+	// "optimizing", "degraded").
+	Tier  string
 	Stats core.Stats
 	Bytes int
+}
+
+// PromotionStats summarizes adaptive-tier promotion activity.
+type PromotionStats struct {
+	Installed int64 // promoted code swapped into the shared cache
+	Fails     int64 // promotion compiles that failed (tier kept)
+	Discards  int64 // promoted code discarded (entry invalidated meanwhile)
+	// MeanLatency is the average hot-trigger-to-install time of the
+	// Installed promotions.
+	MeanLatency time.Duration
 }
 
 // Result is the outcome of running a method.
@@ -182,7 +296,7 @@ type Result struct {
 // accept program source. Its code cache is private to the one VM, as in
 // the original single-process SELF system.
 func NewSystem(cfg Config) (*System, error) {
-	return newSystem(cfg, nil)
+	return newSystem(cfg, nil, ModeOpt, 0)
 }
 
 // NewSharedSystem creates a system whose VM compiles through a shared
@@ -191,14 +305,33 @@ func NewSystem(cfg Config) (*System, error) {
 // each (method, receiver map) customization is then compiled exactly
 // once no matter how many workers request it concurrently.
 func NewSharedSystem(cfg Config) (*System, error) {
-	return newSystem(cfg, codecache.New[*vm.Code]())
+	return newSystem(cfg, codecache.New[*vm.Code](), ModeOpt, 0)
 }
 
-func newSystem(cfg Config, shared *codecache.Cache[*vm.Code]) (*System, error) {
+// NewTieredSystem creates a shared-cache system running the given tier
+// schedule. promoteThreshold applies to ModeAdaptive (values <= 0 use
+// DefaultPromoteThreshold); the other modes ignore it. ModeOpt behaves
+// exactly like NewSharedSystem.
+func NewTieredSystem(cfg Config, mode TierMode, promoteThreshold int64) (*System, error) {
+	if promoteThreshold <= 0 {
+		promoteThreshold = DefaultPromoteThreshold
+	}
+	return newSystem(cfg, codecache.New[*vm.Code](), mode, promoteThreshold)
+}
+
+func newSystem(cfg Config, shared *codecache.Cache[*vm.Code], mode TierMode, promoteThreshold int64) (*System, error) {
+	if mode == ModeAdaptive && shared == nil {
+		return nil, fmt.Errorf("adaptive mode requires a shared code cache")
+	}
 	w := obj.NewWorld()
-	s := &System{Cfg: cfg, world: w, shared: shared, log: &compileLog{}}
-	s.compiler = core.New(w, cfg)
-	s.fallback = core.New(w, core.Degraded(cfg))
+	s := &System{
+		Cfg: cfg, Mode: mode, world: w, shared: shared,
+		promoteThreshold: promoteThreshold,
+		prom:             &promAgg{}, log: &compileLog{},
+	}
+	s.pipeOpt = core.NewPipeline(w, cfg, core.TierOptimizing)
+	s.pipeBase = core.NewPipeline(w, cfg, core.TierBaseline)
+	s.pipeDeg = core.NewPipeline(w, cfg, core.TierDegraded)
 	s.machine = s.newVM()
 	if shared != nil {
 		// Invalidate customizations when later loads reshape a map the
@@ -231,17 +364,58 @@ func safeCompile(f func() (*vm.Code, error)) (c *vm.Code, err error) {
 	return f()
 }
 
-// newVM builds a VM wired to this system's world, compiler, shared
-// cache and compile log. The compile callbacks may run on any worker
-// goroutine (inside the cache's single flight), so they touch only the
-// stateless compilers, the locked log, and the owning VM's own compile
-// record (the flight winner runs the callback on its own goroutine).
+// compileMethodAt runs one tier's pipeline on meth, recording the
+// compilation in the shared log. It may run on any goroutine (inside
+// the cache's single flight or a promotion flight): it touches only the
+// stateless pipeline, the locked log, and its arguments.
+func (s *System) compileMethodAt(p *core.Pipeline, meth *obj.Method, rmap *obj.Map, fb *types.Feedback) (*vm.Code, error) {
+	return safeCompile(func() (*vm.Code, error) {
+		if compileFault != nil {
+			if err := compileFault(meth.Sel, p == s.pipeDeg); err != nil {
+				return nil, err
+			}
+		}
+		c, st, err := p.CompileMethod(meth, rmap, fb)
+		if err != nil {
+			return nil, fmt.Errorf("compiling %s: %w", meth, err)
+		}
+		s.log.add(MethodCompile{Name: c.Name, Tier: p.Tier.String(), Stats: *st, Bytes: c.Bytes})
+		return c, nil
+	})
+}
+
+// compileBlockAt is compileMethodAt for out-of-line blocks.
+func (s *System) compileBlockAt(p *core.Pipeline, b *ast.Block, upNames []string) (*vm.Code, error) {
+	return safeCompile(func() (*vm.Code, error) {
+		c, st, err := p.CompileBlock(b, upNames, nil)
+		if err != nil {
+			return nil, fmt.Errorf("compiling block at %s: %w", b.P, err)
+		}
+		s.log.add(MethodCompile{Name: c.Name, Tier: p.Tier.String(), Stats: *st, Bytes: c.Bytes})
+		return c, nil
+	})
+}
+
+// firstTier is the pipeline a fresh compilation starts at under the
+// system's mode.
+func (s *System) firstTier() *core.Pipeline {
+	if s.Mode == ModeOpt {
+		return s.pipeOpt
+	}
+	return s.pipeBase
+}
+
+// newVM builds a VM wired to this system's world, tier pipelines,
+// shared cache and compile log.
 //
-// Compilation is tiered: when the optimizing compiler fails or panics,
-// the method is retried once under the degraded configuration
-// (core.Degraded — splitting and inlining off, every check kept), and
-// the degradation is counted in CompileRecord.Degraded. Only when both
-// tiers fail does the error reach the runner.
+// Compilation is tiered: fresh code compiles at the mode's first tier
+// (optimizing for ModeOpt, baseline otherwise); when that compilation
+// fails or panics, the method is retried once under the degraded
+// configuration (splitting and inlining off, every check kept), and the
+// degradation is counted in CompileRecord.Degraded. Only when both
+// tiers fail does the error reach the runner. In ModeAdaptive the VM
+// additionally carries hotness counters and an OnHot hook that promotes
+// hot baseline code (see onHot).
 func (s *System) newVM() *vm.VM {
 	cfg := s.Cfg
 	m := &vm.VM{
@@ -253,46 +427,12 @@ func (s *System) newVM() *vm.VM {
 		PICs:         cfg.PolymorphicInlineCaches,
 		Shared:       s.shared,
 	}
-	methodWith := func(cc *core.Compiler, meth *obj.Method, rmap *obj.Map) (*vm.Code, error) {
-		return safeCompile(func() (*vm.Code, error) {
-			if compileFault != nil {
-				if err := compileFault(meth.Sel, cc == s.fallback); err != nil {
-					return nil, err
-				}
-			}
-			g, st, err := cc.CompileMethod(meth, rmap)
-			if err != nil {
-				return nil, fmt.Errorf("compiling %s: %w", meth, err)
-			}
-			c := vm.Assemble(g)
-			if !cfg.NoSuperinstructions {
-				vm.Fuse(c)
-			}
-			s.log.add(MethodCompile{Name: c.Name, Stats: *st, Bytes: c.Bytes})
-			return c, nil
-		})
-	}
-	blockWith := func(cc *core.Compiler, b *ast.Block, upNames []string) (*vm.Code, error) {
-		return safeCompile(func() (*vm.Code, error) {
-			g, st, err := cc.CompileBlock(b, upNames)
-			if err != nil {
-				return nil, fmt.Errorf("compiling block at %s: %w", b.P, err)
-			}
-			c := vm.Assemble(g)
-			if !cfg.NoSuperinstructions {
-				vm.Fuse(c)
-			}
-			c.IsBlock = true
-			s.log.add(MethodCompile{Name: c.Name, Stats: *st, Bytes: c.Bytes})
-			return c, nil
-		})
-	}
 	m.CompileMethod = func(meth *obj.Method, rmap *obj.Map) (*vm.Code, error) {
-		c, err := methodWith(s.compiler, meth, rmap)
+		c, err := s.compileMethodAt(s.firstTier(), meth, rmap, nil)
 		if err == nil {
 			return c, nil
 		}
-		c, err2 := methodWith(s.fallback, meth, rmap)
+		c, err2 := s.compileMethodAt(s.pipeDeg, meth, rmap, nil)
 		if err2 != nil {
 			return nil, fmt.Errorf("%w (degraded retry also failed: %v)", err, err2)
 		}
@@ -300,37 +440,76 @@ func (s *System) newVM() *vm.VM {
 		return c, nil
 	}
 	m.CompileBlock = func(b *ast.Block, upNames []string) (*vm.Code, error) {
-		c, err := blockWith(s.compiler, b, upNames)
+		c, err := s.compileBlockAt(s.firstTier(), b, upNames)
 		if err == nil {
 			return c, nil
 		}
-		c, err2 := blockWith(s.fallback, b, upNames)
+		c, err2 := s.compileBlockAt(s.pipeDeg, b, upNames)
 		if err2 != nil {
 			return nil, fmt.Errorf("%w (degraded retry also failed: %v)", err, err2)
 		}
 		m.Compile.Degraded++
 		return c, nil
 	}
+	if s.Mode == ModeAdaptive {
+		m.PromoteThreshold = s.promoteThreshold
+		m.OnHot = func(code *vm.Code) { s.onHot(m, code) }
+	}
 	return m
 }
 
-// Fork returns a worker system sharing this system's world, compiler,
+// onHot runs on m's goroutine when code first crosses the promotion
+// threshold: harvest the receiver maps m's inline caches observed, then
+// ask the shared cache to recompile the method at the optimizing tier
+// in the background, seeded with that feedback. The swap is atomic
+// under the cache's generation discipline; a failed promotion keeps the
+// baseline code resident (fall back to the current tier).
+func (s *System) onHot(m *vm.VM, code *vm.Code) {
+	if code.Origin.Meth == nil || code.TierLabel == core.TierOptimizing.String() {
+		// Blocks and already-optimized code don't promote.
+		return
+	}
+	fb := m.Harvest(code)
+	m.Stats.Harvests++
+	meth, rmap := code.Origin.Meth, code.Origin.RMap
+	t0 := time.Now()
+	started := s.shared.Promote(
+		codecache.Key{Meth: meth, RMap: rmap},
+		func() (*vm.Code, error) {
+			return s.compileMethodAt(s.pipeOpt, meth, rmap, fb)
+		},
+		func(_ *vm.Code, err error, installed bool) {
+			if installed {
+				s.prom.record(time.Since(t0))
+			}
+		},
+	)
+	if started {
+		m.Stats.Promotions++
+	}
+}
+
+// Fork returns a worker system sharing this system's world, pipelines,
 // code cache and compile log, with a fresh VM (own run statistics, own
-// inline caches). Only shared systems fork. Sources must be fully
-// loaded before forking: workers read the world but must not
-// LoadSource, and world loading is not synchronized with running
-// workers.
+// inline caches, own hotness bookkeeping). Only shared systems fork.
+// Sources must be fully loaded before forking: workers read the world
+// but must not LoadSource, and world loading is not synchronized with
+// running workers.
 func (s *System) Fork() (*System, error) {
 	if s.shared == nil {
 		return nil, fmt.Errorf("Fork requires a system built with NewSharedSystem")
 	}
 	w := &System{
-		Cfg:      s.Cfg,
-		world:    s.world,
-		compiler: s.compiler,
-		fallback: s.fallback,
-		shared:   s.shared,
-		log:      s.log,
+		Cfg:              s.Cfg,
+		Mode:             s.Mode,
+		world:            s.world,
+		pipeOpt:          s.pipeOpt,
+		pipeBase:         s.pipeBase,
+		pipeDeg:          s.pipeDeg,
+		shared:           s.shared,
+		promoteThreshold: s.promoteThreshold,
+		prom:             s.prom,
+		log:              s.log,
 	}
 	w.machine = w.newVM()
 	w.machine.Budget = s.machine.Budget
@@ -360,6 +539,42 @@ func (s *System) CacheShardStats() []CacheStats {
 		return nil
 	}
 	return s.shared.ShardStats()
+}
+
+// DrainPromotions blocks until every in-flight background promotion has
+// finished (installed, failed, or discarded). No-op outside adaptive
+// mode. Benchmarks call it to separate warm-up from steady state.
+func (s *System) DrainPromotions() {
+	if s.shared != nil {
+		s.shared.DrainPromotions()
+	}
+}
+
+// PromotionStats summarizes promotion outcomes and mean install
+// latency across this system and its forks.
+func (s *System) PromotionStats() PromotionStats {
+	var ps PromotionStats
+	if s.shared == nil {
+		return ps
+	}
+	cs := s.shared.Stats()
+	ps.Installed, ps.Fails, ps.Discards = cs.Promotions, cs.PromoteFails, cs.PromoteDiscards
+	s.prom.mu.Lock()
+	if s.prom.installed > 0 {
+		ps.MeanLatency = s.prom.total / time.Duration(s.prom.installed)
+	}
+	s.prom.mu.Unlock()
+	return ps
+}
+
+// TierCounts sums compile-log entries per tier label ("baseline",
+// "optimizing", "degraded"), across every forked worker.
+func (s *System) TierCounts() map[string]int {
+	out := map[string]int{}
+	for _, e := range s.log.snapshot() {
+		out[e.Tier]++
+	}
+	return out
 }
 
 // World exposes the object universe (read-mostly; used by tools).
@@ -447,6 +662,7 @@ func (s *System) totalCompileTime() time.Duration {
 
 // GraphFor compiles selector (customized for the lobby) and returns
 // its control flow graph — the artifact the paper's figures draw.
+// Always uses the optimizing tier, whatever the system's mode.
 func (s *System) GraphFor(selector string) (*Graph, *CompileStats, error) {
 	r := obj.Lookup(s.world.Lobby.Map, selector)
 	if r == nil || r.Slot.Kind != obj.MethodSlot {
@@ -456,7 +672,7 @@ func (s *System) GraphFor(selector string) (*Graph, *CompileStats, error) {
 	if !s.Cfg.Customization {
 		rmap = nil
 	}
-	return s.compiler.CompileMethod(r.Slot.Meth, rmap)
+	return s.pipeOpt.Compiler().CompileMethod(r.Slot.Meth, rmap)
 }
 
 // CodeFor compiles selector to bytecode (through the VM's cache).
