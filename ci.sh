@@ -42,14 +42,66 @@ go run ./cmd/selfbench -bench richards -tier adaptive -promote 50 -assert-promot
 echo "== tier differential"
 go test -run 'TestTierOptBitIdentical' .
 
+# Server smoke: boot selfserved on an ephemeral port and drive it with
+# selfload over >= 8 concurrent connections. Asserts, from the server's
+# own /metrics: compile-once under steady load (codecache misses stop
+# growing after warm-up), at least one background tier promotion under
+# the adaptive schedule, and load-shedding with 429 (not hangs) past
+# the admission limit. Finishes with SIGTERM and requires a clean
+# drain.
+echo "== server smoke"
+go build -o /tmp/ci-selfserved ./cmd/selfserved
+go build -o /tmp/ci-selfload ./cmd/selfload
+server_log=$(mktemp)
+/tmp/ci-selfserved -addr 127.0.0.1:0 -tier adaptive -promote 20 -pool 4 -queue 16 2>"$server_log" &
+server_pid=$!
+trap 'kill "$server_pid" 2>/dev/null || true' EXIT
+for i in $(seq 1 50); do
+    url=$(grep -o 'http://[0-9.:]*' "$server_log" | head -1 || true)
+    [ -n "$url" ] && break
+    sleep 0.1
+done
+[ -n "$url" ] || { echo "ci: selfserved never came up"; cat "$server_log"; exit 1; }
+# eval traffic: 8 connections, same expression — compile-once + values.
+/tmp/ci-selfload -url "$url" -c 8 -n 120 \
+    -expr '| s <- 0 | 1 upTo: 1000 Do: [ :i | s: s + i ]. s' \
+    -check-int -expect-int 499500 -fail-on-error -assert-compile-once -q
+# named-benchmark traffic: adaptive promotion must land.
+/tmp/ci-selfload -url "$url" -c 8 -n 150 -bench sumTo \
+    -fail-on-error -min-promotions 1 -q
+kill -TERM "$server_pid"
+wait "$server_pid" || { echo "ci: selfserved did not drain cleanly"; cat "$server_log"; exit 1; }
+trap - EXIT
+grep -q 'drained cleanly' "$server_log" || { echo "ci: no drain line in log"; cat "$server_log"; exit 1; }
+# overload: tiny pool + queue, 16 connections — must shed with 429.
+/tmp/ci-selfserved -addr 127.0.0.1:0 -pool 2 -queue 2 2>"$server_log" &
+server_pid=$!
+trap 'kill "$server_pid" 2>/dev/null || true' EXIT
+for i in $(seq 1 50); do
+    url=$(grep -o 'http://[0-9.:]*' "$server_log" | head -1 || true)
+    [ -n "$url" ] && break
+    sleep 0.1
+done
+[ -n "$url" ] || { echo "ci: selfserved (overload) never came up"; cat "$server_log"; exit 1; }
+/tmp/ci-selfload -url "$url" -c 16 -n 100 \
+    -expr '| s <- 0 | 1 upTo: 300000 Do: [ :i | s: s + 1 ]. s' -min-429 10 -q
+kill -TERM "$server_pid"
+wait "$server_pid" || { echo "ci: selfserved (overload) did not drain cleanly"; cat "$server_log"; exit 1; }
+trap - EXIT
+rm -f "$server_log" /tmp/ci-selfserved /tmp/ci-selfload
+
 # Fuzz smoke: a short budget per front-end fuzzer, enough to catch
-# easy regressions in the lexer and parser without stalling CI.
-# Trimmed from -short runs.
+# easy regressions in the lexer and parser without stalling CI — plus
+# the serving layer's JSON request decoder. Trimmed from -short runs.
 if [ "$short" != "-short" ]; then
     echo "== fuzz smoke: FuzzLexer"
     go test -run '^$' -fuzz '^FuzzLexer$' -fuzztime 10s ./internal/lexer
     echo "== fuzz smoke: FuzzParser"
     go test -run '^$' -fuzz '^FuzzParser$' -fuzztime 10s ./internal/parser
+    echo "== fuzz smoke: FuzzDecodeEvalRequest"
+    go test -run '^$' -fuzz '^FuzzDecodeEvalRequest$' -fuzztime 10s ./internal/wire
+    echo "== fuzz smoke: FuzzDecodeRunRequest"
+    go test -run '^$' -fuzz '^FuzzDecodeRunRequest$' -fuzztime 5s ./internal/wire
 fi
 
 echo "ci: all checks passed"

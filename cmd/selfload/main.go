@@ -1,0 +1,278 @@
+// selfload is a closed-loop load generator for selfserved: c workers
+// each keep one request in flight against /eval or /run, then the tool
+// reports throughput, status mix and latency quantiles.
+//
+// Beyond benchmarking, it doubles as the CI smoke driver: it can
+// assert serving-layer invariants from the server's own /metrics —
+// that the shared code cache compiled nothing new under steady load
+// (-assert-compile-once), that background tier promotions landed
+// (-min-promotions), and that overload was shed, not queued forever
+// (-min-429).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"selfgo/internal/wire"
+)
+
+func main() {
+	var (
+		base  = flag.String("url", "http://127.0.0.1:8673", "selfserved base URL")
+		conc  = flag.Int("c", 8, "concurrent connections (closed loop: one request in flight each)")
+		total = flag.Int("n", 200, "total requests across all connections")
+
+		expr       = flag.String("expr", "", "expression for POST /eval")
+		entry      = flag.String("entry", "", "lobby selector for POST /eval")
+		args       = flag.String("args", "", "comma-separated integer args for -entry")
+		benchName  = flag.String("bench", "", "benchmark name for POST /run")
+		deadlineMS = flag.Int64("deadline-ms", 0, "per-request deadline to send (0 = server default)")
+
+		warmup    = flag.Int("warmup", 1, "sequential warm-up requests before the timed run")
+		expectInt = flag.Int64("expect-int", 0, "fail unless every 200 response has this int value")
+		hasExpect = flag.Bool("check-int", false, "enable -expect-int checking")
+		failErr   = flag.Bool("fail-on-error", false, "exit non-zero if any request is not 2xx or 429")
+
+		assertOnce    = flag.Bool("assert-compile-once", false, "fail if codecache misses grow between warm-up and end of run")
+		minPromotions = flag.Int64("min-promotions", 0, "wait for at least this many installed promotions in /metrics")
+		promotionWait = flag.Duration("promotion-wait", 10*time.Second, "how long to poll /metrics for -min-promotions")
+		min429        = flag.Int("min-429", 0, "fail unless at least this many requests were shed with 429")
+		quiet         = flag.Bool("q", false, "print only the summary line")
+	)
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("selfload: ")
+
+	endpoint, body, err := buildBody(*expr, *entry, *args, *benchName, *deadlineMS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	url := strings.TrimRight(*base, "/") + endpoint
+
+	client := &http.Client{}
+	for i := 0; i < *warmup; i++ {
+		code, res, err := post(client, url, body)
+		if err != nil {
+			log.Fatalf("warm-up: %v", err)
+		}
+		if code != 200 {
+			log.Fatalf("warm-up: status %d (%s)", code, errText(res))
+		}
+	}
+	missesBefore := int64(-1)
+	if *assertOnce {
+		missesBefore = scrapeCounter(client, *base, "selfgo_codecache_misses_total")
+	}
+
+	var (
+		issued  atomic.Int64
+		mu      sync.Mutex
+		lats    []time.Duration
+		codes   = map[int]int{}
+		badInts int
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := &http.Client{}
+			for issued.Add(1) <= int64(*total) {
+				t0 := time.Now()
+				code, res, err := post(c, url, body)
+				lat := time.Since(t0)
+				mu.Lock()
+				if err != nil {
+					codes[-1]++
+				} else {
+					codes[code]++
+					lats = append(lats, lat)
+					if code == 200 && *hasExpect && (res == nil || res.Int != *expectInt) {
+						badInts++
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	done := 0
+	for _, n := range codes {
+		done += n
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	if !*quiet {
+		fmt.Printf("target      %s\n", url)
+		fmt.Printf("requests    %d in %v (%.1f req/s, c=%d)\n",
+			done, wall.Round(time.Millisecond), float64(done)/wall.Seconds(), *conc)
+		keys := make([]int, 0, len(codes))
+		for k := range codes {
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		for _, k := range keys {
+			label := strconv.Itoa(k)
+			if k == -1 {
+				label = "transport error"
+			}
+			fmt.Printf("  status %-16s %d\n", label, codes[k])
+		}
+		if len(lats) > 0 {
+			fmt.Printf("latency     p50 %v  p90 %v  p99 %v  max %v\n",
+				quantile(lats, 0.50), quantile(lats, 0.90),
+				quantile(lats, 0.99), lats[len(lats)-1])
+		}
+	}
+	fmt.Printf("selfload: %d requests, %d ok, %d shed, %.1f req/s\n",
+		done, codes[200], codes[429], float64(done)/wall.Seconds())
+
+	fail := false
+	if *hasExpect && badInts > 0 {
+		log.Printf("FAIL: %d responses had the wrong int value (want %d)", badInts, *expectInt)
+		fail = true
+	}
+	if *failErr {
+		for code, n := range codes {
+			if code != 200 && code != 429 {
+				log.Printf("FAIL: %d requests answered %d", n, code)
+				fail = true
+			}
+		}
+	}
+	if *min429 > 0 && codes[429] < *min429 {
+		log.Printf("FAIL: %d responses were 429, want >= %d", codes[429], *min429)
+		fail = true
+	}
+	if *assertOnce {
+		missesAfter := scrapeCounter(client, *base, "selfgo_codecache_misses_total")
+		if missesBefore < 0 || missesAfter < 0 {
+			log.Print("FAIL: could not scrape selfgo_codecache_misses_total")
+			fail = true
+		} else if missesAfter != missesBefore {
+			log.Printf("FAIL: compile-once violated — codecache misses grew %d -> %d during steady load",
+				missesBefore, missesAfter)
+			fail = true
+		} else if !*quiet {
+			fmt.Printf("compile-once held: codecache misses stable at %d\n", missesAfter)
+		}
+	}
+	if *minPromotions > 0 {
+		// Promotions land on background goroutines; give them a moment
+		// after the last response instead of sampling a race.
+		deadline := time.Now().Add(*promotionWait)
+		var got int64
+		for {
+			got = scrapeCounter(client, *base, "selfgo_promotions_installed_total")
+			if got >= *minPromotions || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+		if got < *minPromotions {
+			log.Printf("FAIL: %d promotions installed, want >= %d", got, *minPromotions)
+			fail = true
+		} else if !*quiet {
+			fmt.Printf("promotions installed: %d\n", got)
+		}
+	}
+	if fail {
+		os.Exit(1)
+	}
+}
+
+// buildBody assembles the request body from the flag combination.
+func buildBody(expr, entry, args, benchName string, deadlineMS int64) (endpoint, body string, err error) {
+	set := 0
+	for _, s := range []string{expr, entry, benchName} {
+		if s != "" {
+			set++
+		}
+	}
+	if set != 1 {
+		return "", "", fmt.Errorf("exactly one of -expr, -entry or -bench is required")
+	}
+	if benchName != "" {
+		req := wire.RunRequest{Bench: benchName, DeadlineMS: deadlineMS}
+		b, err := json.Marshal(req)
+		return "/run", string(b), err
+	}
+	req := wire.EvalRequest{Expr: expr, Entry: entry, DeadlineMS: deadlineMS}
+	if args != "" {
+		for _, a := range strings.Split(args, ",") {
+			n, err := strconv.ParseInt(strings.TrimSpace(a), 10, 64)
+			if err != nil {
+				return "", "", fmt.Errorf("bad -args: %v", err)
+			}
+			req.Args = append(req.Args, n)
+		}
+	}
+	b, err := json.Marshal(req)
+	return "/eval", string(b), err
+}
+
+func post(c *http.Client, url, body string) (int, *wire.Result, error) {
+	resp, err := c.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	var res wire.Result
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		return resp.StatusCode, nil, nil // non-JSON body (e.g. plain 404): status still counts
+	}
+	return resp.StatusCode, &res, nil
+}
+
+func errText(res *wire.Result) string {
+	if res == nil || res.Error == nil {
+		return "no error body"
+	}
+	return res.Error.Kind + ": " + res.Error.Message
+}
+
+// scrapeCounter fetches one unlabeled counter from /metrics; -1 means
+// the scrape or the metric was missing.
+func scrapeCounter(c *http.Client, base, name string) int64 {
+	resp, err := c.Get(strings.TrimRight(base, "/") + "/metrics")
+	if err != nil {
+		return -1
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, name+" ") {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(strings.TrimPrefix(line, name)), 64)
+		if err != nil {
+			return -1
+		}
+		return int64(v)
+	}
+	return -1
+}
+
+// quantile reads the q-th quantile from sorted latencies.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i].Round(time.Microsecond)
+}

@@ -23,6 +23,7 @@ import (
 
 	"selfgo"
 	"selfgo/internal/cli"
+	"selfgo/internal/wire"
 )
 
 func main() {
@@ -32,6 +33,7 @@ func main() {
 	expr := flag.String("e", "", "evaluate an expression sequence instead of calling a selector")
 	argList := flag.String("args", "", "comma-separated integer arguments for the selector")
 	stats := flag.Bool("stats", false, "print run statistics")
+	jsonOut := flag.Bool("json", false, "print the result as JSON (the same encoding selfserved responses use)")
 	workers := flag.Int("workers", 0, "run the selector on N concurrent VMs sharing one code cache")
 	timeout := flag.Duration("timeout", 0, "abort the run after this wall-clock duration (e.g. 5s)")
 	fuel := flag.Int64("fuel", 0, "abort the run after this many interpreted instructions")
@@ -116,6 +118,9 @@ func main() {
 	}
 
 	if *workers > 0 {
+		if *jsonOut {
+			fatal(fmt.Errorf("-json reports a single run; it cannot be combined with -workers"))
+		}
 		if err := runWorkers(ctx, sys, *workers, sel, args, *stats); err != nil {
 			fatal(err)
 		}
@@ -129,7 +134,30 @@ func main() {
 		res, err = sys.CallCtx(ctx, sel, args...)
 	}
 	if err != nil {
+		if *jsonOut {
+			out := &wire.Result{Error: wire.NewError(err)}
+			_ = out.Encode(os.Stdout)
+			os.Exit(1)
+		}
 		fatal(err)
+	}
+
+	if *jsonOut {
+		out := wire.NewResult(res.Value, res.Run, res.Compile, res.CompileTime)
+		out.TierMode = sys.Mode.String()
+		if sys.Mode == selfgo.ModeAdaptive {
+			sys.DrainPromotions()
+			ps := sys.PromotionStats()
+			out.Tiers = sys.TierCounts()
+			out.Promotions = &wire.PromotionsJSON{
+				Installed: ps.Installed, Fails: ps.Fails, Discards: ps.Discards,
+				MeanLatencyMS: float64(ps.MeanLatency) / float64(time.Millisecond),
+			}
+		}
+		if err := out.Encode(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	fmt.Println(res.Value)

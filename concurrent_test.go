@@ -158,3 +158,143 @@ func TestSharedCacheInvalidation(t *testing.T) {
 			st.Misses, st.Entries, st.Evicted)
 	}
 }
+
+// TestConcurrentStatsSnapshots hammers the observability surface while
+// 8 workers run the adaptive tier schedule: one goroutine per snapshot
+// kind (cache stats, promotion stats, tier counts) polls continuously
+// during the run, and every snapshot must be internally consistent and
+// monotone — counters never go backwards, CompileOnce never reports a
+// violation. This is the -race guarantee the serving layer's /metrics
+// endpoint depends on: scrapes happen on arbitrary goroutines while
+// every worker executes and promotes.
+func TestConcurrentStatsSnapshots(t *testing.T) {
+	const workers = 8
+	const reps = 6
+	root, err := NewTieredSystem(NewSELF, ModeAdaptive, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := `
+spinStats: n = ( | s <- 0 | 1 upTo: n Do: [ :i | s: s + (i * i) ]. s ).
+stepStats: n = ( spinStats: n ).
+`
+	if err := root.LoadSource(src); err != nil {
+		t.Fatal(err)
+	}
+	systems := make([]*System, workers)
+	systems[0] = root
+	for i := 1; i < workers; i++ {
+		if systems[i], err = root.Fork(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stop := make(chan struct{})
+	snapErr := make(chan error, 3)
+	// Cache-stats poller: counters are monotone and compile-once holds
+	// in every snapshot, not just the final one.
+	go func() {
+		var prev CacheStats
+		for {
+			select {
+			case <-stop:
+				snapErr <- nil
+				return
+			default:
+			}
+			st, ok := root.CacheStats()
+			if !ok {
+				snapErr <- fmt.Errorf("shared system reported no cache")
+				return
+			}
+			if st.Hits < prev.Hits || st.Misses < prev.Misses ||
+				st.Waits < prev.Waits || st.Evicted < prev.Evicted ||
+				st.Promotions < prev.Promotions {
+				snapErr <- fmt.Errorf("cache counters went backwards: %+v -> %+v", prev, st)
+				return
+			}
+			if !st.CompileOnce() {
+				snapErr <- fmt.Errorf("snapshot violates compile-once: %+v", st)
+				return
+			}
+			prev = st
+		}
+	}()
+	// Promotion-stats poller.
+	go func() {
+		var prev PromotionStats
+		for {
+			select {
+			case <-stop:
+				snapErr <- nil
+				return
+			default:
+			}
+			ps := root.PromotionStats()
+			if ps.Installed < prev.Installed || ps.Fails < prev.Fails || ps.Discards < prev.Discards {
+				snapErr <- fmt.Errorf("promotion counters went backwards: %+v -> %+v", prev, ps)
+				return
+			}
+			prev = ps
+		}
+	}()
+	// Tier-count poller: totals only grow.
+	go func() {
+		prevTotal := 0
+		for {
+			select {
+			case <-stop:
+				snapErr <- nil
+				return
+			default:
+			}
+			total := 0
+			for _, n := range root.TierCounts() {
+				total += n
+			}
+			if total < prevTotal {
+				snapErr <- fmt.Errorf("tier-count total shrank: %d -> %d", prevTotal, total)
+				return
+			}
+			prevTotal = total
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for i := range systems {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < reps; r++ {
+				res, err := systems[i].Call("stepStats:", IntValue(300))
+				if err != nil {
+					t.Errorf("worker %d rep %d: %v", i, r, err)
+					return
+				}
+				if res.Value.I != 8955050 {
+					t.Errorf("worker %d rep %d: got %d", i, r, res.Value.I)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	root.DrainPromotions()
+	close(stop)
+	for i := 0; i < 3; i++ {
+		if err := <-snapErr; err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Post-drain: the final snapshot still satisfies compile-once, and
+	// the adaptive schedule actually promoted something.
+	st, _ := root.CacheStats()
+	if !st.CompileOnce() {
+		t.Errorf("final snapshot violates compile-once: %+v", st)
+	}
+	ps := root.PromotionStats()
+	if ps.Installed == 0 {
+		t.Errorf("no promotions landed under 8-worker adaptive load: %+v (tiers %v)", ps, root.TierCounts())
+	}
+}

@@ -151,3 +151,60 @@ inner = ( 3 zorkify ).
 		}
 	}
 }
+
+// TestPollStrideZeroModelledCost: the cooperative poll charges no
+// modelled cycles whatever its stride — even polling after every
+// single instruction must leave the full RunStats bit-identical to an
+// unbudgeted run (the §6.1 cost model does not know the poll exists).
+func TestPollStrideZeroModelledCost(t *testing.T) {
+	src := `work: n = ( | s <- 0 | 1 upTo: n Do: [ :i | s: s + (i * i) ]. s ).`
+	run := func(b selfgo.Budget) selfgo.RunStats {
+		sys, err := selfgo.NewSystem(selfgo.NewSELF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.LoadSource(src); err != nil {
+			t.Fatal(err)
+		}
+		sys.SetBudget(b)
+		res, err := sys.Call("work:", selfgo.IntValue(500))
+		if err != nil {
+			t.Fatalf("budget %+v: %v", b, err)
+		}
+		if res.Value.I != 41541750 {
+			t.Fatalf("budget %+v: value = %d", b, res.Value.I)
+		}
+		return res.Run
+	}
+	base := run(selfgo.Budget{})
+	for _, b := range []selfgo.Budget{
+		{PollEvery: 1},
+		{PollEvery: 1, MaxInstrs: 1 << 40, MaxAllocs: 1 << 40},
+		{PollEvery: 7, MaxInstrs: 1 << 40},
+		{MaxInstrs: 1 << 40}, // default stride, for contrast
+	} {
+		if got := run(b); got != base {
+			t.Errorf("RunStats drift under budget %+v:\n got %+v\nwant %+v", b, got, base)
+		}
+	}
+}
+
+// TestPollStrideTightensCancellation: a 1-instruction stride notices a
+// pre-cancelled context essentially immediately, where the default
+// stride runs up to 1024 instructions first.
+func TestPollStrideTightensCancellation(t *testing.T) {
+	sys, err := selfgo.NewSystem(selfgo.NewSELF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.LoadSource(`spin = ( [ true ] whileTrue: [ ]. 0 ).`); err != nil {
+		t.Fatal(err)
+	}
+	sys.SetBudget(selfgo.Budget{PollEvery: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = sys.CallCtx(ctx, "spin")
+	if k, ok := selfgo.ErrorKind(err); !ok || k != selfgo.KindCancelled {
+		t.Fatalf("kind = %v (ok=%v), want KindCancelled; err: %v", k, ok, err)
+	}
+}

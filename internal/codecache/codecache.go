@@ -332,6 +332,29 @@ func (c *Cache[V]) InvalidateMap(m *obj.Map) int {
 	return n
 }
 
+// Invalidate removes k's entry (resident or still compiling),
+// counting it as evicted and bumping the generation so every VM's
+// private memo of it drops. Goroutines waiting on an in-flight compile
+// of k still receive its result (the flight completes into its own
+// entry object); the key's failure streak is cleared too. Returns
+// whether an entry was removed. Servers use this to evict interned
+// one-off programs whose keys would otherwise stay resident forever.
+func (c *Cache[V]) Invalidate(k Key) bool {
+	s := &c.shards[k.shardIndex()]
+	s.mu.Lock()
+	_, ok := s.entries[k]
+	if ok {
+		delete(s.entries, k)
+		s.evicted++
+	}
+	delete(s.fails, k)
+	s.mu.Unlock()
+	if ok {
+		c.gen.Add(1)
+	}
+	return ok
+}
+
 // Flush empties the cache entirely, counting every resident entry as
 // evicted.
 func (c *Cache[V]) Flush() int {

@@ -324,3 +324,70 @@ func TestNegativeCacheBoundsRetries(t *testing.T) {
 		t.Fatalf("post-invalidation Get = (%d, %v, %v), want (42, Compiled, nil)", v, out, err)
 	}
 }
+
+func TestInvalidateKey(t *testing.T) {
+	w := obj.NewWorld()
+	c := New[string]()
+	k1 := methKey(w, "one", w.IntMap)
+	k2 := methKey(w, "two", w.IntMap)
+	compiles := 0
+	compile := func() (string, error) { compiles++; return "code", nil }
+	for _, k := range []Key{k1, k2} {
+		if _, _, err := c.Get(k, compile); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g0 := c.Generation()
+
+	if !c.Invalidate(k1) {
+		t.Fatal("Invalidate(k1) = false, want true")
+	}
+	if c.Generation() == g0 {
+		t.Fatal("generation did not move on invalidation")
+	}
+	if _, ok := c.Peek(k1); ok {
+		t.Fatal("k1 still resident after Invalidate")
+	}
+	if _, ok := c.Peek(k2); !ok {
+		t.Fatal("Invalidate(k1) evicted unrelated k2")
+	}
+	// Absent key: no eviction, no generation churn.
+	g1 := c.Generation()
+	if c.Invalidate(k1) {
+		t.Fatal("Invalidate of absent key = true")
+	}
+	if c.Generation() != g1 {
+		t.Fatal("generation moved for a no-op invalidation")
+	}
+	// The key recompiles on the next Get and the eviction is counted.
+	if _, out, err := c.Get(k1, compile); err != nil || out != Compiled {
+		t.Fatalf("Get after Invalidate = %v, %v", out, err)
+	}
+	st := c.Stats()
+	if st.Evicted != 1 || compiles != 3 {
+		t.Fatalf("evicted=%d compiles=%d, want 1 and 3", st.Evicted, compiles)
+	}
+	if !st.CompileOnce() {
+		t.Fatalf("CompileOnce violated: %+v", st)
+	}
+}
+
+func TestInvalidateKeyClearsFailStreak(t *testing.T) {
+	w := obj.NewWorld()
+	c := New[string]()
+	k := methKey(w, "bad", w.IntMap)
+	boom := errors.New("boom")
+	for i := 0; i < maxCompileFails; i++ {
+		if _, _, err := c.Get(k, func() (string, error) { return "", boom }); !errors.Is(err, boom) {
+			t.Fatalf("fail %d: err = %v", i, err)
+		}
+	}
+	// Negative-cached now: the compiler must not run again.
+	if _, _, err := c.Get(k, func() (string, error) { t.Fatal("compiled through negative cache"); return "", nil }); !errors.Is(err, boom) {
+		t.Fatalf("negative cache err = %v", err)
+	}
+	c.Invalidate(k)
+	if v, out, err := c.Get(k, func() (string, error) { return "fixed", nil }); err != nil || v != "fixed" || out != Compiled {
+		t.Fatalf("Get after Invalidate = %q, %v, %v", v, out, err)
+	}
+}

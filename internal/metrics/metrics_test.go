@@ -1,0 +1,193 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func expose(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func wantLine(t *testing.T, text, line string) {
+	t.Helper()
+	for _, l := range strings.Split(text, "\n") {
+		if l == line {
+			return
+		}
+	}
+	t.Fatalf("exposition missing line %q:\n%s", line, text)
+}
+
+func TestCounterAndGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "Requests served.")
+	c.Inc()
+	c.Add(41)
+	c.Add(-5) // ignored: counters are monotone
+	g := r.Gauge("queue_depth", "Requests waiting.")
+	g.Set(7)
+	g.Dec()
+
+	text := expose(t, r)
+	wantLine(t, text, "# HELP requests_total Requests served.")
+	wantLine(t, text, "# TYPE requests_total counter")
+	wantLine(t, text, "requests_total 42")
+	wantLine(t, text, "# TYPE queue_depth gauge")
+	wantLine(t, text, "queue_depth 6")
+}
+
+func TestVecLabels(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("http_requests_total", "By endpoint and code.", "endpoint", "code")
+	v.With("/eval", "200").Add(3)
+	v.With("/eval", "429").Inc()
+	v.With("/run", "200").Inc()
+	// Same labels resolve to the same cell.
+	v.With("/eval", "200").Inc()
+
+	text := expose(t, r)
+	wantLine(t, text, `http_requests_total{endpoint="/eval",code="200"} 4`)
+	wantLine(t, text, `http_requests_total{endpoint="/eval",code="429"} 1`)
+	wantLine(t, text, `http_requests_total{endpoint="/run",code="200"} 1`)
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("odd_total", "", "what").With("a\"b\\c\nd").Inc()
+	text := expose(t, r)
+	wantLine(t, text, `odd_total{what="a\"b\\c\nd"} 1`)
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", "Request latency.", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 2} {
+		h.Observe(v)
+	}
+	text := expose(t, r)
+	wantLine(t, text, "# TYPE latency_seconds histogram")
+	wantLine(t, text, `latency_seconds_bucket{le="0.01"} 2`) // 0.005 and the boundary 0.01
+	wantLine(t, text, `latency_seconds_bucket{le="0.1"} 3`)
+	wantLine(t, text, `latency_seconds_bucket{le="1"} 4`)
+	wantLine(t, text, `latency_seconds_bucket{le="+Inf"} 5`)
+	wantLine(t, text, `latency_seconds_count 5`)
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	// Sum = 2.565
+	wantLine(t, text, `latency_seconds_sum 2.565`)
+}
+
+func TestHistogramVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.HistogramVec("req_seconds", "", []float64{1}, "endpoint")
+	v.With("/eval").Observe(0.5)
+	v.With("/run").Observe(2)
+	text := expose(t, r)
+	wantLine(t, text, `req_seconds_bucket{endpoint="/eval",le="1"} 1`)
+	wantLine(t, text, `req_seconds_bucket{endpoint="/run",le="1"} 0`)
+	wantLine(t, text, `req_seconds_bucket{endpoint="/run",le="+Inf"} 1`)
+}
+
+func TestRegisterFunc(t *testing.T) {
+	r := NewRegistry()
+	n := int64(0)
+	r.CounterFunc("cache_misses_total", "From the cache's own counters.", func() float64 {
+		n += 10
+		return float64(n)
+	})
+	r.RegisterFunc("compiles_total", "", KindCounter, []string{"tier"}, func() []Sample {
+		return []Sample{
+			{Labels: []string{"baseline"}, Value: 12},
+			{Labels: []string{"optimizing"}, Value: 3},
+		}
+	})
+	text := expose(t, r)
+	wantLine(t, text, "cache_misses_total 10")
+	wantLine(t, text, `compiles_total{tier="baseline"} 12`)
+	wantLine(t, text, `compiles_total{tier="optimizing"} 3`)
+	// Callback families re-evaluate per exposition.
+	wantLine(t, expose(t, r), "cache_misses_total 20")
+}
+
+func TestFamiliesSortedAndReregistrationChecked(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zzz_total", "")
+	r.Counter("aaa_total", "")
+	text := expose(t, r)
+	if strings.Index(text, "aaa_total") > strings.Index(text, "zzz_total") {
+		t.Fatalf("families not sorted:\n%s", text)
+	}
+	// Same name+kind+labels: same cell.
+	r.Counter("aaa_total", "").Inc()
+	wantLine(t, expose(t, r), "aaa_total 1")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering with a different kind did not panic")
+		}
+	}()
+	r.Gauge("aaa_total", "")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "9lead", "has space", "dash-ed"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("name %q did not panic", bad)
+				}
+			}()
+			r.Counter(bad, "")
+		}()
+	}
+}
+
+// TestConcurrentUse hammers every metric type from 8 goroutines while
+// an exposer renders; -race is the assertion, plus final counts.
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h_seconds", "", nil)
+	v := r.CounterVec("v_total", "", "w")
+	const workers = 8
+	const per = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lc := v.With("w" + string(rune('0'+w)))
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i) / per)
+				lc.Inc()
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var b strings.Builder
+			_ = r.WriteText(&b)
+		}
+	}()
+	wg.Wait()
+	<-done
+	if c.Value() != workers*per {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Fatalf("histogram count = %d", h.Count())
+	}
+}

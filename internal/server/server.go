@@ -1,0 +1,449 @@
+// Package server is selfserved's core: an HTTP/JSON front end that
+// parses, compiles and runs Self programs on a pool of forked VMs
+// sharing one world and one single-flight code cache — the
+// compile-once/run-many architecture of the shared cache, turned into
+// a long-running multi-tenant service.
+//
+// Production shape:
+//
+//   - a bounded pool of worker Systems (Fork of one shared root), one
+//     request per worker at a time;
+//   - a bounded admission queue in front of the pool — when it is
+//     full, requests are shed immediately with 429 instead of piling
+//     up;
+//   - per-request Budget and deadline, clamped by server-wide caps,
+//     enforced by the VM's cooperative poll (whose stride tightens
+//     automatically for short deadlines);
+//   - context cancellation end to end: a dropped client connection
+//     aborts the guest run at the next poll;
+//   - fault containment: guest faults, compiler failures and panics
+//     surface as typed JSON errors (the RuntimeError kind taxonomy),
+//     never as a crashed process;
+//   - interning: repeated program texts load once, repeated eval
+//     expressions compile once (bounded LRU, entries evicted from the
+//     shared cache on rotation);
+//   - observability: every layer (admission, VM run counters, code
+//     cache, tier promotion) exports through internal/metrics on
+//     /metrics, with /statusz as the human-readable JSON view.
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"selfgo"
+	"selfgo/internal/bench"
+	"selfgo/internal/metrics"
+	"selfgo/internal/wire"
+)
+
+// Config shapes a Server. The zero value is usable: it serves the
+// paper's eager-optimizing tier with defaults suitable for tests.
+type Config struct {
+	// Compiler is the compiler generation (zero Name selects
+	// selfgo.NewSELF).
+	Compiler selfgo.Config
+	// Mode is the tier schedule (ModeOpt, ModeBaseline, ModeAdaptive).
+	Mode selfgo.TierMode
+	// PromoteThreshold is the adaptive promotion threshold (<= 0 uses
+	// the default).
+	PromoteThreshold int64
+
+	// Pool is the number of worker VMs (default 4).
+	Pool int
+	// QueueDepth bounds requests waiting for a worker; one more and
+	// the server sheds with 429 (default 16).
+	QueueDepth int
+
+	// MaxInstrs/MaxAllocs/MaxDepth cap every request's budget; a
+	// request may ask for less, never more. Defaults: 1e9 instructions,
+	// 1e8 allocations, 10000 frames.
+	MaxInstrs int64
+	MaxAllocs int64
+	MaxDepth  int
+	// DefaultDeadline applies when a request names none (default 10s);
+	// MaxDeadline caps what a request may ask for (default 60s).
+	DefaultDeadline time.Duration
+	MaxDeadline     time.Duration
+	// PollEvery tightens the cooperative poll stride for every request
+	// (0 keeps the VM default; requests may tighten further but not
+	// loosen). Deadlines at or under ShortDeadline always poll at
+	// least every shortDeadlineStride instructions.
+	PollEvery int64
+
+	// Limits bounds request decoding (zero fields take wire defaults).
+	Limits wire.Limits
+
+	// Benches names the benchmarks preloaded for POST /run; nil
+	// preloads every ParallelSafe benchmark, empty-but-non-nil none.
+	Benches []string
+
+	// MaxPrograms bounds distinct program texts loaded into the world
+	// over the server's lifetime (default 256; the world cannot unload
+	// code, so past the cap new programs are rejected).
+	MaxPrograms int
+	// MaxEvalPrograms bounds the interned eval-expression LRU
+	// (default 1024; past it the least-recently-used entry is dropped
+	// and its compiled code evicted from the shared cache).
+	MaxEvalPrograms int
+}
+
+// ShortDeadline is the deadline at or below which the server forces a
+// tight poll stride, so cancellation latency stays well under the
+// deadline itself.
+const ShortDeadline = 100 * time.Millisecond
+
+const shortDeadlineStride = 128
+
+func (c Config) withDefaults() Config {
+	if c.Compiler.Name == "" {
+		c.Compiler = selfgo.NewSELF
+	}
+	if c.Pool <= 0 {
+		c.Pool = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.MaxInstrs <= 0 {
+		c.MaxInstrs = 1_000_000_000
+	}
+	if c.MaxAllocs <= 0 {
+		c.MaxAllocs = 100_000_000
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 10_000
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 10 * time.Second
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 60 * time.Second
+	}
+	if c.MaxPrograms <= 0 {
+		c.MaxPrograms = 256
+	}
+	if c.MaxEvalPrograms <= 0 {
+		c.MaxEvalPrograms = 1024
+	}
+	return c
+}
+
+// benchEntry is one preloaded named benchmark.
+type benchEntry struct {
+	b bench.Benchmark
+}
+
+// Server is the daemon's state. Build with New, serve Handler().
+type Server struct {
+	cfg   Config
+	reg   *metrics.Registry
+	root  *selfgo.System
+	pool  chan *selfgo.System
+	start time.Time
+
+	// worldMu serializes world mutation (program loads) against guest
+	// runs: runs hold it shared, loads exclusive. Loads are rare
+	// (once per distinct program text), so the common path is an
+	// uncontended RLock.
+	worldMu sync.RWMutex
+	// loadMu serializes loaders so a burst of requests for the same
+	// new program runs one load, not a convoy.
+	loadMu sync.Mutex
+
+	// progMu guards the two interning tables.
+	progMu   sync.Mutex
+	loaded   map[[sha256.Size]byte]bool // program texts already in the world
+	exprs    map[[sha256.Size]byte]*exprEntry
+	exprLRU  []*exprEntry // front = most recent
+	benches  map[string]benchEntry
+	queued   atomic.Int64
+	inFlight atomic.Int64
+	draining atomic.Bool
+	served   atomic.Int64 // requests answered (any status)
+	drained  atomic.Int64 // requests completed while draining
+
+	m serverMetrics
+}
+
+type exprEntry struct {
+	key  [sha256.Size]byte
+	prog *selfgo.EvalProgram
+	last int64 // logical clock for LRU
+}
+
+// New builds the shared system, preloads the prelude and the named
+// benchmarks, forks the worker pool, and wires the metrics registry.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	root, err := selfgo.NewTieredSystem(cfg.Compiler, cfg.Mode, cfg.PromoteThreshold)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		reg:     metrics.NewRegistry(),
+		root:    root,
+		pool:    make(chan *selfgo.System, cfg.Pool),
+		start:   time.Now(),
+		loaded:  map[[sha256.Size]byte]bool{},
+		exprs:   map[[sha256.Size]byte]*exprEntry{},
+		benches: map[string]benchEntry{},
+	}
+
+	// Preload benchmarks: their sources join the shared world once, so
+	// every later /run request is pure execution against warm or
+	// warming cache.
+	names := cfg.Benches
+	if names == nil {
+		for _, b := range bench.ParallelSafe() {
+			names = append(names, b.Name)
+		}
+	}
+	for _, name := range names {
+		b, ok := bench.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown benchmark %q", name)
+		}
+		if !b.ParallelSafe {
+			return nil, fmt.Errorf("benchmark %q keeps state in lobby globals and cannot run on concurrent workers", name)
+		}
+		if err := root.LoadSource(b.Source); err != nil {
+			return nil, fmt.Errorf("preloading %s: %w", name, err)
+		}
+		s.benches[name] = benchEntry{b: b}
+	}
+
+	// The pool: the root plus Pool-1 forks. Every worker shares the
+	// world, the pipelines and the code cache; each runs one request
+	// at a time.
+	s.pool <- root
+	for i := 1; i < cfg.Pool; i++ {
+		w, err := root.Fork()
+		if err != nil {
+			return nil, err
+		}
+		s.pool <- w
+	}
+
+	s.registerMetrics()
+	return s, nil
+}
+
+// Registry exposes the metrics registry (cmd/selfserved adds process
+// metadata; tests read it directly).
+func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+// Mode returns the tier schedule the server runs.
+func (s *Server) Mode() selfgo.TierMode { return s.cfg.Mode }
+
+// Drain flips the server into draining: /readyz turns 503 so load
+// balancers stop sending traffic, and new work is rejected with 503
+// while requests already admitted run to completion. The HTTP
+// listener's graceful Shutdown does the actual waiting.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// Draining reports whether Drain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Served returns the number of requests answered so far; DrainedOK the
+// number completed after Drain.
+func (s *Server) Served() int64    { return s.served.Load() }
+func (s *Server) DrainedOK() int64 { return s.drained.Load() }
+
+// InFlight returns the number of requests currently executing guest
+// code.
+func (s *Server) InFlight() int64 { return s.inFlight.Load() }
+
+// errShed is returned by acquire when the admission queue is full.
+var errShed = fmt.Errorf("admission queue full")
+
+// acquire hands out a worker VM, queueing boundedly: if the queue is
+// already at QueueDepth the request is shed immediately (429 beats an
+// unbounded pileup — the client can back off, the server stays
+// responsive). A queued request still honors its context: cancelled
+// or expired waiters leave the queue.
+func (s *Server) acquire(ctx context.Context) (*selfgo.System, error) {
+	select {
+	case sys := <-s.pool:
+		return sys, nil
+	default:
+	}
+	if n := s.queued.Add(1); n > int64(s.cfg.QueueDepth) {
+		s.queued.Add(-1)
+		s.m.shed.Inc()
+		return nil, errShed
+	}
+	defer s.queued.Add(-1)
+	select {
+	case sys := <-s.pool:
+		return sys, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (s *Server) release(sys *selfgo.System) {
+	sys.SetBudget(selfgo.Budget{})
+	s.pool <- sys
+}
+
+// effectiveBudget clamps the request's asks to the server caps. Zero
+// asks mean "as much as allowed", not "unlimited".
+func (s *Server) effectiveBudget(req *wire.Budget, deadline time.Duration) selfgo.Budget {
+	b := selfgo.Budget{
+		MaxInstrs: s.cfg.MaxInstrs,
+		MaxAllocs: s.cfg.MaxAllocs,
+		MaxDepth:  s.cfg.MaxDepth,
+		PollEvery: s.cfg.PollEvery,
+	}
+	if req != nil {
+		if req.MaxInstrs > 0 && req.MaxInstrs < b.MaxInstrs {
+			b.MaxInstrs = req.MaxInstrs
+		}
+		if req.MaxAllocs > 0 && req.MaxAllocs < b.MaxAllocs {
+			b.MaxAllocs = req.MaxAllocs
+		}
+		if req.MaxDepth > 0 && req.MaxDepth < b.MaxDepth {
+			b.MaxDepth = req.MaxDepth
+		}
+		if req.PollEvery > 0 && (b.PollEvery == 0 || req.PollEvery < b.PollEvery) {
+			b.PollEvery = req.PollEvery
+		}
+	}
+	// Short deadlines force a tight poll so the abort lands well
+	// inside the deadline, whatever the caller asked for.
+	if deadline > 0 && deadline <= ShortDeadline &&
+		(b.PollEvery == 0 || b.PollEvery > shortDeadlineStride) {
+		b.PollEvery = shortDeadlineStride
+	}
+	return b
+}
+
+// effectiveDeadline clamps the request's deadline to the server caps.
+func (s *Server) effectiveDeadline(deadlineMS int64) time.Duration {
+	d := s.cfg.DefaultDeadline
+	if deadlineMS > 0 {
+		d = time.Duration(deadlineMS) * time.Millisecond
+	}
+	if d > s.cfg.MaxDeadline {
+		d = s.cfg.MaxDeadline
+	}
+	return d
+}
+
+// ensureProgram loads a program text into the shared world, once per
+// distinct text for the server's lifetime. The load takes the world
+// write lock, so it waits for in-flight runs and briefly stalls new
+// ones; repeated texts hit the table and pay nothing.
+func (s *Server) ensureProgram(src string) error {
+	key := sha256.Sum256([]byte(src))
+	s.progMu.Lock()
+	already := s.loaded[key]
+	s.progMu.Unlock()
+	if already {
+		return nil
+	}
+
+	s.loadMu.Lock()
+	defer s.loadMu.Unlock()
+	s.progMu.Lock()
+	if s.loaded[key] { // lost the race to another loader: fine
+		s.progMu.Unlock()
+		return nil
+	}
+	full := len(s.loaded) >= s.cfg.MaxPrograms
+	s.progMu.Unlock()
+	if full {
+		return &wire.RequestError{Status: http.StatusInsufficientStorage,
+			Msg: fmt.Sprintf("program table full (%d distinct programs); restart or raise -max-programs", s.cfg.MaxPrograms)}
+	}
+
+	s.worldMu.Lock()
+	err := s.root.LoadSource(src)
+	s.worldMu.Unlock()
+	if err != nil {
+		return &wire.RequestError{Status: http.StatusBadRequest, Msg: fmt.Sprintf("loading program: %v", err)}
+	}
+
+	s.progMu.Lock()
+	s.loaded[key] = true
+	s.m.programsLoaded.Inc()
+	// Interned eval expressions were parsed against the old world
+	// shape; drop them (their compiled code too) rather than risk
+	// running stale customizations.
+	for _, e := range s.exprs {
+		s.root.DropEvalProgram(e.prog)
+	}
+	clear(s.exprs)
+	s.exprLRU = s.exprLRU[:0]
+	s.progMu.Unlock()
+	return nil
+}
+
+// internExpr resolves src to its interned EvalProgram, parsing it on
+// first sight. The table is a bounded LRU: past MaxEvalPrograms the
+// coldest entry is dropped and its compiled code evicted from the
+// shared cache, so a tenant cycling through unique programs cannot
+// grow the cache without bound.
+func (s *Server) internExpr(src string) (*selfgo.EvalProgram, error) {
+	key := sha256.Sum256([]byte(src))
+	s.progMu.Lock()
+	defer s.progMu.Unlock()
+	if e, ok := s.exprs[key]; ok {
+		e.last = s.touch()
+		s.m.exprHits.Inc()
+		return e.prog, nil
+	}
+	prog, err := s.root.ParseEval(src)
+	if err != nil {
+		return nil, &wire.RequestError{Status: http.StatusBadRequest, Msg: fmt.Sprintf("parsing expr: %v", err)}
+	}
+	if len(s.exprs) >= s.cfg.MaxEvalPrograms {
+		s.evictColdestLocked()
+	}
+	s.exprs[key] = &exprEntry{key: key, prog: prog, last: s.touch()}
+	s.m.exprInterned.Inc()
+	return prog, nil
+}
+
+var lruClock atomic.Int64
+
+func (s *Server) touch() int64 { return lruClock.Add(1) }
+
+// evictColdestLocked drops the least-recently-used interned
+// expression. Linear scan: the table is small (<= MaxEvalPrograms) and
+// eviction only runs once the table is full.
+func (s *Server) evictColdestLocked() {
+	var coldest *exprEntry
+	for _, e := range s.exprs {
+		if coldest == nil || e.last < coldest.last {
+			coldest = e
+		}
+	}
+	if coldest == nil {
+		return
+	}
+	s.root.DropEvalProgram(coldest.prog)
+	delete(s.exprs, coldest.key)
+	s.m.exprEvicted.Inc()
+}
+
+// LoadedPrograms and InternedExprs report interning table sizes (for
+// /statusz and tests).
+func (s *Server) LoadedPrograms() int {
+	s.progMu.Lock()
+	defer s.progMu.Unlock()
+	return len(s.loaded)
+}
+
+func (s *Server) InternedExprs() int {
+	s.progMu.Lock()
+	defer s.progMu.Unlock()
+	return len(s.exprs)
+}

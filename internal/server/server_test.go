@@ -1,0 +1,463 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"selfgo"
+	"selfgo/internal/wire"
+)
+
+// newTestServer builds a server (no preloaded benchmarks unless names
+// are given) and an httptest front end.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Benches == nil {
+		cfg.Benches = []string{}
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postJSON(t *testing.T, url, body string) (int, *wire.Result) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var res wire.Result
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp.StatusCode, &res
+}
+
+func TestEvalBasic(t *testing.T) {
+	_, ts := newTestServer(t, Config{Pool: 2})
+	code, res := postJSON(t, ts.URL+"/eval", `{"expr": "3 + 4"}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %+v", code, res)
+	}
+	if res.Int != 7 || res.Value != "7" {
+		t.Fatalf("result %+v", res)
+	}
+	if res.Run == nil || res.Run.Instrs == 0 {
+		t.Fatalf("missing run stats: %+v", res)
+	}
+	if res.TierMode != "opt" {
+		t.Fatalf("tier mode %q", res.TierMode)
+	}
+}
+
+func TestEvalProgramAndEntry(t *testing.T) {
+	s, ts := newTestServer(t, Config{Pool: 2})
+	body := `{"program": "triple: n = ( n * 3 ).", "entry": "triple:", "args": [14]}`
+	for i := 0; i < 3; i++ {
+		code, res := postJSON(t, ts.URL+"/eval", body)
+		if code != http.StatusOK || res.Int != 42 {
+			t.Fatalf("round %d: status %d result %+v", i, code, res)
+		}
+	}
+	if n := s.LoadedPrograms(); n != 1 {
+		t.Fatalf("program loaded %d times, want interning to 1", n)
+	}
+	// Unknown entry: 404, not a hang or a 500.
+	code, res := postJSON(t, ts.URL+"/eval", `{"entry": "noSuchThing"}`)
+	if code != http.StatusNotFound {
+		t.Fatalf("unknown entry: status %d %+v", code, res)
+	}
+}
+
+func TestEvalRejects(t *testing.T) {
+	_, ts := newTestServer(t, Config{Pool: 1})
+	for _, c := range []struct {
+		body string
+		want int
+	}{
+		{`{`, http.StatusBadRequest},
+		{`{"expr": "1", "entry": "x"}`, http.StatusBadRequest},
+		{`{"entry": "fib:", "args": [1, 2]}`, http.StatusBadRequest},
+		{`{"expr": "3 +"}`, http.StatusBadRequest}, // parse error
+		{`{"program": "][", "expr": "1"}`, http.StatusBadRequest},
+	} {
+		code, res := postJSON(t, ts.URL+"/eval", c.body)
+		if code != c.want {
+			t.Errorf("%s: status %d want %d (%+v)", c.body, code, c.want, res)
+		}
+		if res.Error == nil {
+			t.Errorf("%s: no error body", c.body)
+		}
+	}
+}
+
+// TestCompileOnceAcrossConnections is the acceptance criterion in
+// miniature: 8 concurrent connections hammering the same expression
+// and entry must not compile anything after warm-up — the shared
+// cache's miss counter stays flat while the hit counter climbs.
+func TestCompileOnceAcrossConnections(t *testing.T) {
+	s, ts := newTestServer(t, Config{Pool: 8})
+	exprBody := `{"expr": "| s <- 0 | 1 upTo: 100 Do: [ :i | s: s + i ]. s"}`
+	entryBody := `{"program": "square: n = ( n * n ).", "entry": "square:", "args": [12]}`
+
+	// Warm-up: one pass of each compiles everything the requests need.
+	// The program load comes first — loading mutates the lobby map,
+	// which (correctly) invalidates customizations compiled before it.
+	if code, res := postJSON(t, ts.URL+"/eval", entryBody); code != 200 || res.Int != 144 {
+		t.Fatalf("warm-up entry: %d %+v", code, res)
+	}
+	if code, res := postJSON(t, ts.URL+"/eval", exprBody); code != 200 || res.Int != 4950 {
+		t.Fatalf("warm-up expr: %d %+v", code, res)
+	}
+	warm := s.cacheStats()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				body, want := exprBody, int64(4950)
+				if (w+i)%2 == 1 {
+					body, want = entryBody, 144
+				}
+				resp, err := http.Post(ts.URL+"/eval", "application/json", strings.NewReader(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				var res wire.Result
+				err = json.NewDecoder(resp.Body).Decode(&res)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.StatusCode != 200 || res.Int != want {
+					errs <- fmt.Errorf("worker %d: status %d result %+v", w, resp.StatusCode, &res)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	after := s.cacheStats()
+	if after.Misses != warm.Misses {
+		t.Errorf("compile-once violated: misses %d -> %d under steady load", warm.Misses, after.Misses)
+	}
+	if after.Hits <= warm.Hits {
+		t.Errorf("hits did not grow: %d -> %d", warm.Hits, after.Hits)
+	}
+	// The /metrics exposition agrees with the internal snapshot.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	wantLine := fmt.Sprintf("selfgo_codecache_misses_total %d", after.Misses)
+	if !strings.Contains(string(text), wantLine) {
+		t.Errorf("metrics missing %q", wantLine)
+	}
+}
+
+// TestAdmissionShedding floods a pool-of-1, queue-of-1 server: exactly
+// one request runs, one queues, and the rest get an immediate 429 —
+// never a hang.
+func TestAdmissionShedding(t *testing.T) {
+	s, ts := newTestServer(t, Config{Pool: 1, QueueDepth: 1, DefaultDeadline: time.Minute})
+	slow := `{"expr": "| s <- 0 | 1 upTo: 3000000 Do: [ :i | s: s + 1 ]. s"}`
+
+	release := make(chan struct{})
+	go func() {
+		defer close(release)
+		if code, res := postJSON(t, ts.URL+"/eval", slow); code != 200 {
+			t.Errorf("slow request: %d %+v", code, res)
+		}
+	}()
+	// Wait until the slow request holds the worker.
+	for i := 0; s.InFlight() == 0 && i < 500; i++ {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if s.InFlight() == 0 {
+		t.Fatal("slow request never started")
+	}
+
+	var wg sync.WaitGroup
+	codes := make(chan int, 6)
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			code, _ := postJSON(t, ts.URL+"/eval", `{"expr": "1 + 1"}`)
+			codes <- code
+		}()
+	}
+	wg.Wait()
+	close(codes)
+	shed, okCount := 0, 0
+	for c := range codes {
+		switch c {
+		case http.StatusTooManyRequests:
+			shed++
+		case http.StatusOK:
+			okCount++
+		default:
+			t.Errorf("unexpected status %d", c)
+		}
+	}
+	// 1 worker busy + 1 queue slot: at least 4 of 6 must be shed.
+	if shed < 4 {
+		t.Errorf("shed %d of 6, want >= 4 (ok=%d)", shed, okCount)
+	}
+	if s.m.shed.Value() != int64(shed) {
+		t.Errorf("shed counter %d, observed %d", s.m.shed.Value(), shed)
+	}
+	<-release
+}
+
+// TestDrain: after Drain, new work is refused with 503 and readiness
+// flips, while a request already in flight runs to completion.
+func TestDrain(t *testing.T) {
+	s, ts := newTestServer(t, Config{Pool: 2, DefaultDeadline: time.Minute})
+	slow := `{"expr": "| s <- 0 | 1 upTo: 3000000 Do: [ :i | s: s + 1 ]. s"}`
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		code, res := postJSON(t, ts.URL+"/eval", slow)
+		if code != 200 || res.Int != 2999999 {
+			t.Errorf("in-flight request after drain: %d %+v", code, res)
+		}
+	}()
+	for i := 0; s.InFlight() == 0 && i < 500; i++ {
+		time.Sleep(2 * time.Millisecond)
+	}
+	s.Drain()
+
+	if code, _ := postJSON(t, ts.URL+"/eval", `{"expr": "1"}`); code != http.StatusServiceUnavailable {
+		t.Errorf("new request while draining: %d, want 503", code)
+	}
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("readyz while draining: %d", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz while draining: %d (liveness must hold)", resp.StatusCode)
+	}
+	<-done
+	if s.DrainedOK() == 0 {
+		t.Error("no request recorded as completing during drain")
+	}
+}
+
+// TestDeadline: a request-level deadline aborts the run with 504 and a
+// cancelled-kind error, and the worker survives for the next request.
+func TestDeadline(t *testing.T) {
+	_, ts := newTestServer(t, Config{Pool: 1})
+	code, res := postJSON(t, ts.URL+"/eval",
+		`{"expr": "| s <- 0 | 1 upTo: 400000000 Do: [ :i | s: s + 1 ]. s", "deadline_ms": 50}`)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d %+v, want 504", code, res)
+	}
+	if res.Error == nil || res.Error.Kind != "cancelled" {
+		t.Fatalf("error %+v, want kind cancelled", res.Error)
+	}
+	// Worker recovered.
+	if code, res := postJSON(t, ts.URL+"/eval", `{"expr": "2 + 2"}`); code != 200 || res.Int != 4 {
+		t.Fatalf("worker did not recover: %d %+v", code, res)
+	}
+}
+
+// TestClientDisconnect: dropping the connection mid-run aborts the
+// guest at the next poll and returns the worker to the pool.
+func TestClientDisconnect(t *testing.T) {
+	s, ts := newTestServer(t, Config{Pool: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, "POST", ts.URL+"/eval",
+		strings.NewReader(`{"expr": "| s <- 0 | 1 upTo: 400000000 Do: [ :i | s: s + 1 ]. s"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	errc := make(chan error, 1)
+	go func() {
+		_, err := http.DefaultClient.Do(req)
+		errc <- err
+	}()
+	for i := 0; s.InFlight() == 0 && i < 500; i++ {
+		time.Sleep(2 * time.Millisecond)
+	}
+	cancel()
+	if err := <-errc; err == nil {
+		t.Fatal("expected client-side error after cancel")
+	}
+	// The abort lands at the next budget poll; then the worker is free.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.InFlight() != 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if code, res := postJSON(t, ts.URL+"/eval", `{"expr": "5 * 5"}`); code != 200 || res.Int != 25 {
+		t.Fatalf("worker did not recover after disconnect: %d %+v", code, res)
+	}
+	if got := s.m.faults.With("cancelled").Value(); got == 0 {
+		t.Error("cancelled fault not counted")
+	}
+}
+
+func TestRunBench(t *testing.T) {
+	_, ts := newTestServer(t, Config{Pool: 2, Benches: []string{"sumTo", "sieve"}})
+	code, res := postJSON(t, ts.URL+"/run", `{"bench": "sumTo"}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d %+v", code, res)
+	}
+	if res.Bench != "sumTo" {
+		t.Fatalf("bench %q", res.Bench)
+	}
+	if res.CheckOK == nil || !*res.CheckOK {
+		t.Fatalf("check failed: %+v", res)
+	}
+	// Not preloaded: 404.
+	if code, _ := postJSON(t, ts.URL+"/run", `{"bench": "richards"}`); code != http.StatusNotFound {
+		t.Fatalf("unloaded bench: status %d, want 404", code)
+	}
+	if code, _ := postJSON(t, ts.URL+"/run", `{"bench": "perm"}`); code != http.StatusNotFound {
+		t.Fatalf("non-parallel-safe bench: status %d, want 404", code)
+	}
+}
+
+// TestAdaptivePromotionUnderLoad drives an adaptive-tier server until
+// a background promotion lands — the acceptance criterion that the
+// tiered pipeline works across HTTP tenants, not just in selfbench.
+func TestAdaptivePromotionUnderLoad(t *testing.T) {
+	s, ts := newTestServer(t, Config{Pool: 4, Mode: selfgo.ModeAdaptive, PromoteThreshold: 10})
+	body := `{"program": "spinUp: n = ( | s <- 0 | 1 upTo: n Do: [ :i | s: s + (i * i) ]. s ).",
+	          "entry": "spinUp:", "args": [200]}`
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 15; i++ {
+				resp, err := http.Post(ts.URL+"/eval", "application/json", strings.NewReader(body))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	s.root.DrainPromotions()
+	ps := s.root.PromotionStats()
+	if ps.Installed == 0 {
+		t.Fatalf("no background promotion landed: %+v (tiers %v)", ps, s.root.TierCounts())
+	}
+	// The promotion is visible on the wire too.
+	code, res := postJSON(t, ts.URL+"/eval", `{"entry": "spinUp:", "args": [200]}`)
+	if code != 200 || res.Promotions == nil || res.Promotions.Installed == 0 {
+		t.Fatalf("promotions missing from response: %d %+v", code, res)
+	}
+	if res.TierMode != "adaptive" {
+		t.Fatalf("tier mode %q", res.TierMode)
+	}
+}
+
+func TestStatuszAndMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{Pool: 3, QueueDepth: 7, Benches: []string{"sumTo"}})
+	postJSON(t, ts.URL+"/eval", `{"expr": "1 + 1"}`)
+
+	resp, err := http.Get(ts.URL + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var view statuszView
+	err = json.NewDecoder(resp.Body).Decode(&view)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Pool != 3 || view.QueueDepth != 7 || view.TierMode != "opt" {
+		t.Fatalf("statusz %+v", view)
+	}
+	if view.Served == 0 || view.Cache.Entries == 0 {
+		t.Fatalf("statusz counters empty: %+v", view)
+	}
+	if len(view.Benches) != 1 || view.Benches[0] != "sumTo" {
+		t.Fatalf("statusz benches %v", view.Benches)
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("metrics content type %q", ct)
+	}
+	for _, want := range []string{
+		"# TYPE selfserved_requests_total counter",
+		`selfserved_requests_total{endpoint="eval",code="200"}`,
+		"# TYPE selfserved_request_seconds histogram",
+		"selfgo_codecache_misses_total",
+		"selfserved_pool_size 3",
+	} {
+		if !strings.Contains(string(text), want) {
+			t.Errorf("metrics exposition missing %q", want)
+		}
+	}
+}
+
+// TestExprLRUEviction: past MaxEvalPrograms the oldest interned
+// expression is dropped and its cache entries evicted, so unique
+// programs cannot grow the shared cache without bound.
+func TestExprLRUEviction(t *testing.T) {
+	s, ts := newTestServer(t, Config{Pool: 1, MaxEvalPrograms: 4})
+	for i := 0; i < 12; i++ {
+		body := fmt.Sprintf(`{"expr": "%d + %d"}`, i, i)
+		if code, res := postJSON(t, ts.URL+"/eval", body); code != 200 || res.Int != int64(2*i) {
+			t.Fatalf("expr %d: %d %+v", i, code, res)
+		}
+	}
+	if n := s.InternedExprs(); n != 4 {
+		t.Fatalf("interned %d, want LRU capped at 4", n)
+	}
+	if got := s.m.exprEvicted.Value(); got != 8 {
+		t.Fatalf("evicted %d, want 8", got)
+	}
+	if s.cacheStats().Evicted == 0 {
+		t.Fatal("LRU rotation did not evict shared-cache entries")
+	}
+}

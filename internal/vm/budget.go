@@ -24,6 +24,15 @@ type Budget struct {
 	// MaxAllocs bounds allocation operations (vectors, clones,
 	// closures); exceeding it returns a KindOutOfFuel error.
 	MaxAllocs int64
+	// PollEvery overrides the cooperative poll stride: how many
+	// instructions run between budget/cancellation checks. Zero keeps
+	// the default (budgetPollInterval, 1024). A server handling short
+	// deadlines tightens it to bound cancellation latency; even a
+	// 1-instruction stride charges zero modelled cost — the poll is
+	// host work only — but costs host time, so small strides are for
+	// latency-sensitive callers. Setting only PollEvery (no limits, no
+	// context) arms the poll but every check passes.
+	PollEvery int64
 }
 
 // budgetPollInterval is how many instructions run between cooperative
@@ -47,10 +56,14 @@ func (vm *VM) startRun(ctx context.Context) {
 	vm.ctx = ctx
 	vm.fuelStart = vm.Stats.Instrs
 	vm.allocStart = vm.Stats.Allocs
+	vm.pollEvery = vm.Budget.PollEvery
+	if vm.pollEvery <= 0 {
+		vm.pollEvery = budgetPollInterval
+	}
 	// context.Background() has a nil Done channel: such a context can
 	// never be cancelled, so it does not force polling on.
 	if (ctx != nil && ctx.Done() != nil) || vm.Budget != (Budget{}) {
-		vm.pollAt = vm.Stats.Instrs + budgetPollInterval
+		vm.pollAt = vm.Stats.Instrs + vm.pollEvery
 	} else {
 		vm.pollAt = math.MaxInt64
 	}
@@ -58,7 +71,13 @@ func (vm *VM) startRun(ctx context.Context) {
 
 // poll is the cooperative budget and cancellation check.
 func (vm *VM) poll(st *RunStats) error {
-	vm.pollAt = st.Instrs + budgetPollInterval
+	stride := vm.pollEvery
+	if stride <= 0 {
+		// Defensive: a poll reached outside startRun (which always arms
+		// the stride) must not degenerate into polling every instruction.
+		stride = budgetPollInterval
+	}
+	vm.pollAt = st.Instrs + stride
 	b := &vm.Budget
 	if b.MaxInstrs > 0 && st.Instrs-vm.fuelStart > b.MaxInstrs {
 		return &RuntimeError{Kind: KindOutOfFuel,

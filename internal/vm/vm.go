@@ -156,10 +156,12 @@ type VM struct {
 
 	// Cooperative budget state for the current run (see budget.go):
 	// ctx is the cancellation context (nil when none), pollAt the
-	// Instrs count at which the next poll fires, fuelStart/allocStart
+	// Instrs count at which the next poll fires, pollEvery the armed
+	// stride (Budget.PollEvery or the default), fuelStart/allocStart
 	// the counters at run entry (budgets are per-run).
 	ctx        context.Context
 	pollAt     int64
+	pollEvery  int64
 	fuelStart  int64
 	allocStart int64
 }

@@ -1,0 +1,123 @@
+package wire
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func encodeRequest(r *EvalRequest) (string, error) {
+	b, err := json.Marshal(r)
+	return string(b), err
+}
+
+// FuzzDecodeEvalRequest fuzzes the server's request decoder: whatever
+// the bytes, decoding must not panic, must respect the byte limits,
+// and any accepted request must satisfy the documented invariants
+// (exactly one of expr/entry, non-negative budget and deadline, arity
+// match). Accepted requests must also survive a decode of their
+// re-encoded form.
+func FuzzDecodeEvalRequest(f *testing.F) {
+	seeds := []string{
+		`{"expr": "3 + 4"}`,
+		`{"expr": "| s <- 0 | 1 upTo: 10 Do: [ :i | s: s + i ]. s"}`,
+		`{"entry": "richards"}`,
+		`{"entry": "fib:", "args": [30]}`,
+		`{"entry": "at:Put:", "args": [1, 2]}`,
+		`{"program": "double: n = ( n + n ).", "entry": "double:", "args": [21]}`,
+		`{"expr": "1", "budget": {"max_instrs": 100000, "max_allocs": 50, "max_depth": 10, "poll_every": 64}}`,
+		`{"expr": "1", "deadline_ms": 250}`,
+		`{"expr": "1", "budget": {"max_instrs": -1}}`,
+		`{"expr": "1", "deadline_ms": -9}`,
+		`{"entry": "fib:", "args": [1, 2, 3]}`,
+		`{"expr": "1", "entry": "both"}`,
+		`{"args": [1]}`,
+		`{}`,
+		`{"expr": "1", "unknown_field": {"nested": [1, 2, {"deep": true}]}}`,
+		`{"budget": {"max_instrs": 9223372036854775807}, "expr": "x"}`,
+		`{"budget": {"max_instrs": 9223372036854775808}, "expr": "x"}`, // int64 overflow
+		`{"expr": 42}`,
+		`{"args": "not an array", "entry": "f:"}`,
+		`[1,2,3]`,
+		`null`,
+		`"just a string"`,
+		`{"expr":"` + strings.Repeat("a", 200) + `"}`,
+		`{"entry":"bad sel"}`,
+		"{\"entry\":\"\x00\"}",
+		"\xff\xfe not json",
+		`{"expr":"1"} trailing`,
+		``,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	limits := Limits{MaxBody: 4096, MaxProgram: 1024, MaxExpr: 512, MaxArgs: 4}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeEvalRequest(strings.NewReader(string(data)), limits)
+		if err != nil {
+			var re *RequestError
+			if !errors.As(err, &re) {
+				t.Fatalf("non-RequestError from decoder: %T %v", err, err)
+			}
+			if re.Status < 400 || re.Status > 499 {
+				t.Fatalf("decoder rejected with non-4xx status %d", re.Status)
+			}
+			return
+		}
+		// Accepted: the invariants the server relies on must hold.
+		if (req.Expr == "") == (req.Entry == "") {
+			t.Fatalf("accepted request without exactly one of expr/entry: %+v", req)
+		}
+		if len(req.Program) > limits.MaxProgram || len(req.Expr) > limits.MaxExpr || len(req.Args) > limits.MaxArgs {
+			t.Fatalf("accepted request beyond limits: %+v", req)
+		}
+		if b := req.Budget; b != nil && (b.MaxInstrs < 0 || b.MaxAllocs < 0 || b.MaxDepth < 0 || b.PollEvery < 0) {
+			t.Fatalf("accepted negative budget: %+v", b)
+		}
+		if req.DeadlineMS < 0 {
+			t.Fatalf("accepted negative deadline: %+v", req)
+		}
+		// Round trip: re-encoding an accepted request and decoding it
+		// again must accept and agree.
+		enc, err := encodeRequest(req)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		again, err := DecodeEvalRequest(strings.NewReader(enc), limits)
+		if err != nil {
+			t.Fatalf("re-decode rejected %q: %v", enc, err)
+		}
+		if again.Expr != req.Expr || again.Entry != req.Entry || len(again.Args) != len(req.Args) {
+			t.Fatalf("round trip drift: %+v vs %+v", req, again)
+		}
+	})
+}
+
+// FuzzDecodeRunRequest covers the smaller /run decoder the same way.
+func FuzzDecodeRunRequest(f *testing.F) {
+	for _, s := range []string{
+		`{"bench": "queens"}`,
+		`{"bench": "richards", "deadline_ms": 1000}`,
+		`{"bench": ""}`,
+		`{"bench": "a/b"}`,
+		`{"bench": "x", "budget": {"max_instrs": -3}}`,
+		`{`,
+		`{"bench": "` + strings.Repeat("b", 300) + `"}`,
+	} {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeRunRequest(strings.NewReader(string(data)), Limits{MaxBody: 2048})
+		if err != nil {
+			var re *RequestError
+			if !errors.As(err, &re) {
+				t.Fatalf("non-RequestError: %T %v", err, err)
+			}
+			return
+		}
+		if !validName(req.Bench) {
+			t.Fatalf("accepted bad bench name %q", req.Bench)
+		}
+	})
+}

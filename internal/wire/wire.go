@@ -1,0 +1,354 @@
+// Package wire is the JSON vocabulary of the serving layer: request
+// decoding with validation and limits for selfserved's endpoints, and
+// the result encoding shared by the server's responses and `selfrun
+// -json` — one set of types, so the two output paths cannot drift.
+package wire
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"selfgo/internal/ast"
+	"selfgo/internal/obj"
+	"selfgo/internal/vm"
+)
+
+// Budget mirrors vm.Budget on the wire. Zero fields are "no limit";
+// the server additionally clamps every field to its configured caps.
+type Budget struct {
+	MaxInstrs int64 `json:"max_instrs,omitempty"`
+	MaxAllocs int64 `json:"max_allocs,omitempty"`
+	MaxDepth  int   `json:"max_depth,omitempty"`
+	// PollEvery tightens the cooperative budget/cancellation poll
+	// stride for this request (see vm.Budget.PollEvery).
+	PollEvery int64 `json:"poll_every,omitempty"`
+}
+
+// EvalRequest is the body of POST /eval: either an expression sequence
+// (expr) or a call to a lobby selector (entry + integer args), with an
+// optional program — lobby slot definitions loaded into the shared
+// world once per distinct text — and per-request limits.
+type EvalRequest struct {
+	Program    string  `json:"program,omitempty"`
+	Expr       string  `json:"expr,omitempty"`
+	Entry      string  `json:"entry,omitempty"`
+	Args       []int64 `json:"args,omitempty"`
+	Budget     *Budget `json:"budget,omitempty"`
+	DeadlineMS int64   `json:"deadline_ms,omitempty"`
+}
+
+// RunRequest is the body of POST /run: a named benchmark.
+type RunRequest struct {
+	Bench      string  `json:"bench"`
+	Budget     *Budget `json:"budget,omitempty"`
+	DeadlineMS int64   `json:"deadline_ms,omitempty"`
+}
+
+// Limits bounds request decoding. Zero fields take the defaults.
+type Limits struct {
+	MaxBody    int64 // bytes of request body
+	MaxProgram int   // bytes of the program field
+	MaxExpr    int   // bytes of the expr field
+	MaxArgs    int   // entry arguments
+}
+
+// Default decoding limits.
+const (
+	DefaultMaxBody    = 1 << 20 // 1 MiB
+	DefaultMaxProgram = 256 << 10
+	DefaultMaxExpr    = 64 << 10
+	DefaultMaxArgs    = 16
+)
+
+func (l Limits) withDefaults() Limits {
+	if l.MaxBody <= 0 {
+		l.MaxBody = DefaultMaxBody
+	}
+	if l.MaxProgram <= 0 {
+		l.MaxProgram = DefaultMaxProgram
+	}
+	if l.MaxExpr <= 0 {
+		l.MaxExpr = DefaultMaxExpr
+	}
+	if l.MaxArgs <= 0 {
+		l.MaxArgs = DefaultMaxArgs
+	}
+	return l
+}
+
+// RequestError is a rejected request: Status is the HTTP status the
+// server should answer with (400 malformed, 413 too large, 422
+// semantically invalid).
+type RequestError struct {
+	Status int
+	Msg    string
+}
+
+func (e *RequestError) Error() string { return e.Msg }
+
+func badRequest(format string, args ...any) error {
+	return &RequestError{Status: http.StatusBadRequest, Msg: fmt.Sprintf(format, args...)}
+}
+
+// readBody reads at most limit bytes, distinguishing "too large" from
+// read errors.
+func readBody(r io.Reader, limit int64) ([]byte, error) {
+	data, err := io.ReadAll(io.LimitReader(r, limit+1))
+	if err != nil {
+		return nil, badRequest("reading body: %v", err)
+	}
+	if int64(len(data)) > limit {
+		return nil, &RequestError{Status: http.StatusRequestEntityTooLarge,
+			Msg: fmt.Sprintf("body exceeds %d bytes", limit)}
+	}
+	return data, nil
+}
+
+// DecodeEvalRequest reads, parses and validates an /eval body.
+func DecodeEvalRequest(r io.Reader, limits Limits) (*EvalRequest, error) {
+	limits = limits.withDefaults()
+	data, err := readBody(r, limits.MaxBody)
+	if err != nil {
+		return nil, err
+	}
+	var req EvalRequest
+	if err := json.Unmarshal(data, &req); err != nil {
+		return nil, badRequest("malformed JSON: %v", err)
+	}
+	if err := req.validate(limits); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// DecodeRunRequest reads, parses and validates a /run body.
+func DecodeRunRequest(r io.Reader, limits Limits) (*RunRequest, error) {
+	limits = limits.withDefaults()
+	data, err := readBody(r, limits.MaxBody)
+	if err != nil {
+		return nil, err
+	}
+	var req RunRequest
+	if err := json.Unmarshal(data, &req); err != nil {
+		return nil, badRequest("malformed JSON: %v", err)
+	}
+	if req.Bench == "" {
+		return nil, badRequest("bench is required")
+	}
+	if !validName(req.Bench) {
+		return nil, badRequest("bad bench name %q", req.Bench)
+	}
+	if err := validateBudget(req.Budget); err != nil {
+		return nil, err
+	}
+	if req.DeadlineMS < 0 {
+		return nil, badRequest("deadline_ms must be >= 0")
+	}
+	return &req, nil
+}
+
+func (req *EvalRequest) validate(limits Limits) error {
+	if len(req.Program) > limits.MaxProgram {
+		return &RequestError{Status: http.StatusRequestEntityTooLarge,
+			Msg: fmt.Sprintf("program exceeds %d bytes", limits.MaxProgram)}
+	}
+	if len(req.Expr) > limits.MaxExpr {
+		return &RequestError{Status: http.StatusRequestEntityTooLarge,
+			Msg: fmt.Sprintf("expr exceeds %d bytes", limits.MaxExpr)}
+	}
+	switch {
+	case req.Expr == "" && req.Entry == "":
+		return badRequest("one of expr or entry is required")
+	case req.Expr != "" && req.Entry != "":
+		return badRequest("expr and entry are mutually exclusive")
+	}
+	if req.Entry != "" {
+		if !validSelector(req.Entry) {
+			return badRequest("bad entry selector %q", req.Entry)
+		}
+		if want := ast.NumArgs(req.Entry); want != len(req.Args) {
+			return badRequest("entry %q takes %d argument(s), got %d", req.Entry, want, len(req.Args))
+		}
+	}
+	if req.Expr != "" && len(req.Args) > 0 {
+		return badRequest("args require an entry selector")
+	}
+	if len(req.Args) > limits.MaxArgs {
+		return badRequest("too many args (max %d)", limits.MaxArgs)
+	}
+	if err := validateBudget(req.Budget); err != nil {
+		return err
+	}
+	if req.DeadlineMS < 0 {
+		return badRequest("deadline_ms must be >= 0")
+	}
+	return nil
+}
+
+func validateBudget(b *Budget) error {
+	if b == nil {
+		return nil
+	}
+	if b.MaxInstrs < 0 || b.MaxAllocs < 0 || b.MaxDepth < 0 || b.PollEvery < 0 {
+		return badRequest("budget fields must be >= 0")
+	}
+	return nil
+}
+
+// validSelector accepts unary ("richards"), keyword ("fib:", "at:Put:")
+// and operator ("+") selectors — printable, no whitespace or quotes.
+func validSelector(s string) bool {
+	if s == "" || len(s) > 256 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c <= ' ' || c >= 0x7f || c == '"' || c == '\'' {
+			return false
+		}
+	}
+	return true
+}
+
+func validName(s string) bool {
+	if s == "" || len(s) > 128 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '-' || c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------
+// Result encoding
+
+// RunStatsJSON is vm.RunStats on the wire. A reflection test pins the
+// two structs field-for-field so new VM counters cannot silently miss
+// the wire (and with it both selfrun -json and the server responses).
+type RunStatsJSON struct {
+	Cycles       int64 `json:"cycles"`
+	Instrs       int64 `json:"instrs"`
+	Sends        int64 `json:"sends"`
+	ICHits       int64 `json:"ic_hits"`
+	ICMisses     int64 `json:"ic_misses"`
+	Calls        int64 `json:"calls"`
+	TypeTests    int64 `json:"type_tests"`
+	OvflChecks   int64 `json:"ovfl_checks"`
+	BoundsChecks int64 `json:"bounds_checks"`
+	BlockValues  int64 `json:"block_values"`
+	Allocs       int64 `json:"allocs"`
+	MaxDepth     int   `json:"max_depth"`
+	Promotions   int64 `json:"promotions"`
+	Harvests     int64 `json:"harvests"`
+}
+
+// NewRunStats converts the VM's counters.
+func NewRunStats(st vm.RunStats) *RunStatsJSON {
+	return &RunStatsJSON{
+		Cycles: st.Cycles, Instrs: st.Instrs, Sends: st.Sends,
+		ICHits: st.ICHits, ICMisses: st.ICMisses, Calls: st.Calls,
+		TypeTests: st.TypeTests, OvflChecks: st.OvflChecks,
+		BoundsChecks: st.BoundsChecks, BlockValues: st.BlockValues,
+		Allocs: st.Allocs, MaxDepth: st.MaxDepth,
+		Promotions: st.Promotions, Harvests: st.Harvests,
+	}
+}
+
+// CompileJSON is vm.CompileRecord on the wire.
+type CompileJSON struct {
+	Methods     int   `json:"methods"`
+	CodeBytes   int   `json:"code_bytes"`
+	Degraded    int   `json:"degraded"`
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	CacheWaits  int64 `json:"cache_waits"`
+}
+
+// NewCompile converts a compile record.
+func NewCompile(c vm.CompileRecord) *CompileJSON {
+	return &CompileJSON{
+		Methods: c.Methods, CodeBytes: c.CodeBytes, Degraded: c.Degraded,
+		CacheHits: c.CacheHits, CacheMisses: c.CacheMisses, CacheWaits: c.CacheWaits,
+	}
+}
+
+// PromotionsJSON summarizes adaptive-tier promotion activity.
+type PromotionsJSON struct {
+	Installed     int64   `json:"installed"`
+	Fails         int64   `json:"fails"`
+	Discards      int64   `json:"discards"`
+	MeanLatencyMS float64 `json:"mean_latency_ms"`
+}
+
+// ErrorJSON is a guest-level fault on the wire.
+type ErrorJSON struct {
+	Kind      string   `json:"kind"`
+	Message   string   `json:"message"`
+	Backtrace []string `json:"backtrace,omitempty"`
+}
+
+// NewError renders err; RuntimeErrors carry their kind and Self-level
+// backtrace, anything else maps to kind "error".
+func NewError(err error) *ErrorJSON {
+	out := &ErrorJSON{Kind: vm.KindError.String(), Message: err.Error()}
+	var re *vm.RuntimeError
+	if errors.As(err, &re) {
+		out.Kind = re.Kind.String()
+		for _, f := range re.Trace {
+			out.Backtrace = append(out.Backtrace, f.String())
+		}
+	}
+	return out
+}
+
+// Result is the shared run-result encoding: the body of a successful
+// /eval or /run response, and the object `selfrun -json` prints.
+type Result struct {
+	Value         string          `json:"value"`
+	Int           int64           `json:"int"`
+	Run           *RunStatsJSON   `json:"run,omitempty"`
+	Compile       *CompileJSON    `json:"compile,omitempty"`
+	CompileTimeMS float64         `json:"compile_time_ms"`
+	TierMode      string          `json:"tier_mode,omitempty"`
+	Tiers         map[string]int  `json:"tiers,omitempty"`
+	Promotions    *PromotionsJSON `json:"promotions,omitempty"`
+	Bench         string          `json:"bench,omitempty"`
+	CheckOK       *bool           `json:"check_ok,omitempty"`
+	Error         *ErrorJSON      `json:"error,omitempty"`
+}
+
+// NewResult builds the shared encoding from a finished run.
+func NewResult(v obj.Value, run vm.RunStats, comp vm.CompileRecord, compileTime time.Duration) *Result {
+	return &Result{
+		Value:         v.String(),
+		Int:           v.I,
+		Run:           NewRunStats(run),
+		Compile:       NewCompile(comp),
+		CompileTimeMS: float64(compileTime) / float64(time.Millisecond),
+	}
+}
+
+// Encode writes r as indented JSON.
+func (r *Result) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// String renders r for logs and tests.
+func (r *Result) String() string {
+	var b strings.Builder
+	_ = r.Encode(&b)
+	return b.String()
+}

@@ -630,15 +630,68 @@ func (s *System) Eval(src string) (*Result, error) {
 	return s.EvalCtx(context.Background(), src)
 }
 
-// EvalCtx is Eval honoring ctx (see CallCtx).
+// EvalCtx is Eval honoring ctx (see CallCtx). Each call builds a fresh
+// scratch method; hosts that re-evaluate the same source should intern
+// it with ParseEval/EvalProgramCtx so its compiled code is cached under
+// one identity.
 func (s *System) EvalCtx(ctx context.Context, src string) (*Result, error) {
+	p, err := s.ParseEval(src)
+	if err != nil {
+		return nil, err
+	}
+	return s.EvalProgramCtx(ctx, p)
+}
+
+// EvalProgram is a parsed eval expression with a stable identity: the
+// scratch method is built once, so the code cache key — which is the
+// method's identity — is stable across runs and across forked workers.
+// Eval/EvalCtx build a fresh scratch method per call, which is right
+// for a one-shot CLI but would grow a shared cache without bound in a
+// server that re-evaluates the same program; interning through
+// ParseEval gives repeated programs the compile-once behaviour named
+// methods already have.
+type EvalProgram struct {
+	// Source is the program text the expression was parsed from.
+	Source string
+	meth   *obj.Method
+	blocks []*ast.Block
+}
+
+// ParseEval parses src as an expression sequence ("|locals|
+// statements") into a reusable EvalProgram. The program may be run on
+// this system and any system sharing its world (forked workers).
+func (s *System) ParseEval(src string) (*EvalProgram, error) {
 	m, err := parser.ParseMethodBody(src)
 	if err != nil {
 		return nil, err
 	}
-	meth := &obj.Method{Sel: "doIt", Ast: m, Holder: s.world.Lobby.Map}
+	p := &EvalProgram{
+		Source: src,
+		meth:   &obj.Method{Sel: "doIt", Ast: m, Holder: s.world.Lobby.Map},
+	}
+	// Record the blocks reachable from the body (and local
+	// initializers) so DropEvalProgram can evict their out-of-line code
+	// along with the method's.
+	collect := func(x ast.Expr) {
+		if b, ok := x.(*ast.Block); ok {
+			p.blocks = append(p.blocks, b)
+		}
+	}
+	for _, l := range m.Locals {
+		ast.Walk(l.Init, collect)
+	}
+	for _, e := range m.Body {
+		ast.Walk(e, collect)
+	}
+	return p, nil
+}
+
+// EvalProgramCtx runs p on this system, honoring ctx (see CallCtx).
+// Compiled code is cached under p's identity: repeated runs — from
+// this system or any fork — compile once.
+func (s *System) EvalProgramCtx(ctx context.Context, p *EvalProgram) (*Result, error) {
 	s.machine.Stats = vm.RunStats{}
-	v, err := s.machine.RunMethodCtx(ctx, meth, obj.Obj(s.world.Lobby))
+	v, err := s.machine.RunMethodCtx(ctx, p.meth, obj.Obj(s.world.Lobby))
 	if err != nil {
 		return nil, err
 	}
@@ -648,6 +701,22 @@ func (s *System) EvalCtx(ctx context.Context, src string) (*Result, error) {
 		Compile:     s.machine.Compile,
 		CompileTime: s.totalCompileTime(),
 	}, nil
+}
+
+// DropEvalProgram evicts p's compiled code (the scratch method for
+// every receiver-map customization seen, and its out-of-line blocks)
+// from the shared cache, so a host that interns a bounded set of eval
+// programs can rotate old ones out without leaking cache entries.
+// No-op on a private system — its per-VM caches die with the VM.
+func (s *System) DropEvalProgram(p *EvalProgram) {
+	if s.shared == nil || p == nil {
+		return
+	}
+	s.shared.Invalidate(codecache.Key{Meth: p.meth, RMap: s.world.Lobby.Map})
+	s.shared.Invalidate(codecache.Key{Meth: p.meth}) // customization off
+	for _, b := range p.blocks {
+		s.shared.Invalidate(codecache.Key{Blk: b})
+	}
 }
 
 // CompileLog returns per-method compiler statistics in compilation

@@ -1,6 +1,7 @@
 package selfgo
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -251,5 +252,65 @@ func TestGraphAndCodeAccessors(t *testing.T) {
 	}
 	if !strings.Contains(code.Disasm(), "ret") {
 		t.Error("disassembly missing return")
+	}
+}
+
+// TestEvalProgramInterning: an interned eval program compiles once
+// across repeated runs and across forked workers, where plain Eval
+// builds a fresh cache entry per call; DropEvalProgram evicts the
+// interned entries again.
+func TestEvalProgramInterning(t *testing.T) {
+	root, err := NewSharedSystem(NewSELF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := root.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const src = `| s <- 0 | 1 upTo: 50 Do: [ :i | s: s + i ]. s`
+	p, err := root.ParseEval(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _ := root.CacheStats()
+	for i := 0; i < 3; i++ {
+		for _, sys := range []*System{root, w} {
+			res, err := sys.EvalProgramCtx(context.Background(), p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Value.I != 1225 {
+				t.Fatalf("value = %d, want 1225", res.Value.I)
+			}
+		}
+	}
+	st, _ := root.CacheStats()
+	grew := st.Entries - base.Entries
+	if grew < 1 {
+		t.Fatalf("interned program added no cache entries (entries %d -> %d)", base.Entries, st.Entries)
+	}
+	// Plain Eval of the same source keeps adding entries per call…
+	if _, err := root.Eval(src); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := root.Eval(src); err != nil {
+		t.Fatal(err)
+	}
+	st2, _ := root.CacheStats()
+	if st2.Entries <= st.Entries {
+		t.Fatalf("plain Eval did not add entries (entries %d -> %d)", st.Entries, st2.Entries)
+	}
+	// …while the interned program's entries can be evicted precisely.
+	evicted0 := st2.Evicted
+	root.DropEvalProgram(p)
+	st3, _ := root.CacheStats()
+	if st3.Evicted-evicted0 < grew {
+		t.Fatalf("DropEvalProgram evicted %d entries, want >= %d", st3.Evicted-evicted0, grew)
+	}
+	// And the program still runs afterwards (recompiles).
+	res, err := w.EvalProgramCtx(context.Background(), p)
+	if err != nil || res.Value.I != 1225 {
+		t.Fatalf("rerun after drop: %v, %v", res, err)
 	}
 }
