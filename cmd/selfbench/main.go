@@ -15,6 +15,7 @@
 //	selfbench -workers 8               # concurrent VMs against one shared code cache
 //	selfbench -hostbench               # host wall-clock speed (BENCH_host.json schema)
 //	selfbench -tier adaptive -promote 50 -bench richards   # adaptive-mode measurement
+//	selfbench -tier native -bench richards                 # eager closure-threaded backend
 //	selfbench -list                    # list benchmarks
 package main
 
@@ -40,9 +41,10 @@ func main() {
 	workers := flag.Int("workers", 0, "run benchmarks on N concurrent VMs sharing one code cache")
 	reps := flag.Int("reps", 4, "with -workers: benchmark runs per worker")
 	configName := flag.String("config", "new", "compiler config (new, new-multi, old89, old90, st80, c); used by -workers and -hostbench")
-	tierName := flag.String("tier", "opt", "tier schedule: opt (eager optimizing), baseline, adaptive")
+	tierName := flag.String("tier", "opt", "tier schedule: opt (eager optimizing), baseline, adaptive, native (eager closure-threaded backend)")
 	promote := flag.Int64("promote", 0, "adaptive promotion threshold (invocations+backedges; 0 = default)")
 	assertPromoted := flag.Bool("assert-promoted", false, "with -tier adaptive: exit nonzero unless every measured benchmark installs >= 1 promotion")
+	assertNative := flag.Bool("assert-native", false, "with -tier adaptive: exit nonzero unless every measured benchmark climbs the second rung (>= 1 native-tier compile)")
 	timeout := flag.Duration("timeout", 0, "with -workers: wall-clock limit per benchmark measurement (e.g. 30s)")
 	fuel := flag.Int64("fuel", 0, "with -workers: instruction budget per benchmark run")
 	hostbench := flag.Bool("hostbench", false, "measure host wall-clock speed per benchmark and print BENCH_host.json to stdout")
@@ -109,7 +111,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := runTiered(cfg, mode, *promote, *one, *assertPromoted, *quiet); err != nil {
+		if err := runTiered(cfg, mode, *promote, *one, *assertPromoted, *assertNative, *quiet); err != nil {
 			fatal(err)
 		}
 		return
@@ -231,8 +233,9 @@ func runWorkers(cfg selfgo.Config, workers, reps int, filter string, lim bench.L
 // under a non-default tier schedule, printing the cold-vs-steady
 // modelled cost and the promotion activity. With assertPromoted, it
 // fails unless each measured benchmark installed at least one
-// promotion — the CI smoke check for adaptive mode.
-func runTiered(cfg selfgo.Config, mode selfgo.TierMode, threshold int64, filter string, assertPromoted, quiet bool) error {
+// promotion; with assertNative, unless each climbed all the way to the
+// native tier — the CI smoke checks for adaptive mode.
+func runTiered(cfg selfgo.Config, mode selfgo.TierMode, threshold int64, filter string, assertPromoted, assertNative, quiet bool) error {
 	benches := bench.All()
 	if filter != "" {
 		b, ok := bench.ByName(filter)
@@ -244,20 +247,24 @@ func runTiered(cfg selfgo.Config, mode selfgo.TierMode, threshold int64, filter 
 	if !quiet {
 		fmt.Printf("tier schedule %q, config %q, promotion threshold %d\n\n", mode, cfg.Name, threshold)
 	}
-	fmt.Printf("%-12s %12s %14s %14s %10s %10s %10s %12s\n",
-		"benchmark", "value", "cold cycles", "steady cycles", "promoted", "fails", "discards", "mean promote")
+	fmt.Printf("%-12s %12s %14s %14s %10s %8s %10s %10s %12s\n",
+		"benchmark", "value", "cold cycles", "steady cycles", "promoted", "native", "fails", "discards", "mean promote")
 	for _, b := range benches {
 		m, err := bench.RunTiered(b, cfg, mode, threshold)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%-12s %12d %14d %14d %10d %10d %10d %12s\n",
+		fmt.Printf("%-12s %12d %14d %14d %10d %8d %10d %10d %12s\n",
 			m.Bench, m.Value, m.FirstRun.Cycles, m.SteadyRun.Cycles,
-			m.Promotions.Installed, m.Promotions.Fails, m.Promotions.Discards,
+			m.Promotions.Installed, m.TierCounts["native"], m.Promotions.Fails, m.Promotions.Discards,
 			m.Promotions.MeanLatency.Round(time.Microsecond))
 		if assertPromoted && mode == selfgo.ModeAdaptive && m.Promotions.Installed < 1 {
 			return fmt.Errorf("%s: adaptive run installed no promotions (RunStats promotions=%d)",
 				m.Bench, m.FirstRun.Promotions)
+		}
+		if assertNative && mode == selfgo.ModeAdaptive && m.TierCounts["native"] < 1 {
+			return fmt.Errorf("%s: adaptive run never reached the native tier (tier counts %v)",
+				m.Bench, m.TierCounts)
 		}
 	}
 	return nil

@@ -6,8 +6,9 @@
 // assert serving-layer invariants from the server's own /metrics —
 // that the shared code cache compiled nothing new under steady load
 // (-assert-compile-once), that background tier promotions landed
-// (-min-promotions), and that overload was shed, not queued forever
-// (-min-429).
+// (-min-promotions), that hot methods climbed the second rung to the
+// closure-threaded native tier (-min-native-compiles), and that
+// overload was shed, not queued forever (-min-429).
 package main
 
 import (
@@ -47,7 +48,8 @@ func main() {
 
 		assertOnce    = flag.Bool("assert-compile-once", false, "fail if codecache misses grow between warm-up and end of run")
 		minPromotions = flag.Int64("min-promotions", 0, "wait for at least this many installed promotions in /metrics")
-		promotionWait = flag.Duration("promotion-wait", 10*time.Second, "how long to poll /metrics for -min-promotions")
+		minNative     = flag.Int64("min-native-compiles", 0, "wait for at least this many native-tier compiles in /metrics (second promotion rung)")
+		promotionWait = flag.Duration("promotion-wait", 10*time.Second, "how long to poll /metrics for -min-promotions / -min-native-compiles")
 		min429        = flag.Int("min-429", 0, "fail unless at least this many requests were shed with 429")
 		quiet         = flag.Bool("q", false, "print only the summary line")
 	)
@@ -190,6 +192,26 @@ func main() {
 			fmt.Printf("promotions installed: %d\n", got)
 		}
 	}
+	if *minNative > 0 {
+		// Same deal one rung up: second-rung promotions recompile at
+		// the native tier on background goroutines.
+		const series = `selfgo_compiles_total{tier="native"}`
+		deadline := time.Now().Add(*promotionWait)
+		var got int64
+		for {
+			got = scrapeCounter(client, *base, series)
+			if got >= *minNative || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+		if got < *minNative {
+			log.Printf("FAIL: %d native-tier compiles, want >= %d", got, *minNative)
+			fail = true
+		} else if !*quiet {
+			fmt.Printf("native-tier compiles: %d\n", got)
+		}
+	}
 	if fail {
 		os.Exit(1)
 	}
@@ -245,8 +267,9 @@ func errText(res *wire.Result) string {
 	return res.Error.Kind + ": " + res.Error.Message
 }
 
-// scrapeCounter fetches one unlabeled counter from /metrics; -1 means
-// the scrape or the metric was missing.
+// scrapeCounter fetches one counter from /metrics — name may be a bare
+// metric or a fully-labelled series like `x_total{tier="native"}`; -1
+// means the scrape or the metric was missing.
 func scrapeCounter(c *http.Client, base, name string) int64 {
 	resp, err := c.Get(strings.TrimRight(base, "/") + "/metrics")
 	if err != nil {

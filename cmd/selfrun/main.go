@@ -28,7 +28,7 @@ import (
 
 func main() {
 	configName := flag.String("config", "new", "compiler: new, new-multi, old89, old90, st80, c")
-	tierName := flag.String("tier", "opt", "tier schedule: opt (eager optimizing), baseline, adaptive")
+	tierName := flag.String("tier", "opt", "tier schedule: opt (eager optimizing), baseline, adaptive, native (eager closure-threaded backend)")
 	promote := flag.Int64("promote", 0, "adaptive promotion threshold (invocations+backedges; 0 = default)")
 	expr := flag.String("e", "", "evaluate an expression sequence instead of calling a selector")
 	argList := flag.String("args", "", "comma-separated integer arguments for the selector")
@@ -176,10 +176,10 @@ func main() {
 			sys.DrainPromotions()
 			ps := sys.PromotionStats()
 			tiers := sys.TierCounts()
-			fmt.Printf("adaptive: harvests=%d promotions=%d installed=%d fails=%d discards=%d meanLatency=%v compiles=[baseline %d, optimizing %d, degraded %d]\n",
+			fmt.Printf("adaptive: harvests=%d promotions=%d installed=%d fails=%d discards=%d meanLatency=%v compiles=[baseline %d, optimizing %d, native %d, degraded %d]\n",
 				res.Run.Harvests, res.Run.Promotions, ps.Installed, ps.Fails, ps.Discards,
 				ps.MeanLatency.Round(time.Microsecond),
-				tiers["baseline"], tiers["optimizing"], tiers["degraded"])
+				tiers["baseline"], tiers["optimizing"], tiers["native"], tiers["degraded"])
 		}
 	}
 }

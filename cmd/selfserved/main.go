@@ -40,7 +40,7 @@ func main() {
 	var (
 		addr    = flag.String("addr", "127.0.0.1:8673", "listen address (use :0 for an ephemeral port)")
 		cfgName = flag.String("config", "new", "compiler configuration: "+strings.Join(cli.Names(), ", "))
-		tier    = flag.String("tier", "opt", "tier schedule: opt, baseline or adaptive")
+		tier    = flag.String("tier", "opt", "tier schedule: opt, baseline, adaptive or native")
 		promote = flag.Int64("promote", 0, "adaptive promotion threshold (0 = default)")
 
 		pool  = flag.Int("pool", 4, "worker VMs sharing the world and code cache")

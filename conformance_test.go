@@ -159,6 +159,81 @@ var conformancePrograms = []struct {
 		    ((acc1 value: 0) * 100) + (acc2 value: 0) ).`,
 		sel: "go", want: 3005,
 	},
+
+	// The remaining programs stress edge cases of the closure-threaded
+	// native backend (internal/vm/backend_native.go): non-local return
+	// unwinding through closure-dispatched frames, escaped closures
+	// outliving their frames, deep recursion across the frame pool, and
+	// polymorphic sends interleaved with block invocation — the shapes
+	// most likely to diverge between runFast and runNative.
+	{
+		// ^ inside the withIndexDo: block non-locally returns out of
+		// findIn:, unwinding through the prelude's loop activations.
+		name: "nlr-through-send-chain",
+		src: `
+		find: n In: v = (
+		    v withIndexDo: [ :e :i | (e = n) ifTrue: [ ^ i ] ].
+		    0 - 1 ).
+		go = ( | v. s <- 0 |
+		    v: vector copySize: 20.
+		    v fillFrom: [ :i | (i * 7) % 20 ].
+		    0 upTo: 20 Do: [ :k | s: s + (find: k In: v) ].
+		    s ).`,
+		sel: "go", want: 190,
+	},
+	{
+		// Each stored closure captures a distinct iteration's frame;
+		// invoking them later forces the escaped-frame pool exemption.
+		name: "escaping-closure-vector",
+		src: `
+		mkAdders: n = ( | v |
+		    v: vector copySize: n.
+		    0 upTo: n Do: [ :i | v at: i Put: [ :x | x + i ] ].
+		    v ).
+		go = ( | v. s <- 0 |
+		    v: (mkAdders: 10).
+		    0 upTo: 10 Do: [ :i | s: s + ((v at: i) value: i * i) ].
+		    s ).`,
+		sel: "go", want: 330,
+	},
+	{
+		// Deep recursion churns pushed activations right at the
+		// tier-promotion boundary when run adaptively.
+		name: "deep-recursion",
+		src: `
+		deepSum: n = ( (n = 0) ifTrue: [ 0 ] False: [ n + (deepSum: n - 1) ] ).
+		go = ( deepSum: 2000 ).`,
+		sel: "go", want: 2001000,
+	},
+	{
+		// Polymorphic twice: send alternates receivers every iteration
+		// while handing each a fresh block — PIC feedback interleaved
+		// with the block value protocol.
+		name: "interleaved-dispatch-blocks",
+		src: `
+		doubler = (| parent* = lobby. twice: blk = ( (blk value) + (blk value) ) |).
+		tripler = (| parent* = lobby. twice: blk = ( 3 * (blk value) ) |).
+		go = ( | s <- 0. o |
+		    1 upTo: 21 Do: [ :i |
+		        o: (((i % 2) = 0) ifTrue: [ doubler ] False: [ tripler ]).
+		        s: s + (o twice: [ i ]) ].
+		    s ).`,
+		sel: "go", want: 520,
+	},
+	{
+		// A stored block whose conditional ^ returns from the enclosing
+		// method only on some invocations: the NLR path and the normal
+		// fall-through path must agree across backends.
+		name: "conditional-nlr",
+		src: `
+		clamp: n = ( | blk |
+		    blk: [ :x | (x > 100) ifTrue: [ ^ 100 ]. x * 2 ].
+		    1 + (blk value: n) ).
+		go = ( | s <- 0 |
+		    0 upTo: 9 Do: [ :i | s: s + (clamp: i * 30) ].
+		    s ).`,
+		sel: "go", want: 864,
+	},
 }
 
 // TestConformanceAcrossConfigs runs each program under every system

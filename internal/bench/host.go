@@ -37,6 +37,7 @@ type HostRecord struct {
 	TierMode           string `json:"tierMode,omitempty"`
 	BaselineCompiles   int    `json:"baselineCompiles,omitempty"`
 	OptimizingCompiles int    `json:"optimizingCompiles,omitempty"`
+	NativeCompiles     int    `json:"nativeCompiles,omitempty"`
 	DegradedCompiles   int    `json:"degradedCompiles,omitempty"`
 	Promotions         int64  `json:"promotions,omitempty"`
 	PromoteNsMean      int64  `json:"promoteNsMean,omitempty"`
@@ -89,11 +90,16 @@ func HostBenchOneMode(cfg selfgo.Config, b Benchmark, mode selfgo.TierMode, thre
 		return nil, fmt.Errorf("%s under %s: got %d, want %d", b.Name, cfg.Name, warm.Value.I, b.Expect)
 	}
 	if mode != selfgo.ModeOpt {
-		// Let in-flight promotions land and take one more warm lap so
-		// the timed loop runs the promoted code.
-		sys.DrainPromotions()
-		if warm, err = sys.Call(b.Entry); err != nil {
-			return nil, fmt.Errorf("%s under %s (steady): %w", b.Name, cfg.Name, err)
+		// Let in-flight promotions land and take another warm lap so
+		// the timed loop runs the promoted code. Adaptive mode has two
+		// promotion rungs (baseline → optimizing → native) and the lap
+		// on freshly promoted code re-accrues hotness for the next
+		// rung, so drain-and-lap twice to reach the top tier.
+		for i := 0; i < 2; i++ {
+			sys.DrainPromotions()
+			if warm, err = sys.Call(b.Entry); err != nil {
+				return nil, fmt.Errorf("%s under %s (steady): %w", b.Name, cfg.Name, err)
+			}
 		}
 	}
 	instrs := warm.Run.Instrs
@@ -129,6 +135,7 @@ func HostBenchOneMode(cfg selfgo.Config, b Benchmark, mode selfgo.TierMode, thre
 		tiers := sys.TierCounts()
 		rec.BaselineCompiles = tiers["baseline"]
 		rec.OptimizingCompiles = tiers["optimizing"]
+		rec.NativeCompiles = tiers["native"]
 		rec.DegradedCompiles = tiers["degraded"]
 		ps := sys.PromotionStats()
 		rec.Promotions = ps.Installed

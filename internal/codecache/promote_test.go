@@ -275,3 +275,57 @@ func TestPromoteSingleFlight(t *testing.T) {
 	}
 	c.DrainPromotions()
 }
+
+// TestPromoteSecondRungDiscard: the promote-vs-invalidate window at
+// the *second* rung. A method already promoted once (baseline →
+// optimizing) is being promoted again (optimizing → native) when an
+// invalidation lands: the native code was built against the old world
+// shape and must be discarded, exactly as at the first rung — the
+// discard discipline is rung-agnostic.
+func TestPromoteSecondRungDiscard(t *testing.T) {
+	w := obj.NewWorld()
+	c := New[string]()
+	k := methKey(w, "climber", w.IntMap)
+	seed(t, c, k, "baseline-code")
+
+	// First rung lands normally.
+	done := make(chan bool, 1)
+	if !c.Promote(k, func() (string, error) { return "optimizing-code", nil },
+		func(v string, err error, installed bool) { done <- installed }) {
+		t.Fatal("first-rung Promote refused")
+	}
+	if !<-done {
+		t.Fatal("first-rung promotion not installed")
+	}
+	if v, ok := c.Peek(k); !ok || v != "optimizing-code" {
+		t.Fatalf("after first rung Peek = %q, %v", v, ok)
+	}
+
+	// Second rung: invalidate while the native compile is in flight.
+	compiling := make(chan struct{})
+	release := make(chan struct{})
+	if !c.Promote(k, func() (string, error) {
+		close(compiling)
+		<-release
+		return "native-code", nil
+	}, func(v string, err error, installed bool) { done <- installed }) {
+		t.Fatal("second-rung Promote refused")
+	}
+	<-compiling
+	if n := c.InvalidateMap(w.IntMap); n != 1 {
+		t.Fatalf("InvalidateMap removed %d entries, want 1", n)
+	}
+	close(release)
+	if <-done {
+		t.Fatal("native promotion installed over an invalidation")
+	}
+	c.DrainPromotions()
+
+	if _, ok := c.Peek(k); ok {
+		t.Fatal("invalidated key resident after discarded native promotion")
+	}
+	st := c.Stats()
+	if st.Promotions != 1 || st.PromoteDiscards != 1 {
+		t.Errorf("stats = %+v, want one install (first rung) and one discard (second)", st)
+	}
+}

@@ -125,6 +125,17 @@ type Config struct {
 	// temporaries in memory, roughly doubling the cost of straight-line
 	// code relative to the SELF compilers' registerized output.
 	PerInstrOverhead int
+
+	// NativeBackend lowers assembled code into closure-threaded form
+	// (internal/vm/backend_native.go): one directly-called Go closure
+	// per instruction, branches as array indices. A host-speed backend
+	// selection with no effect on any modelled quantity — the native
+	// driver charges the identical per-instruction Cost/Instrs
+	// accounting, polls the budget at the same stride, and raises the
+	// same faults as the switch interpreter (pinned by the native
+	// differential oracle). Off in every preset; TierNative turns it
+	// on (see tier.go).
+	NativeBackend bool
 }
 
 // The five measured systems, plus the multi-version-loop ablation.

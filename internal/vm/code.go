@@ -173,6 +173,15 @@ type Code struct {
 	// landing (Resume >= 0). When false, exec can skip the
 	// recover-and-resume wrapper entirely.
 	hasLandings bool
+
+	// native, when non-nil, is the closure-threaded lowering of Instrs
+	// (see backend_native.go); run dispatches to the native driver
+	// instead of the switch interpreter. Purely an execution-engine
+	// selection: Instrs stays the single source of truth for tracing,
+	// disassembly and the modelled cost model, and the native driver is
+	// bit-identical in every modelled quantity. Written once by
+	// PrepareNative before the Code is published, immutable after.
+	native *nativeCode
 }
 
 // Assemble linearizes a control flow graph: dead pure instructions are

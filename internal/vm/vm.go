@@ -154,6 +154,12 @@ type VM struct {
 	// arguments before any nested guest execution can refill it.
 	argScratch []obj.Value
 
+	// nret carries a Return instruction's value from a native closure
+	// back to the runNative driver (see backend_native.go). One scratch
+	// slot suffices: a VM is single-goroutine, and any nested invoke a
+	// closure performs returns before the outer driver reads the slot.
+	nret obj.Value
+
 	// Cooperative budget state for the current run (see budget.go):
 	// ctx is the cancellation context (nil when none), pollAt the
 	// Instrs count at which the next poll fires, pollEvery the armed
@@ -465,12 +471,19 @@ func (vm *VM) execFrom(code *Code, fr *frame, startPC int) (val obj.Value, resum
 	return val, -1, err
 }
 
-// run dispatches one frame's execution to the hot loop, or to the
-// instrumented loop when single-step tracing is enabled, so the
-// Trace check leaves the per-instruction path.
+// run is the backend seam: one frame's execution dispatches to the
+// switch interpreter (runFast), its instrumented twin (runTraced, when
+// single-step tracing is on), or the closure-threaded native driver
+// (runNative, when the code carries a native lowering). All three
+// engines execute the same Instrs stream with identical modelled
+// accounting; tracing deliberately wins over the native lowering so a
+// traced run of native-tier code single-steps the canonical stream.
 func (vm *VM) run(code *Code, fr *frame, pc int) (obj.Value, error) {
 	if vm.Trace != nil {
 		return vm.runTraced(code, fr, pc)
+	}
+	if code.native != nil {
+		return vm.runNative(code, fr, pc)
 	}
 	return vm.runFast(code, fr, pc)
 }

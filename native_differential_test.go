@@ -1,0 +1,268 @@
+package selfgo_test
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"selfgo"
+	"selfgo/internal/bench"
+)
+
+// runNativeBench measures one benchmark on the closure-threaded native
+// backend — the exact counterpart of bench.Run, differing only in the
+// execution backend (eager TierNative instead of eager TierOptimizing).
+func runNativeBench(b bench.Benchmark, cfg selfgo.Config) (*selfgo.Result, error) {
+	sys, err := selfgo.NewTieredSystem(cfg, selfgo.ModeNative, 0)
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.LoadSource(b.Source); err != nil {
+		return nil, fmt.Errorf("%s: %w", b.Name, err)
+	}
+	return sys.Call(b.Entry)
+}
+
+// TestNativeVsInterpBenchmarks is the differential oracle of the
+// native tier: every benchmark, run to completion on both backends,
+// must produce the identical check value, identical full RunStats
+// (cycles, instrs, sends, IC hits/misses, type tests, overflow and
+// bounds checks, block values, allocs, depth), and identical modelled
+// code size. The native backend is a host-speed lowering only — it may
+// never change what the program computes or what the cost model says
+// it cost.
+func TestNativeVsInterpBenchmarks(t *testing.T) {
+	configs := map[string][]bench.Benchmark{
+		"new SELF":    bench.All(),
+		"optimized C": bench.All(),
+		"ST-80":       bench.ByGroup("small"),
+	}
+	byName := map[string]selfgo.Config{
+		"new SELF":    selfgo.NewSELF,
+		"optimized C": selfgo.OptimizedC,
+		"ST-80":       selfgo.ST80,
+	}
+	for name, benches := range configs {
+		cfg := byName[name]
+		t.Run(name, func(t *testing.T) {
+			for _, b := range benches {
+				interp, err := bench.Run(b, cfg)
+				if err != nil {
+					t.Fatalf("%s interp: %v", b.Name, err)
+				}
+				native, err := runNativeBench(b, cfg)
+				if err != nil {
+					t.Fatalf("%s native: %v", b.Name, err)
+				}
+				if interp.Value != native.Value.I {
+					t.Errorf("%s: value interp=%d native=%d", b.Name, interp.Value, native.Value.I)
+				}
+				if interp.Run != native.Run {
+					t.Errorf("%s: RunStats diverged:\ninterp: %+v\nnative: %+v", b.Name, interp.Run, native.Run)
+				}
+				if interp.Methods != native.Compile.Methods || interp.CodeBytes != native.Compile.CodeBytes {
+					t.Errorf("%s: compile record diverged: interp=(%d methods, %d bytes) native=(%d methods, %d bytes)",
+						b.Name, interp.Methods, interp.CodeBytes,
+						native.Compile.Methods, native.Compile.CodeBytes)
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentSecondRungPromotion: 8 workers hammer richards on one
+// adaptive cache until methods climb both promotion rungs
+// (baseline → optimizing → native). Under -race this exercises the
+// native rung's install path concurrently; the assertions pin that the
+// second rung actually fires, that single-flight holds at every tier,
+// that tier counts and install counters only ever grow, and that the
+// steady state still computes the right answer on native code.
+func TestConcurrentSecondRungPromotion(t *testing.T) {
+	b, ok := bench.ByName("richards")
+	if !ok {
+		t.Fatal("no richards benchmark")
+	}
+	root, err := selfgo.NewTieredSystem(selfgo.NewSELF, selfgo.ModeAdaptive, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := root.LoadSource(b.Source); err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	const laps = 2
+	systems := make([]*selfgo.System, workers)
+	systems[0] = root
+	for i := 1; i < workers; i++ {
+		if systems[i], err = root.Fork(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A sampler races the workers, checking that promotion counters
+	// and per-tier compile counts are monotone while installs land.
+	stop := make(chan struct{})
+	var samplerErr error
+	var samplerWg sync.WaitGroup
+	samplerWg.Add(1)
+	go func() {
+		defer samplerWg.Done()
+		lastInstalled := int64(0)
+		lastTiers := map[string]int{}
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if ps := root.PromotionStats(); ps.Installed < lastInstalled {
+				samplerErr = fmt.Errorf("installs went backwards: %d then %d", lastInstalled, ps.Installed)
+				return
+			} else {
+				lastInstalled = ps.Installed
+			}
+			tc := root.TierCounts()
+			for tier, n := range lastTiers {
+				if tc[tier] < n {
+					samplerErr = fmt.Errorf("tier %q count went backwards: %d then %d", tier, n, tc[tier])
+					return
+				}
+			}
+			lastTiers = tc
+		}
+	}()
+
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for i := range systems {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for lap := 0; lap < laps; lap++ {
+				res, err := systems[i].Call(b.Entry)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				if res.Value.I != b.Expect {
+					errs[i] = fmt.Errorf("lap %d computed %d, want %d", lap, res.Value.I, b.Expect)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	root.DrainPromotions()
+	close(stop)
+	samplerWg.Wait()
+	if samplerErr != nil {
+		t.Error(samplerErr)
+	}
+	for i := range errs {
+		if errs[i] != nil {
+			t.Fatalf("worker %d: %v", i, errs[i])
+		}
+	}
+
+	tc := root.TierCounts()
+	if tc["native"] < 1 {
+		t.Fatalf("TierCounts = %v: the second promotion rung never reached native", tc)
+	}
+	ps := root.PromotionStats()
+	if ps.Fails != 0 {
+		t.Errorf("%d promotions failed", ps.Fails)
+	}
+
+	// Single-flight at every rung: no method compiles twice at any one
+	// tier across the 8 workers, and every install is exactly one
+	// promotion compile.
+	perTier := map[string]map[string]int{}
+	for _, e := range root.CompileLog() {
+		if perTier[e.Tier] == nil {
+			perTier[e.Tier] = map[string]int{}
+		}
+		perTier[e.Tier][e.Name]++
+	}
+	for tier, names := range perTier {
+		for name, n := range names {
+			if n > 1 {
+				t.Errorf("%s compiled %d times at tier %s; single-flight broken", name, n, tier)
+			}
+		}
+	}
+	if n := len(perTier["optimizing"]) + len(perTier["native"]); int64(n) != ps.Installed {
+		t.Errorf("%d optimizing+native compiles vs %d installs", n, ps.Installed)
+	}
+
+	// Steady state runs the promoted native code and still agrees.
+	res, err := root.Call(b.Entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value.I != b.Expect {
+		t.Errorf("steady lap on native code computed %d, want %d", res.Value.I, b.Expect)
+	}
+}
+
+// FuzzNativeDifferential feeds arbitrary program text to both backends
+// under a tight budget and fails on any observable divergence: error
+// presence, runtime-error kind and message, result value, or RunStats.
+// Registered in ci.sh's fuzz smoke stage.
+func FuzzNativeDifferential(f *testing.F) {
+	seeds := []string{
+		"3 + 4 * 2",
+		"| s <- 0 | 1 upTo: 100 Do: [ :i | s: s + i ]. s",
+		"| v | v: vector copySize: 10. v fillFrom: [ :i | i * i ]. (v at: 3) + v size",
+		"[ :x | x * 2 ] value: 21",
+		"| b | b: [ 5 ]. (b value) + (b value)",
+		"1 / 0",
+		"nil zork",
+		"(9000000000000000000 * 9000000000000000000) + 1",
+		"| v | v: (vector copySize: 2 FillWith: 0). v at: 17",
+		"'hello' printLine. 0",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 4096 {
+			t.Skip()
+		}
+		interp, err := selfgo.NewSystem(selfgo.NewSELF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		native, err := selfgo.NewTieredSystem(selfgo.NewSELF, selfgo.ModeNative, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bud := selfgo.Budget{MaxInstrs: 200_000, MaxDepth: 200, MaxAllocs: 100_000}
+		interp.SetBudget(bud)
+		native.SetBudget(bud)
+
+		ires, ierr := interp.Eval(src)
+		nres, nerr := native.Eval(src)
+		if (ierr == nil) != (nerr == nil) {
+			t.Fatalf("error presence diverged:\ninterp: %v\nnative: %v", ierr, nerr)
+		}
+		if ierr != nil {
+			var ire, nre *selfgo.RuntimeError
+			if errors.As(ierr, &ire) != errors.As(nerr, &nre) {
+				t.Fatalf("runtime-error presence diverged:\ninterp: %v\nnative: %v", ierr, nerr)
+			}
+			if ire != nil && (ire.Kind != nre.Kind || ire.Msg != nre.Msg) {
+				t.Fatalf("fault diverged:\ninterp: kind=%v msg=%q\nnative: kind=%v msg=%q",
+					ire.Kind, ire.Msg, nre.Kind, nre.Msg)
+			}
+			return
+		}
+		if iv, nv := ires.Value.String(), nres.Value.String(); iv != nv {
+			t.Fatalf("value diverged: interp=%s native=%s", iv, nv)
+		}
+		if ires.Run != nres.Run {
+			t.Fatalf("RunStats diverged:\ninterp: %+v\nnative: %+v", ires.Run, nres.Run)
+		}
+	})
+}

@@ -1,0 +1,339 @@
+package selfgo
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// The native backend (TierNative, internal/vm/backend_native.go) must
+// be observationally indistinguishable from the interpreter: same
+// values, same full RunStats to the cycle, same fault kinds, messages
+// and backtraces (down to the pc — both backends run the identical
+// fused instruction stream), and same budget-poll timing at every
+// stride. These tests pin that contract program by program; the
+// benchmark-level oracle lives in native_differential_test.go.
+
+// nativeSys builds an eagerly-native private-cache system — the exact
+// counterpart of newSys's interpreter system, differing only in the
+// execution backend.
+func nativeSys(t *testing.T, cfg Config, src string) *System {
+	t.Helper()
+	sys, err := newSystem(cfg, nil, ModeNative, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.LoadSource(src); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestNativeBackendSelection: ModeNative actually lowers and runs
+// closure-threaded code; ModeOpt never does.
+func TestNativeBackendSelection(t *testing.T) {
+	src := `go = ( | s <- 0 | 1 upTo: 50 Do: [ :i | s: s + i ]. s ).`
+	nat := nativeSys(t, NewSELF, src)
+	if got := callInt(t, nat, "go"); got != 1225 {
+		t.Fatalf("native go = %d, want 1225", got)
+	}
+	c, err := nat.CodeFor("go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.HasNative() {
+		t.Error("ModeNative compiled code without a native lowering")
+	}
+	if c.TierLabel != TierNative.String() {
+		t.Errorf("tier label %q, want %q", c.TierLabel, TierNative)
+	}
+	tc := nat.TierCounts()
+	if tc["native"] == 0 {
+		t.Errorf("TierCounts = %v, want native compiles", tc)
+	}
+	for tier := range tc {
+		if tier != "native" {
+			t.Errorf("eager native system compiled at tier %q: %v", tier, tc)
+		}
+	}
+
+	opt := newSys(t, NewSELF, src)
+	callInt(t, opt, "go")
+	if c, err := opt.CodeFor("go"); err != nil || c.HasNative() {
+		t.Errorf("ModeOpt code native=%v err=%v, want no lowering", c.HasNative(), err)
+	}
+}
+
+// TestNativeConformanceBitIdentical runs every conformance program
+// under every compiler configuration on both backends and demands
+// bit-identical results: value, the full RunStats, and the compile
+// record (the native tier adds a lowering, never different code).
+func TestNativeConformanceBitIdentical(t *testing.T) {
+	for _, p := range conformancePrograms {
+		p := p
+		t.Run(p.name, func(t *testing.T) {
+			for _, cfg := range Configs() {
+				interp := newSys(t, cfg, p.src)
+				native := nativeSys(t, cfg, p.src)
+				ires, err := interp.Call(p.sel, p.args...)
+				if err != nil {
+					t.Fatalf("[%s] interp: %v", cfg.Name, err)
+				}
+				nres, err := native.Call(p.sel, p.args...)
+				if err != nil {
+					t.Fatalf("[%s] native: %v", cfg.Name, err)
+				}
+				if ires.Value.I != nres.Value.I {
+					t.Errorf("[%s] value interp=%d native=%d", cfg.Name, ires.Value.I, nres.Value.I)
+				}
+				if ires.Run != nres.Run {
+					t.Errorf("[%s] RunStats diverged:\ninterp: %+v\nnative: %+v", cfg.Name, ires.Run, nres.Run)
+				}
+				if ires.Compile.Methods != nres.Compile.Methods || ires.Compile.CodeBytes != nres.Compile.CodeBytes {
+					t.Errorf("[%s] compile record diverged: interp=(%d methods, %d bytes) native=(%d methods, %d bytes)",
+						cfg.Name, ires.Compile.Methods, ires.Compile.CodeBytes,
+						nres.Compile.Methods, nres.Compile.CodeBytes)
+				}
+			}
+		})
+	}
+}
+
+// TestNativeFaultParity: faulting programs fail identically on both
+// backends — kind, message, and the full Self-level backtrace including
+// frame pcs (the backends share one fused instruction stream, so even
+// pcs must agree, unlike the fused-vs-unfused comparison). The
+// post-fault RunStats must also match: the fault fires at the same
+// instruction on both sides.
+func TestNativeFaultParity(t *testing.T) {
+	cases := []struct {
+		name  string
+		cfg   Config
+		src   string
+		entry string
+		args  []Value
+	}{
+		{
+			name: "dnu depth",
+			cfg:  ST80,
+			src: `
+outer = ( middle ).
+middle = ( inner ).
+inner = ( 3 zorkify ).
+`,
+			entry: "outer",
+		},
+		{
+			// DNU raised from inside a closure-compiled block body, at
+			// depth, through the prelude's loop machinery.
+			name: "dnu inside block",
+			cfg:  ST80,
+			src: `
+run = ( | v | v: (vector copySize: 4 FillWith: 2). v do: [ :e | e frobnicate ]. 0 ).
+`,
+			entry: "run",
+		},
+		{
+			name:  "unchecked div zero",
+			cfg:   OptimizedC,
+			src:   `crash: n = ( (7 * 3) / n ).`,
+			entry: "crash:",
+			args:  []Value{IntValue(0)},
+		},
+		{
+			name: "unchecked elem oob",
+			cfg:  OptimizedC,
+			src: `
+vecAt: i = ( | v | v: (vector copySize: 3 FillWith: 0). v at: i ).
+`,
+			entry: "vecAt:",
+			args:  []Value{IntValue(99)},
+		},
+		{
+			// Checked overflow cascading into the failure path. This
+			// one succeeds (the failure path yields a value) — the
+			// test then pins value and stats parity across the checked
+			// branch instead of fault parity.
+			name:  "overflow",
+			cfg:   NewSELF,
+			src:   `blow: n = ( (n * n) * n ).`,
+			entry: "blow:",
+			args:  []Value{IntValue(1 << 40)},
+		},
+		{
+			// NLR out of a block whose home frame already returned: the
+			// dead-home check in the native NLReturn closure. ST-80
+			// keeps make's activation out of line, so by the time the
+			// stashed block runs its home is dead.
+			name: "dead home nlr",
+			cfg:  ST80,
+			src: `
+stash <- nil.
+make = ( stash: [ ^ 1 ]. 0 ).
+run = ( make. stash value ).
+`,
+			entry: "run",
+		},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			interp := newSys(t, c.cfg, c.src)
+			native := nativeSys(t, c.cfg, c.src)
+			ires, ierr := interp.Call(c.entry, c.args...)
+			istats := interp.machine.Stats
+			nres, nerr := native.Call(c.entry, c.args...)
+			nstats := native.machine.Stats
+			if (ierr == nil) != (nerr == nil) {
+				t.Fatalf("error presence mismatch: interp=%v native=%v", ierr, nerr)
+			}
+			if ierr == nil {
+				// Both took the failure path to a value (overflow):
+				// pin value and stats parity across that branch.
+				if ires.Value.I != nres.Value.I {
+					t.Errorf("value interp=%d native=%d", ires.Value.I, nres.Value.I)
+				}
+				if istats != nstats {
+					t.Errorf("stats diverged:\ninterp: %+v\nnative: %+v", istats, nstats)
+				}
+				return
+			}
+			ik, _ := ErrorKind(ierr)
+			nk, _ := ErrorKind(nerr)
+			if ik != nk {
+				t.Errorf("kind interp=%v native=%v", ik, nk)
+			}
+			var ire, nre *RuntimeError
+			if !errors.As(ierr, &ire) || !errors.As(nerr, &nre) {
+				t.Fatalf("not RuntimeErrors: interp=%T native=%T", ierr, nerr)
+			}
+			if ire.Msg != nre.Msg {
+				t.Errorf("message interp=%q native=%q", ire.Msg, nre.Msg)
+			}
+			if len(ire.Trace) != len(nre.Trace) {
+				t.Fatalf("trace depth interp=%d native=%d\ninterp:\n%s\nnative:\n%s",
+					len(ire.Trace), len(nre.Trace), ire.Backtrace(), nre.Backtrace())
+			}
+			for i := range ire.Trace {
+				if ire.Trace[i] != nre.Trace[i] {
+					t.Errorf("trace frame %d: interp=%+v native=%+v", i, ire.Trace[i], nre.Trace[i])
+				}
+			}
+			if istats != nstats {
+				t.Errorf("stats at fault diverged:\ninterp: %+v\nnative: %+v", istats, nstats)
+			}
+		})
+	}
+}
+
+// TestNativeBudgetParity: budget faults and context cancellation fire
+// at the identical instruction on both backends at every poll stride —
+// the native driver replicates the interpreter's per-instruction
+// accounting exactly, so OutOfFuel/StackOverflow/Cancelled timing (and
+// therefore the whole post-abort RunStats) cannot drift.
+func TestNativeBudgetParity(t *testing.T) {
+	const src = `
+burn = ( | s <- 0 | [ true ] whileTrue: [ s: s + 1. _NewVec: 4 ]. s ).
+dive: n = ( dive: n + 1 ).
+`
+	strides := []int64{1, 7, 64, 1024}
+	cases := []struct {
+		name  string
+		entry string
+		args  []Value
+		bud   Budget
+		ctx   func() context.Context
+		kind  ErrKind
+	}{
+		{name: "out of fuel", entry: "burn", bud: Budget{MaxInstrs: 7777}, kind: KindOutOfFuel},
+		{name: "out of allocs", entry: "burn", bud: Budget{MaxAllocs: 55}, kind: KindOutOfFuel},
+		{name: "max depth", entry: "dive:", args: []Value{IntValue(0)}, bud: Budget{MaxDepth: 25}, kind: KindStackOverflow},
+		{
+			name: "cancelled", entry: "burn", bud: Budget{},
+			ctx: func() context.Context {
+				ctx, cancel := context.WithCancel(context.Background())
+				cancel()
+				return ctx
+			},
+			kind: KindCancelled,
+		},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			for _, stride := range strides {
+				interp := newSys(t, NewSELF, src)
+				native := nativeSys(t, NewSELF, src)
+				bud := c.bud
+				bud.PollEvery = stride
+				interp.SetBudget(bud)
+				native.SetBudget(bud)
+				ctx := context.Background()
+				if c.ctx != nil {
+					ctx = c.ctx()
+				}
+				_, ierr := interp.CallCtx(ctx, c.entry, c.args...)
+				istats := interp.machine.Stats
+				if c.ctx != nil {
+					ctx = c.ctx()
+				}
+				_, nerr := native.CallCtx(ctx, c.entry, c.args...)
+				nstats := native.machine.Stats
+				if k, ok := ErrorKind(ierr); !ok || k != c.kind {
+					t.Fatalf("stride %d: interp kind=%v (ok=%v), want %v; err: %v", stride, k, ok, c.kind, ierr)
+				}
+				if k, ok := ErrorKind(nerr); !ok || k != c.kind {
+					t.Fatalf("stride %d: native kind=%v (ok=%v), want %v; err: %v", stride, k, ok, c.kind, nerr)
+				}
+				if istats != nstats {
+					t.Errorf("stride %d: stats at abort diverged:\ninterp: %+v\nnative: %+v", stride, istats, nstats)
+				}
+			}
+		})
+	}
+}
+
+// TestNativeInvalidationParity: redefining a method invalidates its
+// native code exactly like interpreter code; the recompile is again
+// lowered, and values and stats track the interpreter across the
+// redefinition.
+func TestNativeInvalidationParity(t *testing.T) {
+	const v1 = `answer = ( | s <- 0 | 1 upTo: 20 Do: [ :i | s: s + i ]. s ).`
+	const v2 = `answer = ( | s <- 1 | 1 upTo: 20 Do: [ :i | s: s * 2 ]. s ).`
+	interp := newSys(t, NewSELF, v1)
+	native := nativeSys(t, NewSELF, v1)
+	for round, redef := range []string{"", v2} {
+		if redef != "" {
+			if err := interp.LoadSource(redef); err != nil {
+				t.Fatal(err)
+			}
+			if err := native.LoadSource(redef); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ires, err := interp.Call("answer")
+		if err != nil {
+			t.Fatal(err)
+		}
+		nres, err := native.Call("answer")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ires.Value.I != nres.Value.I {
+			t.Errorf("round %d: value interp=%d native=%d", round, ires.Value.I, nres.Value.I)
+		}
+		if ires.Run != nres.Run {
+			t.Errorf("round %d: RunStats diverged:\ninterp: %+v\nnative: %+v", round, ires.Run, nres.Run)
+		}
+		c, err := native.CodeFor("answer")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !c.HasNative() {
+			t.Errorf("round %d: recompiled code lost its native lowering", round)
+		}
+	}
+	if tc := native.TierCounts(); tc["native"] < 2 {
+		t.Errorf("TierCounts = %v, want >= 2 native compiles after redefinition", tc)
+	}
+}

@@ -16,8 +16,10 @@
 // Compilation is tiered (see TierMode): the default mode compiles every
 // method eagerly at the optimizing tier, exactly as the paper's system
 // does; adaptive mode compiles at the cheap baseline tier first and
-// promotes hot methods to the optimizing tier in the background, seeded
-// with receiver types harvested from the inline caches.
+// promotes hot methods in the background — first to the optimizing
+// tier, seeded with receiver types harvested from the inline caches,
+// then to the native tier, which runs the same optimizing code on a
+// closure-threaded backend for host speed.
 package selfgo
 
 import (
@@ -82,6 +84,7 @@ const (
 	TierDegraded   = core.TierDegraded
 	TierBaseline   = core.TierBaseline
 	TierOptimizing = core.TierOptimizing
+	TierNative     = core.TierNative
 )
 
 // RuntimeError kinds, re-exported for hosts that route faults.
@@ -120,8 +123,16 @@ const (
 	// invocation+backedge count reaches the promotion threshold are
 	// recompiled at the optimizing tier in the background, seeded with
 	// receiver-map feedback harvested from the inline caches, and
-	// atomically swapped into the shared code cache.
+	// atomically swapped into the shared code cache. Optimizing code
+	// that stays hot is promoted once more, to the native tier — the
+	// same optimizing stream lowered onto the closure-threaded backend
+	// (see TierNative).
 	ModeAdaptive
+	// ModeNative compiles every method eagerly at the native tier: the
+	// optimizing configuration lowered onto the closure-threaded
+	// backend. Bit-identical to ModeOpt in every modelled quantity (the
+	// native differential oracle pins this); only host speed differs.
+	ModeNative
 )
 
 func (m TierMode) String() string {
@@ -132,6 +143,8 @@ func (m TierMode) String() string {
 		return "baseline"
 	case ModeAdaptive:
 		return "adaptive"
+	case ModeNative:
+		return "native"
 	}
 	return fmt.Sprintf("TierMode(%d)", int(m))
 }
@@ -145,8 +158,10 @@ func TierModeByName(name string) (TierMode, error) {
 		return ModeBaseline, nil
 	case "adaptive":
 		return ModeAdaptive, nil
+	case "native":
+		return ModeNative, nil
 	}
-	return ModeOpt, fmt.Errorf("unknown tier mode %q (want opt, baseline or adaptive)", name)
+	return ModeOpt, fmt.Errorf("unknown tier mode %q (want opt, baseline, adaptive or native)", name)
 }
 
 // DefaultPromoteThreshold is the invocation+backedge count at which
@@ -192,12 +207,15 @@ type System struct {
 	world *obj.World
 
 	// One pipeline per tier, all derived from Cfg through the tier
-	// table. pipeOpt is the eager/promotion target, pipeBase the cheap
-	// first tier of baseline/adaptive modes, pipeDeg the crash-recovery
-	// fallback when a compilation fails or panics.
-	pipeOpt  *core.Pipeline
-	pipeBase *core.Pipeline
-	pipeDeg  *core.Pipeline
+	// table. pipeOpt is the eager/first-promotion target, pipeNative
+	// the top tier (ModeNative's eager tier and the adaptive second
+	// promotion rung), pipeBase the cheap first tier of
+	// baseline/adaptive modes, pipeDeg the crash-recovery fallback when
+	// a compilation fails or panics.
+	pipeOpt    *core.Pipeline
+	pipeNative *core.Pipeline
+	pipeBase   *core.Pipeline
+	pipeDeg    *core.Pipeline
 
 	machine *vm.VM
 
@@ -265,7 +283,7 @@ func (a *promAgg) record(d time.Duration) {
 type MethodCompile struct {
 	Name string
 	// Tier labels the tier this compilation ran at ("baseline",
-	// "optimizing", "degraded").
+	// "optimizing", "native", "degraded").
 	Tier  string
 	Stats core.Stats
 	Bytes int
@@ -330,6 +348,7 @@ func newSystem(cfg Config, shared *codecache.Cache[*vm.Code], mode TierMode, pro
 		prom:             &promAgg{}, log: &compileLog{},
 	}
 	s.pipeOpt = core.NewPipeline(w, cfg, core.TierOptimizing)
+	s.pipeNative = core.NewPipeline(w, cfg, core.TierNative)
 	s.pipeBase = core.NewPipeline(w, cfg, core.TierBaseline)
 	s.pipeDeg = core.NewPipeline(w, cfg, core.TierDegraded)
 	s.machine = s.newVM()
@@ -399,8 +418,11 @@ func (s *System) compileBlockAt(p *core.Pipeline, b *ast.Block, upNames []string
 // firstTier is the pipeline a fresh compilation starts at under the
 // system's mode.
 func (s *System) firstTier() *core.Pipeline {
-	if s.Mode == ModeOpt {
+	switch s.Mode {
+	case ModeOpt:
 		return s.pipeOpt
+	case ModeNative:
+		return s.pipeNative
 	}
 	return s.pipeBase
 }
@@ -460,14 +482,21 @@ func (s *System) newVM() *vm.VM {
 
 // onHot runs on m's goroutine when code first crosses the promotion
 // threshold: harvest the receiver maps m's inline caches observed, then
-// ask the shared cache to recompile the method at the optimizing tier
-// in the background, seeded with that feedback. The swap is atomic
+// ask the shared cache to recompile the method one tier up in the
+// background, seeded with that feedback. Promotion climbs two rungs —
+// baseline (or degraded) code recompiles at the optimizing tier, and
+// optimizing code that stays hot recompiles once more at the native
+// tier; native code is the top and never promotes. The swap is atomic
 // under the cache's generation discipline; a failed promotion keeps the
-// baseline code resident (fall back to the current tier).
+// current tier's code resident.
 func (s *System) onHot(m *vm.VM, code *vm.Code) {
-	if code.Origin.Meth == nil || code.TierLabel == core.TierOptimizing.String() {
-		// Blocks and already-optimized code don't promote.
+	if code.Origin.Meth == nil || code.TierLabel == core.TierNative.String() {
+		// Blocks don't promote; native code is the top tier.
 		return
+	}
+	target := s.pipeOpt
+	if code.TierLabel == core.TierOptimizing.String() {
+		target = s.pipeNative
 	}
 	fb := m.Harvest(code)
 	m.Stats.Harvests++
@@ -476,7 +505,7 @@ func (s *System) onHot(m *vm.VM, code *vm.Code) {
 	started := s.shared.Promote(
 		codecache.Key{Meth: meth, RMap: rmap},
 		func() (*vm.Code, error) {
-			return s.compileMethodAt(s.pipeOpt, meth, rmap, fb)
+			return s.compileMethodAt(target, meth, rmap, fb)
 		},
 		func(_ *vm.Code, err error, installed bool) {
 			if installed {
@@ -504,6 +533,7 @@ func (s *System) Fork() (*System, error) {
 		Mode:             s.Mode,
 		world:            s.world,
 		pipeOpt:          s.pipeOpt,
+		pipeNative:       s.pipeNative,
 		pipeBase:         s.pipeBase,
 		pipeDeg:          s.pipeDeg,
 		shared:           s.shared,
@@ -568,7 +598,7 @@ func (s *System) PromotionStats() PromotionStats {
 }
 
 // TierCounts sums compile-log entries per tier label ("baseline",
-// "optimizing", "degraded"), across every forked worker.
+// "optimizing", "native", "degraded"), across every forked worker.
 func (s *System) TierCounts() map[string]int {
 	out := map[string]int{}
 	for _, e := range s.log.snapshot() {
