@@ -1,0 +1,236 @@
+package selfgo_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"selfgo"
+)
+
+// TestBudgetMaxBytes: the bytes axis of the budget faults at the
+// allocation site — one hostile `_NewVec:` must return a typed
+// out-of-fuel error instead of materializing gigabytes of host storage
+// and hoping the next poll notices.
+func TestBudgetMaxBytes(t *testing.T) {
+	sys, err := selfgo.NewSystem(selfgo.NewSELF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := `
+		boom = ( _NewVec: 100000000 ).
+		trap = ( _NewVec: 100000000 IfFail: [ -1 ] ).
+		churn = ( [ true ] whileTrue: [ _NewVec: 64 ]. 0 ).
+		ok = ( | v | v: vector copySize: 10 FillWith: 3. v at: 2 ).
+	`
+	if err := sys.LoadSource(src); err != nil {
+		t.Fatal(err)
+	}
+	sys.SetBudget(selfgo.Budget{MaxBytes: 1 << 20})
+
+	// One allocation far over budget: faults immediately, at the site.
+	_, err = sys.Call("boom")
+	if k, ok := selfgo.ErrorKind(err); !ok || k != selfgo.KindOutOfFuel {
+		t.Fatalf("boom: kind = %v (ok=%v), want KindOutOfFuel; err: %v", k, ok, err)
+	}
+	if !strings.Contains(err.Error(), "byte budget") {
+		t.Fatalf("boom: error does not name the byte budget: %v", err)
+	}
+
+	// A guest IfFail: handler must not swallow the fault — the byte
+	// budget is a host resource bound, not a primitive failure the
+	// program may negotiate with.
+	_, err = sys.Call("trap")
+	if k, ok := selfgo.ErrorKind(err); !ok || k != selfgo.KindOutOfFuel {
+		t.Fatalf("trap: kind = %v (ok=%v), want KindOutOfFuel (not the IfFail: value); err: %v", k, ok, err)
+	}
+
+	// Many small allocations accumulate to the same fault.
+	_, err = sys.Call("churn")
+	if k, ok := selfgo.ErrorKind(err); !ok || k != selfgo.KindOutOfFuel {
+		t.Fatalf("churn: kind = %v (ok=%v), want KindOutOfFuel; err: %v", k, ok, err)
+	}
+
+	// Within budget the same system still allocates fine, and the run
+	// reports its modelled byte traffic.
+	res, err := sys.Call("ok")
+	if err != nil || res.Value.I() != 3 {
+		t.Fatalf("ok = (%v, %v), want 3", res, err)
+	}
+	if res.Run.AllocBytes <= 0 {
+		t.Fatalf("ok: AllocBytes = %d, want > 0", res.Run.AllocBytes)
+	}
+}
+
+// TestAllocChargingDifferential: Allocs and AllocBytes must be charged
+// identically whatever path performs the allocation — the primitive
+// send in the baseline tier, the NewVec/Clone opcodes the optimizing
+// tier emits, and the closure-threaded native backend. A program mixing
+// vectors, clones and element stores is run at two sizes under all
+// three schedules. AllocBytes (only vectors and clones charge bytes)
+// must match absolutely; for Allocs the per-iteration delta between the
+// two sizes must match — the baseline tier legitimately allocates a few
+// extra closures per call because it does not inline blocks, but the
+// per-allocation charging it shares with the other tiers must be
+// identical.
+func TestAllocChargingDifferential(t *testing.T) {
+	src := `
+		node = (| parent* = lobby. val <- 0. setVal: v = ( val: v. self ) |).
+		mix: n = ( | v. acc <- 0 |
+			v: vector copySize: n FillWith: 3.
+			0 upTo: n Do: [ :i | v at: i Put: ((node _Clone setVal: i) val) ].
+			v do: [ :e | acc: acc + e ].
+			acc + (_NewVec: 5 Fill: 1) size ).
+	`
+	type out struct {
+		mode       string
+		value      int64
+		small, big selfgo.RunStats
+	}
+	var results []out
+	for _, mode := range []selfgo.TierMode{selfgo.ModeOpt, selfgo.ModeBaseline, selfgo.ModeNative} {
+		var sys *selfgo.System
+		var err error
+		if mode == selfgo.ModeOpt {
+			sys, err = selfgo.NewSystem(selfgo.NewSELF)
+		} else {
+			sys, err = selfgo.NewTieredSystem(selfgo.NewSELF, mode, 0)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.LoadSource(src); err != nil {
+			t.Fatal(err)
+		}
+		small, err := sys.Call("mix:", selfgo.IntValue(16))
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		big, err := sys.Call("mix:", selfgo.IntValue(32))
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		results = append(results, out{mode.String(), small.Value.I(), small.Run, big.Run})
+	}
+	base := results[0]
+	if base.small.Allocs == 0 || base.small.AllocBytes == 0 {
+		t.Fatalf("%s charged nothing: %+v", base.mode, base.small)
+	}
+	for _, r := range results[1:] {
+		if r.value != base.value {
+			t.Errorf("value differs: %s=%d, %s=%d", base.mode, base.value, r.mode, r.value)
+		}
+		if r.small.AllocBytes != base.small.AllocBytes || r.big.AllocBytes != base.big.AllocBytes {
+			t.Errorf("AllocBytes differ: %s=%d/%d, %s=%d/%d",
+				base.mode, base.small.AllocBytes, base.big.AllocBytes,
+				r.mode, r.small.AllocBytes, r.big.AllocBytes)
+		}
+		baseDelta := base.big.Allocs - base.small.Allocs
+		if d := r.big.Allocs - r.small.Allocs; d != baseDelta {
+			t.Errorf("per-iteration Allocs delta differs: %s=%d, %s=%d", base.mode, baseDelta, r.mode, d)
+		}
+	}
+	// Opt and native are pinned bit-identical (same modelled model, same
+	// bytecode), so for that pair the absolute counters must match too.
+	nat := results[2]
+	if nat.small.Allocs != base.small.Allocs || nat.big.Allocs != base.big.Allocs {
+		t.Errorf("Allocs differ between opt and native: %d/%d vs %d/%d",
+			base.small.Allocs, base.big.Allocs, nat.small.Allocs, nat.big.Allocs)
+	}
+}
+
+// TestArenaLifecycle exercises the per-VM arena across epochs: clean
+// runs recycle their chunks, values that escape to the world (or are
+// pinned by the embedder) survive the reset because the dirty epoch is
+// abandoned to the garbage collector instead of recycled.
+func TestArenaLifecycle(t *testing.T) {
+	root, err := selfgo.NewSharedSystem(selfgo.NewSELF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := `
+		keep <- 0.
+		blockKeep <- 0.
+		mkSum: n = ( | v | v: vector copySize: n FillWith: 7. v at: 3 ).
+		stash: n = ( keep: (vector copySize: n FillWith: 9). 0 ).
+		peek = ( keep at: 1 ).
+		stashBlk = ( blockKeep: [ 5 ]. 0 ).
+	`
+	if err := root.LoadSource(src); err != nil {
+		t.Fatal(err)
+	}
+	w, err := root.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Clean epochs: nothing escapes, so every reset recycles.
+	for i := 0; i < 3; i++ {
+		res, err := w.Call("mkSum:", selfgo.IntValue(100))
+		if err != nil || res.Value.I() != 7 {
+			t.Fatalf("mkSum (epoch %d) = (%v, %v), want 7", i, res, err)
+		}
+		w.ResetArena()
+	}
+	resets, abandons := w.ArenaStats()
+	if resets != 3 || abandons != 0 {
+		t.Fatalf("after clean epochs: resets=%d abandons=%d, want 3/0", resets, abandons)
+	}
+
+	// Escape to the world: the store barrier marks the epoch dirty, the
+	// reset abandons it, and the escaped vector stays readable.
+	if _, err := w.Call("stash:", selfgo.IntValue(10)); err != nil {
+		t.Fatal(err)
+	}
+	w.ResetArena()
+	if _, abandons = w.ArenaStats(); abandons != 1 {
+		t.Fatalf("after world escape: abandons=%d, want 1", abandons)
+	}
+	res, err := w.Call("peek")
+	if err != nil || res.Value.I() != 9 {
+		t.Fatalf("peek after reset = (%v, %v), want 9 (escaped storage must survive)", res, err)
+	}
+	w.ResetArena()
+
+	// A block escaping to the world dirties the epoch conservatively
+	// (its captured frame may alias arena values).
+	if _, err := w.Call("stashBlk"); err != nil {
+		t.Fatal(err)
+	}
+	w.ResetArena()
+	if _, abandons = w.ArenaStats(); abandons < 2 {
+		t.Fatalf("after block escape: abandons=%d, want >= 2", abandons)
+	}
+
+	// Embedder pin: MarkEscaped keeps a returned value valid across the
+	// reset without any guest-side store.
+	res, err = w.Call("mkSum:", selfgo.IntValue(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.MarkEscaped(res.Value)
+	w.ResetArena()
+
+	// Concurrent forks each own an arena; run+reset loops on separate
+	// goroutines must be race-free (this test matters under -race).
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		f, err := root.Fork()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(sys *selfgo.System) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				res, err := sys.Call("mkSum:", selfgo.IntValue(50))
+				if err != nil || res.Value.I() != 7 {
+					t.Errorf("concurrent mkSum = (%v, %v)", res, err)
+					return
+				}
+				sys.ResetArena()
+			}
+		}(f)
+	}
+	wg.Wait()
+}

@@ -152,8 +152,8 @@ func benchHost(b *testing.B, cfg selfgo.Config, bm bench.Benchmark) {
 	if err != nil {
 		b.Fatal(err) // warm the code cache and inline caches
 	}
-	if bm.HasExpect && warm.Value.I != bm.Expect {
-		b.Fatalf("%s: got %d, want %d", bm.Name, warm.Value.I, bm.Expect)
+	if bm.HasExpect && warm.Value.I() != bm.Expect {
+		b.Fatalf("%s: got %d, want %d", bm.Name, warm.Value.I(), bm.Expect)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()

@@ -70,10 +70,12 @@ for i in $(seq 1 50); do
     sleep 0.1
 done
 [ -n "$url" ] || { echo "ci: selfserved never came up"; cat "$server_log"; exit 1; }
-# eval traffic: 8 connections, same expression — compile-once + values.
+# eval traffic: 8 connections, same expression — compile-once + values,
+# and the pool gauges must show live occupancy while requests run.
 /tmp/ci-selfload -url "$url" -c 8 -n 120 \
     -expr '| s <- 0 | 1 upTo: 1000 Do: [ :i | s: s + i ]. s' \
-    -check-int -expect-int 499500 -fail-on-error -assert-compile-once -q
+    -check-int -expect-int 499500 -fail-on-error -assert-compile-once \
+    -assert-pool-moves -q
 # named-benchmark traffic: adaptive promotion must land, and the hot
 # method must climb the second rung to the native tier under live load.
 /tmp/ci-selfload -url "$url" -c 8 -n 150 -bench sumTo \
@@ -98,6 +100,17 @@ kill -TERM "$server_pid"
 wait "$server_pid" || { echo "ci: selfserved (overload) did not drain cleanly"; cat "$server_log"; exit 1; }
 trap - EXIT
 rm -f "$server_log" /tmp/ci-selfserved /tmp/ci-selfload
+
+# Alloc regression: re-measure host allocation traffic on the two
+# allocation-heavy benchmarks and fail if allocsPerOp or bytesPerOp
+# regress more than 10% against the committed BENCH_host.json — the
+# compact-Value + arena win must not silently erode. Trimmed from
+# -short runs (testing.Benchmark needs real iterations).
+if [ "$short" != "-short" ]; then
+    echo "== alloc regression (towers, puzzle)"
+    go run ./cmd/selfbench -hostbench -bench towers -allocguard BENCH_host.json -q >/dev/null
+    go run ./cmd/selfbench -hostbench -bench puzzle -allocguard BENCH_host.json -q >/dev/null
+fi
 
 # Fuzz smoke: a short budget per front-end fuzzer, enough to catch
 # easy regressions in the lexer and parser without stalling CI — plus

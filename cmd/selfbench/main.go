@@ -49,6 +49,7 @@ func main() {
 	fuel := flag.Int64("fuel", 0, "with -workers: instruction budget per benchmark run")
 	hostbench := flag.Bool("hostbench", false, "measure host wall-clock speed per benchmark and print BENCH_host.json to stdout")
 	hostbase := flag.String("hostbase", "", "with -hostbench: previous BENCH_host.json to carry as baseline and compute the geomean speedup against")
+	allocguard := flag.String("allocguard", "", "with -hostbench: committed BENCH_host.json to guard against — exit nonzero if allocsPerOp or bytesPerOp regress more than 10% on matching records")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -100,7 +101,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := runHostBench(cfg, mode, *promote, *one, *hostbase, *quiet); err != nil {
+		if err := runHostBench(cfg, mode, *promote, *one, *hostbase, *allocguard, *quiet); err != nil {
 			fatal(err)
 		}
 		return
@@ -274,8 +275,10 @@ func runTiered(cfg selfgo.Config, mode selfgo.TierMode, threshold int64, filter 
 // Go allocs/op) for every benchmark — or just the one named by filter —
 // under cfg, and prints a BENCH_host.json document to stdout. With
 // basePath, the previous file's records ride along as the baseline and
-// the geomean guest-instrs/sec speedup against them is computed.
-func runHostBench(cfg selfgo.Config, mode selfgo.TierMode, threshold int64, filter, basePath string, quiet bool) error {
+// the geomean guest-instrs/sec speedup against them is computed. With
+// guardPath, the measurements are additionally checked against that
+// file's records and the run fails on a >10% allocation regression.
+func runHostBench(cfg selfgo.Config, mode selfgo.TierMode, threshold int64, filter, basePath, guardPath string, quiet bool) error {
 	benches := bench.All()
 	if filter != "" {
 		b, ok := bench.ByName(filter)
@@ -321,6 +324,19 @@ func runHostBench(cfg selfgo.Config, mode selfgo.TierMode, threshold int64, filt
 		}
 		out.Baseline = prev.Records
 		out.GeomeanSpeedup = bench.HostGeomeanSpeedup(prev.Records, recs)
+	}
+	if guardPath != "" {
+		data, err := os.ReadFile(guardPath)
+		if err != nil {
+			return err
+		}
+		var pinned bench.HostFile
+		if err := json.Unmarshal(data, &pinned); err != nil {
+			return fmt.Errorf("%s: %w", guardPath, err)
+		}
+		if err := bench.HostAllocGuard(pinned.Records, recs); err != nil {
+			return err
+		}
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

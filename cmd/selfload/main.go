@@ -51,6 +51,7 @@ func main() {
 		minNative     = flag.Int64("min-native-compiles", 0, "wait for at least this many native-tier compiles in /metrics (second promotion rung)")
 		promotionWait = flag.Duration("promotion-wait", 10*time.Second, "how long to poll /metrics for -min-promotions / -min-native-compiles")
 		min429        = flag.Int("min-429", 0, "fail unless at least this many requests were shed with 429")
+		assertPool    = flag.Bool("assert-pool-moves", false, "fail unless selfserved_pool_in_use rises above zero during the run (pool gauges must track live occupancy, not config)")
 		quiet         = flag.Bool("q", false, "print only the summary line")
 	)
 	flag.Parse()
@@ -85,6 +86,28 @@ func main() {
 		codes   = map[int]int{}
 		badInts int
 	)
+	// Pool-occupancy watcher: the in-use gauge is only nonzero while a
+	// request is actually on a worker, so it has to be sampled during
+	// the run, not after.
+	var poolMax atomic.Int64
+	poolDone := make(chan struct{})
+	if *assertPool {
+		go func() {
+			c := &http.Client{}
+			for {
+				select {
+				case <-poolDone:
+					return
+				default:
+				}
+				if v := scrapeCounter(c, *base, "selfserved_pool_in_use"); v > poolMax.Load() {
+					poolMax.Store(v)
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+		}()
+	}
+
 	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < *conc; w++ {
@@ -112,6 +135,7 @@ func main() {
 	}
 	wg.Wait()
 	wall := time.Since(start)
+	close(poolDone)
 
 	done := 0
 	for _, n := range codes {
@@ -159,6 +183,14 @@ func main() {
 	if *min429 > 0 && codes[429] < *min429 {
 		log.Printf("FAIL: %d responses were 429, want >= %d", codes[429], *min429)
 		fail = true
+	}
+	if *assertPool {
+		if poolMax.Load() < 1 {
+			log.Print("FAIL: selfserved_pool_in_use never rose above zero under load")
+			fail = true
+		} else if !*quiet {
+			fmt.Printf("pool occupancy moved: peak in-use %d\n", poolMax.Load())
+		}
 	}
 	if *assertOnce {
 		missesAfter := scrapeCounter(client, *base, "selfgo_codecache_misses_total")

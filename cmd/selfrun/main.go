@@ -220,7 +220,7 @@ func runWorkers(ctx context.Context, root *selfgo.System, n int, sel string, arg
 		}
 	}
 	for i := 1; i < n; i++ {
-		if results[i].Value.I != results[0].Value.I {
+		if results[i].Value.I() != results[0].Value.I() {
 			return fmt.Errorf("worker %d computed %v but worker 0 computed %v",
 				i, results[i].Value, results[0].Value)
 		}

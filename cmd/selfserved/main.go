@@ -49,6 +49,7 @@ func main() {
 		maxInstrs   = flag.Int64("max-instrs", 0, "per-request instruction cap (0 = server default)")
 		maxAllocs   = flag.Int64("max-allocs", 0, "per-request allocation cap (0 = server default)")
 		maxDepth    = flag.Int("max-depth", 0, "per-request stack depth cap (0 = server default)")
+		maxBytes    = flag.Int64("max-bytes", 0, "per-request cap on modelled vector/clone storage bytes (0 = server default)")
 		deadline    = flag.Duration("deadline", 10*time.Second, "default per-request deadline")
 		maxDeadline = flag.Duration("max-deadline", 60*time.Second, "largest per-request deadline honored")
 		pollEvery   = flag.Int64("poll-every", 0, "budget/cancellation poll stride (0 = VM default)")
@@ -79,6 +80,7 @@ func main() {
 		MaxInstrs:        *maxInstrs,
 		MaxAllocs:        *maxAllocs,
 		MaxDepth:         *maxDepth,
+		MaxBytes:         *maxBytes,
 		DefaultDeadline:  *deadline,
 		MaxDeadline:      *maxDeadline,
 		PollEvery:        *pollEvery,

@@ -69,11 +69,11 @@ func TestConcurrentSharedCache(t *testing.T) {
 							errs[i] = fmt.Errorf("rep %d: %w", r, err)
 							return
 						}
-						if r > 0 && res.Value.I != got[i] {
-							errs[i] = fmt.Errorf("rep %d: got %d, rep 0 got %d", r, res.Value.I, got[i])
+						if r > 0 && res.Value.I() != got[i] {
+							errs[i] = fmt.Errorf("rep %d: got %d, rep 0 got %d", r, res.Value.I(), got[i])
 							return
 						}
-						got[i] = res.Value.I
+						got[i] = res.Value.I()
 					}
 				}()
 			}
@@ -84,8 +84,8 @@ func TestConcurrentSharedCache(t *testing.T) {
 				if errs[i] != nil {
 					t.Fatalf("worker %d: %v\n%s", i, errs[i], src)
 				}
-				if got[i] != want.Value.I {
-					t.Errorf("worker %d computed %d, oracle computed %d\n%s", i, got[i], want.Value.I, src)
+				if got[i] != want.Value.I() {
+					t.Errorf("worker %d computed %d, oracle computed %d\n%s", i, got[i], want.Value.I(), src)
 				}
 			}
 
@@ -130,8 +130,8 @@ func TestSharedCacheInvalidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Value.I != 41 {
-		t.Fatalf("got %d, want 41", res.Value.I)
+	if res.Value.I() != 41 {
+		t.Fatalf("got %d, want 41", res.Value.I())
 	}
 	st, _ := root.CacheStats()
 	if st.Misses == 0 {
@@ -146,8 +146,8 @@ func TestSharedCacheInvalidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Value.I != 42 {
-		t.Fatalf("after redefinition got %d, want 42 (stale code survived invalidation)", res.Value.I)
+	if res.Value.I() != 42 {
+		t.Fatalf("after redefinition got %d, want 42 (stale code survived invalidation)", res.Value.I())
 	}
 	st, _ = root.CacheStats()
 	if st.Evicted == 0 {
@@ -271,8 +271,8 @@ stepStats: n = ( spinStats: n ).
 					t.Errorf("worker %d rep %d: %v", i, r, err)
 					return
 				}
-				if res.Value.I != 8955050 {
-					t.Errorf("worker %d rep %d: got %d", i, r, res.Value.I)
+				if res.Value.I() != 8955050 {
+					t.Errorf("worker %d rep %d: got %d", i, r, res.Value.I())
 					return
 				}
 			}

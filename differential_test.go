@@ -195,10 +195,10 @@ func TestDifferentialRandomPrograms(t *testing.T) {
 					t.Fatalf("[%s] seed %d: %v\n%s", cfg.Name, seed, err, src)
 				}
 				if i == 0 {
-					ref, refCfg = res.Value.I, cfg.Name
-				} else if res.Value.I != ref {
+					ref, refCfg = res.Value.I(), cfg.Name
+				} else if res.Value.I() != ref {
 					t.Errorf("seed %d: %s computed %d but %s computed %d\n%s",
-						seed, cfg.Name, res.Value.I, refCfg, ref, src)
+						seed, cfg.Name, res.Value.I(), refCfg, ref, src)
 				}
 			}
 		})
@@ -232,9 +232,9 @@ func TestDifferentialWithFacts(t *testing.T) {
 				t.Fatalf("[%s] seed %d: %v\n%s", cfg.Name, seed, err, src)
 			}
 			if i == 0 {
-				ref = res.Value.I
-			} else if res.Value.I != ref {
-				t.Errorf("seed %d: %s computed %d, want %d\n%s", seed, cfg.Name, res.Value.I, ref, src)
+				ref = res.Value.I()
+			} else if res.Value.I() != ref {
+				t.Errorf("seed %d: %s computed %d, want %d\n%s", seed, cfg.Name, res.Value.I(), ref, src)
 			}
 		}
 	}

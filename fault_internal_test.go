@@ -45,8 +45,8 @@ func TestCompileFallbackDegrades(t *testing.T) {
 				t.Fatalf("call failed despite degraded fallback: %v", err)
 			}
 			// upTo:Do: excludes the bound: 1+...+99.
-			if res.Value.I != 4950 {
-				t.Fatalf("triangle: 100 = %d, want 4950", res.Value.I)
+			if res.Value.I() != 4950 {
+				t.Fatalf("triangle: 100 = %d, want 4950", res.Value.I())
 			}
 			if res.Compile.Degraded != 1 {
 				t.Fatalf("Degraded = %d, want 1", res.Compile.Degraded)

@@ -41,7 +41,7 @@ func TestBudgetOutOfFuel(t *testing.T) {
 	// The same system with the budget cleared still runs fine.
 	sys.SetBudget(selfgo.Budget{})
 	res, err := sys.Eval(`3 + 4`)
-	if err != nil || res.Value.I != 7 {
+	if err != nil || res.Value.I() != 7 {
 		t.Fatalf("post-fuel-exhaustion eval = (%v, %v), want 7", res, err)
 	}
 }
@@ -110,7 +110,7 @@ func TestBudgetMaxDepth(t *testing.T) {
 	}
 	// Within budget, the same call succeeds.
 	res, err := sys.Call("down:", selfgo.IntValue(10))
-	if err != nil || res.Value.I != 0 {
+	if err != nil || res.Value.I() != 0 {
 		t.Fatalf("down: 10 = (%v, %v), want 0", res, err)
 	}
 }
@@ -171,8 +171,8 @@ func TestPollStrideZeroModelledCost(t *testing.T) {
 		if err != nil {
 			t.Fatalf("budget %+v: %v", b, err)
 		}
-		if res.Value.I != 41541750 {
-			t.Fatalf("budget %+v: value = %d", b, res.Value.I)
+		if res.Value.I() != 41541750 {
+			t.Fatalf("budget %+v: value = %d", b, res.Value.I())
 		}
 		return res.Run
 	}

@@ -57,19 +57,19 @@ func RunTiered(b Benchmark, cfg selfgo.Config, mode selfgo.TierMode, threshold i
 	}
 	sys.DrainPromotions()
 	for _, v := range []selfgo.Value{first.Value, steady.Value} {
-		if b.HasExpect && v.I != b.Expect {
-			return nil, fmt.Errorf("%s under %s/%s: got %d, want %d", b.Name, cfg.Name, mode, v.I, b.Expect)
+		if b.HasExpect && v.I() != b.Expect {
+			return nil, fmt.Errorf("%s under %s/%s: got %d, want %d", b.Name, cfg.Name, mode, v.I(), b.Expect)
 		}
 	}
-	if first.Value.I != steady.Value.I {
+	if first.Value.I() != steady.Value.I() {
 		return nil, fmt.Errorf("%s under %s/%s: value changed across promotion: %d -> %d",
-			b.Name, cfg.Name, mode, first.Value.I, steady.Value.I)
+			b.Name, cfg.Name, mode, first.Value.I(), steady.Value.I())
 	}
 	cache, _ := sys.CacheStats()
 	return &TieredMeasurement{
 		Bench:      b.Name,
 		Mode:       mode,
-		Value:      steady.Value.I,
+		Value:      steady.Value.I(),
 		FirstRun:   first.Run,
 		SteadyRun:  steady.Run,
 		Promotions: sys.PromotionStats(),

@@ -109,14 +109,14 @@ func Run(b Benchmark, cfg selfgo.Config) (*Measurement, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%s under %s: %w", b.Name, cfg.Name, err)
 	}
-	if b.HasExpect && res.Value.I != b.Expect {
-		return nil, fmt.Errorf("%s under %s: got %d, want %d", b.Name, cfg.Name, res.Value.I, b.Expect)
+	if b.HasExpect && res.Value.I() != b.Expect {
+		return nil, fmt.Errorf("%s under %s: got %d, want %d", b.Name, cfg.Name, res.Value.I(), b.Expect)
 	}
 	return &Measurement{
 		Bench:       b.Name,
 		Group:       b.Group,
 		Config:      cfg.Name,
-		Value:       res.Value.I,
+		Value:       res.Value.I(),
 		Cycles:      res.Run.Cycles,
 		Run:         res.Run,
 		CompileTime: res.CompileTime,

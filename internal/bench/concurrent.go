@@ -108,14 +108,14 @@ func RunConcurrentLimits(b Benchmark, cfg selfgo.Config, workers, reps int, lim 
 					errs[i] = fmt.Errorf("worker %d rep %d: %w", i, r, err)
 					return
 				}
-				if b.HasExpect && res.Value.I != b.Expect {
-					errs[i] = fmt.Errorf("worker %d rep %d: got %d, want %d", i, r, res.Value.I, b.Expect)
+				if b.HasExpect && res.Value.I() != b.Expect {
+					errs[i] = fmt.Errorf("worker %d rep %d: got %d, want %d", i, r, res.Value.I(), b.Expect)
 					return
 				}
 				if r == 0 {
-					values[i] = res.Value.I
-				} else if res.Value.I != values[i] {
-					errs[i] = fmt.Errorf("worker %d rep %d: got %d, previous reps got %d", i, r, res.Value.I, values[i])
+					values[i] = res.Value.I()
+				} else if res.Value.I() != values[i] {
+					errs[i] = fmt.Errorf("worker %d rep %d: got %d, previous reps got %d", i, r, res.Value.I(), values[i])
 					return
 				}
 				cycles[i] += res.Run.Cycles

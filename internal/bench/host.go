@@ -9,6 +9,7 @@ package bench
 import (
 	"fmt"
 	"math"
+	"strings"
 	"testing"
 
 	"selfgo"
@@ -86,8 +87,8 @@ func HostBenchOneMode(cfg selfgo.Config, b Benchmark, mode selfgo.TierMode, thre
 	if err != nil {
 		return nil, fmt.Errorf("%s under %s: %w", b.Name, cfg.Name, err)
 	}
-	if b.HasExpect && warm.Value.I != b.Expect {
-		return nil, fmt.Errorf("%s under %s: got %d, want %d", b.Name, cfg.Name, warm.Value.I, b.Expect)
+	if b.HasExpect && warm.Value.I() != b.Expect {
+		return nil, fmt.Errorf("%s under %s: got %d, want %d", b.Name, cfg.Name, warm.Value.I(), b.Expect)
 	}
 	if mode != selfgo.ModeOpt {
 		// Let in-flight promotions land and take another warm lap so
@@ -112,6 +113,11 @@ func HostBenchOneMode(cfg selfgo.Config, b Benchmark, mode selfgo.TierMode, thre
 				failed = err
 				tb.FailNow()
 			}
+			// Iterations are request boundaries: recycle the arena so
+			// steady-state allocation traffic reflects the serving
+			// shape (vectors and clones from reused chunks, not fresh
+			// Go heap every lap).
+			sys.ResetArena()
 		}
 	})
 	if failed != nil {
@@ -163,6 +169,51 @@ func HostBenchMode(cfg selfgo.Config, benches []Benchmark, mode selfgo.TierMode,
 		out = append(out, *rec)
 	}
 	return out, nil
+}
+
+// HostAllocGuard compares freshly measured records against a committed
+// baseline and reports an error if host allocation traffic regressed:
+// more than 10% above the baseline's allocsPerOp or bytesPerOp, beyond
+// a small absolute slack that keeps near-zero baselines (an arena-hit
+// benchmark allocates single-digit objects per run) from tripping on
+// scheduler noise. Records match on (bench, config, tier mode);
+// measured records with no baseline are skipped — the guard pins known
+// points, it does not freeze the benchmark set.
+func HostAllocGuard(baseline, measured []HostRecord) error {
+	key := func(r HostRecord) string { return r.Bench + "\x00" + r.Config + "\x00" + r.TierMode }
+	base := map[string]HostRecord{}
+	for _, r := range baseline {
+		base[key(r)] = r
+	}
+	const (
+		slackAllocs = 64   // absolute allocs/op ignored before the ratio applies
+		slackBytes  = 8192 // absolute bytes/op ignored before the ratio applies
+	)
+	limit := func(b, slack int64) int64 { return b + b/10 + slack }
+	var bad []string
+	matched := 0
+	for _, r := range measured {
+		b, ok := base[key(r)]
+		if !ok {
+			continue
+		}
+		matched++
+		if r.AllocsPerOp > limit(b.AllocsPerOp, slackAllocs) {
+			bad = append(bad, fmt.Sprintf("%s/%s: allocsPerOp %d > baseline %d (+10%%)",
+				r.Bench, r.Config, r.AllocsPerOp, b.AllocsPerOp))
+		}
+		if r.BytesPerOp > limit(b.BytesPerOp, slackBytes) {
+			bad = append(bad, fmt.Sprintf("%s/%s: bytesPerOp %d > baseline %d (+10%%)",
+				r.Bench, r.Config, r.BytesPerOp, b.BytesPerOp))
+		}
+	}
+	if matched == 0 {
+		return fmt.Errorf("alloc guard: no measured record matches the baseline file")
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("host allocation regression:\n  %s", strings.Join(bad, "\n  "))
+	}
+	return nil
 }
 
 // HostGeomeanSpeedup returns the geometric mean over matching

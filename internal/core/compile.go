@@ -676,7 +676,7 @@ func (cp *compilation) compileObjectLit(flows []*flow, n *ast.ObjectLit) ([]*flo
 	// Each evaluation yields a fresh clone of the literal prototype.
 	tmp := cp.g.NewReg()
 	dst := cp.g.NewReg()
-	t := types.NewClass(proto.Obj.Map, cp.intMap())
+	t := types.NewClass(proto.Obj().Map, cp.intMap())
 	for _, f := range flows {
 		cn := cp.g.NewNode(ir.Const)
 		cn.Dst = tmp

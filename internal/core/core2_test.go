@@ -181,7 +181,7 @@ func TestConstantConditionFoldsBranch(t *testing.T) {
 	w := buildWorld(t, `go = ( (3 < 4) ifTrue: [ 111 ] False: [ 222 ] ).`)
 	g, _ := compileLobby(t, w, NewSELF, "go")
 	for _, n := range g.Reachable() {
-		if n.Op == ir.Const && n.Val.K == 1 /* KInt */ && n.Val.I == 222 {
+		if n.Op == ir.Const && n.Val.K() == 1 /* KInt */ && n.Val.I() == 222 {
 			t.Errorf("dead arm not folded:\n%s", g.Dump())
 		}
 		if n.Op == ir.CmpBr {

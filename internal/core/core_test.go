@@ -308,9 +308,9 @@ func TestCustomizationKnowsReceiver(t *testing.T) {
 	`
 	w := buildWorld(t, src)
 	ov, _ := w.GlobalValue("o")
-	r := obj.Lookup(ov.Obj.Map, "double")
+	r := obj.Lookup(ov.Obj().Map, "double")
 
-	g, _, err := New(w, NewSELF).CompileMethod(r.Slot.Meth, ov.Obj.Map)
+	g, _, err := New(w, NewSELF).CompileMethod(r.Slot.Meth, ov.Obj().Map)
 	if err != nil {
 		t.Fatal(err)
 	}

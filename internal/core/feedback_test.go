@@ -32,10 +32,10 @@ func lobbyMethod(t *testing.T, w *obj.World, sel string) *obj.Method {
 func constObjMap(t *testing.T, w *obj.World, name string) *obj.Map {
 	t.Helper()
 	r := obj.Lookup(w.Lobby.Map, name)
-	if r == nil || r.Slot.Value.Obj == nil {
+	if r == nil || r.Slot.Value.Obj() == nil {
 		t.Fatalf("no object %q on the lobby", name)
 	}
-	return r.Slot.Value.Obj.Map
+	return r.Slot.Value.Obj().Map
 }
 
 func countNodes(g *ir.Graph, pred func(*ir.Node) bool) int {

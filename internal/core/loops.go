@@ -244,10 +244,10 @@ func (cp *compilation) buildLoopBody(hf *flow, condT, bodyT types.Blk, negate bo
 func (cp *compilation) branchOnBool(f *flow, reg ir.Reg) (whenTrue, whenFalse []*flow) {
 	t := f.env.get(reg)
 	if v, ok := types.Constant(t); ok {
-		if v.K == obj.KObj && v.Obj == cp.w.TrueObj {
+		if v.K() == obj.KObj && v.Obj() == cp.w.TrueObj {
 			return []*flow{f}, nil
 		}
-		if v.K == obj.KObj && v.Obj == cp.w.FalseObj {
+		if v.K() == obj.KObj && v.Obj() == cp.w.FalseObj {
 			return nil, []*flow{f}
 		}
 	}

@@ -195,9 +195,9 @@ func (cp *compilation) arithCore(f *flow, op ir.ArithKind, dst, rr, ar ir.Reg, f
 	// generation, independent of range analysis.
 	if ca, okA := types.Constant(f.env.get(rr)); okA {
 		if cb, okB := types.Constant(f.env.get(ar)); okB {
-			divZero := (op == ir.Div || op == ir.Mod) && cb.I == 0
+			divZero := (op == ir.Div || op == ir.Mod) && cb.I() == 0
 			if !divZero {
-				v := foldArith(op, ca.I, cb.I)
+				v := foldArith(op, ca.I(), cb.I())
 				if v >= obj.MinSmallInt && v <= obj.MaxSmallInt {
 					n := cp.g.NewNode(ir.Const)
 					n.Dst = dst
@@ -322,8 +322,8 @@ func (cp *compilation) cmpCore(f *flow, op ir.CmpKind, dst, rr, ar ir.Reg) []*fl
 		if bothConst && !cp.cfg.RangeAnalysis {
 			ca, _ := types.Constant(f.env.get(rr))
 			cb, _ := types.Constant(f.env.get(ar))
-			ra = types.Range{Lo: ca.I, Hi: ca.I}
-			rb = types.Range{Lo: cb.I, Hi: cb.I}
+			ra = types.Range{Lo: ca.I(), Hi: ca.I()}
+			rb = types.Range{Lo: cb.I(), Hi: cb.I()}
 		}
 		if tri := foldCmp(op, ra, rb); tri != types.MaybeTrue {
 			v := cp.w.Bool(tri == types.AlwaysTrue)

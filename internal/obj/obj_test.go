@@ -33,7 +33,7 @@ func TestWorldBasics(t *testing.T) {
 		t.Error("str map")
 	}
 	tv, _ := w.GlobalValue("true")
-	if tv.Obj != w.TrueObj {
+	if tv.Obj() != w.TrueObj {
 		t.Error("true global")
 	}
 	if !w.Bool(true).Eq(tv) {
@@ -48,11 +48,11 @@ func TestLoadAndLookup(t *testing.T) {
 		counter <- 0.
 	`)
 	cv, ok := w.GlobalValue("child")
-	if !ok || cv.K != KObj {
+	if !ok || cv.K() != KObj {
 		t.Fatalf("child = %v", cv)
 	}
 	// Inherited method lookup.
-	r := Lookup(cv.Obj.Map, "greet")
+	r := Lookup(cv.Obj().Map, "greet")
 	if r == nil || r.Slot.Kind != MethodSlot {
 		t.Fatalf("greet lookup = %v", r)
 	}
@@ -60,13 +60,13 @@ func TestLoadAndLookup(t *testing.T) {
 		t.Errorf("holder = %s", r.Map.Name)
 	}
 	// Data slot and its assignment slot.
-	if s := cv.Obj.Map.SlotNamed("x"); s == nil || s.Kind != DataSlot {
+	if s := cv.Obj().Map.SlotNamed("x"); s == nil || s.Kind != DataSlot {
 		t.Fatal("x slot missing")
 	}
-	if s := cv.Obj.Map.SlotNamed("x:"); s == nil || s.Kind != AssignSlot {
+	if s := cv.Obj().Map.SlotNamed("x:"); s == nil || s.Kind != AssignSlot {
 		t.Fatal("x: assignment slot missing")
 	}
-	if got := cv.Obj.Fields[cv.Obj.Map.SlotNamed("x").Index]; !got.Eq(Int(7)) {
+	if got := cv.Obj().Fields[cv.Obj().Map.SlotNamed("x").Index]; !got.Eq(Int(7)) {
 		t.Errorf("x = %v", got)
 	}
 	// Lobby data slot.
@@ -78,12 +78,12 @@ func TestLoadAndLookup(t *testing.T) {
 func TestClone(t *testing.T) {
 	w := loadWorld(t, `pt = (| x <- 1. y <- 2 |).`)
 	pv, _ := w.GlobalValue("pt")
-	c := pv.Obj.Clone()
-	if c.Map != pv.Obj.Map {
+	c := pv.Obj().Clone()
+	if c.Map != pv.Obj().Map {
 		t.Error("clone must share map")
 	}
 	c.Fields[0] = Int(99)
-	if pv.Obj.Fields[0].Eq(Int(99)) {
+	if pv.Obj().Fields[0].Eq(Int(99)) {
 		t.Error("clone must not alias fields")
 	}
 }
@@ -99,7 +99,7 @@ func TestVector(t *testing.T) {
 	if v.Elems[0].Eq(Int(5)) {
 		t.Error("clone aliases elems")
 	}
-	if w.MapOf(Value{K: KObj, Obj: v}) != w.VecMap {
+	if w.MapOf(Obj(v)) != w.VecMap {
 		t.Error("vector map")
 	}
 }
@@ -129,11 +129,11 @@ func TestLookupCycleTolerated(t *testing.T) {
 	av, _ := w.GlobalValue("a")
 	// Create a cycle: lobby gets a parent pointing back at a.
 	w.addSlot(w.Lobby.Map, Slot{Name: "cyc", Kind: ParentSlot, Value: av})
-	if r := Lookup(av.Obj.Map, "noSuchMessage"); r != nil {
+	if r := Lookup(av.Obj().Map, "noSuchMessage"); r != nil {
 		t.Errorf("found %v", r)
 	}
 	// Still finds lobby slots through the parent.
-	if r := Lookup(av.Obj.Map, "true"); r == nil {
+	if r := Lookup(av.Obj().Map, "true"); r == nil {
 		t.Error("true not visible through lobby parent")
 	}
 }
@@ -200,13 +200,13 @@ func TestLookupPrecedence(t *testing.T) {
 		child = (| pa* = p1. pb* = p2. tag = ( 3 ) |).
 	`)
 	cv, _ := w.GlobalValue("child")
-	r := Lookup(cv.Obj.Map, "tag")
-	if r == nil || r.Map != cv.Obj.Map {
+	r := Lookup(cv.Obj().Map, "tag")
+	if r == nil || r.Map != cv.Obj().Map {
 		t.Errorf("own slot should shadow parents: %+v", r)
 	}
 	// First parent wins for slots both parents define? They define
 	// distinct slots here; both are reachable.
-	if Lookup(cv.Obj.Map, "only1") == nil || Lookup(cv.Obj.Map, "only2") == nil {
+	if Lookup(cv.Obj().Map, "only1") == nil || Lookup(cv.Obj().Map, "only2") == nil {
 		t.Error("parent slots not reachable")
 	}
 	// Declaration order: pa before pb, so a slot in both resolves to pa.
@@ -216,12 +216,12 @@ func TestLookupPrecedence(t *testing.T) {
 		kid = (| pa* = q1. pb* = q2 |).
 	`)
 	kv, _ := w2.GlobalValue("kid")
-	r2 := Lookup(kv.Obj.Map, "both")
+	r2 := Lookup(kv.Obj().Map, "both")
 	if r2 == nil || r2.Slot.Meth == nil {
 		t.Fatal("both not found")
 	}
 	q1v, _ := w2.GlobalValue("q1")
-	if r2.Map != q1v.Obj.Map {
+	if r2.Map != q1v.Obj().Map {
 		t.Errorf("first parent should win, found in %s", r2.Map.Name)
 	}
 }
@@ -237,18 +237,18 @@ func TestInheritedDataSlotHolder(t *testing.T) {
 	av, _ := w.GlobalValue("kidA")
 	bv, _ := w.GlobalValue("kidB")
 	basev, _ := w.GlobalValue("base")
-	ra := Lookup(av.Obj.Map, "shared")
-	if ra == nil || ra.Holder != basev.Obj {
+	ra := Lookup(av.Obj().Map, "shared")
+	if ra == nil || ra.Holder != basev.Obj() {
 		t.Fatalf("holder = %v, want base", ra)
 	}
 	// Writing through one inheritor is visible through the other: the
 	// slot lives in base.
-	wSlot := Lookup(av.Obj.Map, "shared:")
-	if wSlot == nil || wSlot.Holder != basev.Obj {
+	wSlot := Lookup(av.Obj().Map, "shared:")
+	if wSlot == nil || wSlot.Holder != basev.Obj() {
 		t.Fatal("assignment slot holder wrong")
 	}
 	wSlot.Holder.Fields[wSlot.Slot.Index] = Int(42)
-	rb := Lookup(bv.Obj.Map, "shared")
+	rb := Lookup(bv.Obj().Map, "shared")
 	if got := rb.Holder.Fields[rb.Slot.Index]; !got.Eq(Int(42)) {
 		t.Errorf("shared storage not shared: %v", got)
 	}

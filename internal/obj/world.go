@@ -65,11 +65,11 @@ func NewWorld() *World {
 
 	// Well-known constants, visible from any object that inherits from
 	// the lobby.
-	w.DefineConst("lobby", Value{K: KObj, Obj: w.Lobby})
+	w.DefineConst("lobby", Obj(w.Lobby))
 	w.DefineConst("nil", Nil())
-	w.DefineConst("true", Value{K: KObj, Obj: w.TrueObj})
-	w.DefineConst("false", Value{K: KObj, Obj: w.FalseObj})
-	w.DefineConst("vector", Value{K: KObj, Obj: w.VectorProto})
+	w.DefineConst("true", Obj(w.TrueObj))
+	w.DefineConst("false", Obj(w.FalseObj))
+	w.DefineConst("vector", Obj(w.VectorProto))
 	return w
 }
 
@@ -104,7 +104,7 @@ func (w *World) DefineConst(name string, v Value) {
 
 // MapOf returns the map of any value.
 func (w *World) MapOf(v Value) *Map {
-	switch v.K {
+	switch v.K() {
 	case KNil:
 		return w.NilMap
 	case KInt:
@@ -112,7 +112,7 @@ func (w *World) MapOf(v Value) *Map {
 	case KStr:
 		return w.StrMap
 	case KObj:
-		return v.Obj.Map
+		return v.Obj().Map
 	case KBlock:
 		return w.BlockMap
 	}
@@ -224,10 +224,10 @@ func (w *World) BuildObject(lit *ast.ObjectLit) (Value, error) {
 	}
 	// Name the map after a "name" const slot when present, for
 	// readable diagnostics and CFG dumps.
-	if ns := m.SlotNamed("objectName"); ns != nil && ns.Value.K == KStr {
-		m.Name = ns.Value.S
+	if ns := m.SlotNamed("objectName"); ns != nil && ns.Value.K() == KStr {
+		m.Name = ns.Value.S()
 	}
-	return Value{K: KObj, Obj: o}, nil
+	return Obj(o), nil
 }
 
 // Finalize patches the built-in maps' parent slots to the traits
@@ -276,7 +276,7 @@ func (w *World) GlobalValue(name string) (Value, bool) {
 // Bool returns the world's true or false object as a Value.
 func (w *World) Bool(b bool) Value {
 	if b {
-		return Value{K: KObj, Obj: w.TrueObj}
+		return Obj(w.TrueObj)
 	}
-	return Value{K: KObj, Obj: w.FalseObj}
+	return Obj(w.FalseObj)
 }

@@ -18,7 +18,7 @@ func eval(t *testing.T, cfg selfgo.Config, expr string) int64 {
 	if err != nil {
 		t.Fatalf("eval %q: %v", expr, err)
 	}
-	return res.Value.I
+	return res.Value.I()
 }
 
 // TestPreludeProtocols checks every method of the standard world under

@@ -153,10 +153,14 @@ func (s *Server) runOnWorker(r *http.Request, budget *wire.Budget, deadlineMS in
 	if err != nil {
 		return nil, ctx, err
 	}
+	// The deferred release resets the worker's arena before the handler
+	// encodes res.Value; pin it so an object result survives the reset.
+	sys.MarkEscaped(res.Value)
 	s.m.guestInstrs.Add(res.Run.Instrs)
 	s.m.guestCycles.Add(res.Run.Cycles)
 	s.m.guestSends.Add(res.Run.Sends)
 	s.m.guestAllocs.Add(res.Run.Allocs)
+	s.m.guestAllocBytes.Add(res.Run.AllocBytes)
 	return res, ctx, nil
 }
 
@@ -254,7 +258,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	out := s.result(res)
 	out.Bench = be.b.Name
 	if be.b.HasExpect {
-		ok := res.Value.I == be.b.Expect
+		ok := res.Value.I() == be.b.Expect
 		out.CheckOK = &ok
 	}
 	s.writeJSON(w, http.StatusOK, out)

@@ -23,11 +23,12 @@ type serverMetrics struct {
 	exprEvicted    *metrics.Counter
 
 	// Guest-side totals accumulated from per-request RunStats.
-	guestInstrs *metrics.Counter
-	guestCycles *metrics.Counter
-	guestSends  *metrics.Counter
-	guestAllocs *metrics.Counter
-	faults      *metrics.CounterVec // kind
+	guestInstrs     *metrics.Counter
+	guestCycles     *metrics.Counter
+	guestSends      *metrics.Counter
+	guestAllocs     *metrics.Counter
+	guestAllocBytes *metrics.Counter
+	faults          *metrics.CounterVec // kind
 }
 
 func (s *Server) registerMetrics() {
@@ -57,6 +58,8 @@ func (s *Server) registerMetrics() {
 		"Guest message sends across all requests.")
 	s.m.guestAllocs = r.Counter("selfgo_guest_allocs_total",
 		"Guest allocations across all requests.")
+	s.m.guestAllocBytes = r.Counter("selfgo_guest_alloc_bytes_total",
+		"Modelled bytes of guest vector/clone storage across all requests.")
 	s.m.faults = r.CounterVec("selfserved_guest_faults_total",
 		"Guest runs that ended in a fault, by RuntimeError kind.", "kind")
 
@@ -67,9 +70,15 @@ func (s *Server) registerMetrics() {
 	r.GaugeFunc("selfserved_queued",
 		"Requests waiting for a worker VM.",
 		func() float64 { return float64(s.queued.Load()) })
-	r.GaugeFunc("selfserved_pool_size",
-		"Worker VMs in the pool.",
-		func() float64 { return float64(s.cfg.Pool) })
+	// Pool occupancy, read off the channel itself. The two gauges sum
+	// to the configured capacity; an earlier version exported only the
+	// static cfg.Pool, which never moved and hid worker starvation.
+	r.GaugeFunc("selfserved_pool_free",
+		"Worker VMs idle in the pool, ready to serve.",
+		func() float64 { return float64(len(s.pool)) })
+	r.GaugeFunc("selfserved_pool_in_use",
+		"Worker VMs checked out and serving requests.",
+		func() float64 { return float64(s.cfg.Pool - len(s.pool)) })
 	r.GaugeFunc("selfserved_draining",
 		"1 while the server is draining for shutdown.",
 		func() float64 {

@@ -66,6 +66,14 @@ type Config struct {
 	MaxInstrs int64
 	MaxAllocs int64
 	MaxDepth  int
+	// MaxBytes caps the modelled bytes of vector/clone storage a
+	// request may allocate (16 bytes per element/field slot). Unlike
+	// the poll-checked axes it is enforced at the allocation site, so
+	// one hostile `_NewVec:` faults with 422 instead of OOMing the
+	// host. Default 64 MiB — three orders of magnitude above what the
+	// preloaded benchmarks touch, and it bounds each worker's peak
+	// value storage to something a small container survives.
+	MaxBytes int64
 	// DefaultDeadline applies when a request names none (default 10s);
 	// MaxDeadline caps what a request may ask for (default 60s).
 	DefaultDeadline time.Duration
@@ -118,6 +126,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxDepth <= 0 {
 		c.MaxDepth = 10_000
+	}
+	if c.MaxBytes <= 0 {
+		c.MaxBytes = 64 << 20
 	}
 	if c.DefaultDeadline <= 0 {
 		c.DefaultDeadline = 10 * time.Second
@@ -290,6 +301,14 @@ func (s *Server) acquire(ctx context.Context) (*selfgo.System, error) {
 
 func (s *Server) release(sys *selfgo.System) {
 	sys.SetBudget(selfgo.Budget{})
+	// End of the worker's arena epoch: if the finished run leaked
+	// nothing (the common case — benchmark runs return small ints),
+	// the arena's chunks are zeroed and recycled for the next request.
+	// Values that escaped the run — stored into the shared world, or
+	// returned as the result (runOnWorker pins those via MarkEscaped)
+	// — flip the epoch dirty, and Reset abandons its chunks to the Go
+	// heap instead, so every surviving reference stays valid.
+	sys.ResetArena()
 	s.pool <- sys
 }
 
@@ -300,6 +319,7 @@ func (s *Server) effectiveBudget(req *wire.Budget, deadline time.Duration) selfg
 		MaxInstrs: s.cfg.MaxInstrs,
 		MaxAllocs: s.cfg.MaxAllocs,
 		MaxDepth:  s.cfg.MaxDepth,
+		MaxBytes:  s.cfg.MaxBytes,
 		PollEvery: s.cfg.PollEvery,
 	}
 	if req != nil {
@@ -308,6 +328,9 @@ func (s *Server) effectiveBudget(req *wire.Budget, deadline time.Duration) selfg
 		}
 		if req.MaxAllocs > 0 && req.MaxAllocs < b.MaxAllocs {
 			b.MaxAllocs = req.MaxAllocs
+		}
+		if req.MaxBytes > 0 && req.MaxBytes < b.MaxBytes {
+			b.MaxBytes = req.MaxBytes
 		}
 		if req.MaxDepth > 0 && req.MaxDepth < b.MaxDepth {
 			b.MaxDepth = req.MaxDepth

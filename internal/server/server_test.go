@@ -432,7 +432,8 @@ func TestStatuszAndMetrics(t *testing.T) {
 		`selfserved_requests_total{endpoint="eval",code="200"}`,
 		"# TYPE selfserved_request_seconds histogram",
 		"selfgo_codecache_misses_total",
-		"selfserved_pool_size 3",
+		"selfserved_pool_free 3",
+		"selfserved_pool_in_use 0",
 	} {
 		if !strings.Contains(string(text), want) {
 			t.Errorf("metrics exposition missing %q", want)
@@ -460,4 +461,125 @@ func TestExprLRUEviction(t *testing.T) {
 	if s.cacheStats().Evicted == 0 {
 		t.Fatal("LRU rotation did not evict shared-cache entries")
 	}
+}
+
+// TestHostileNewVecFaults: a request allocating a huge vector must be
+// answered with 422 and the out-of-fuel taxonomy — the byte budget
+// faults at the allocation site, before the host materializes the
+// storage. The request-level budget can tighten the cap but never
+// raise it above the server's.
+func TestHostileNewVecFaults(t *testing.T) {
+	_, ts := newTestServer(t, Config{Pool: 1, MaxBytes: 1 << 20})
+
+	// 5e8 elements would be 8 GB of value storage; the server cap is 1 MiB.
+	code, res := postJSON(t, ts.URL+"/eval", `{"expr": "_NewVec: 500000000"}`)
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("hostile _NewVec: status %d (%+v), want 422", code, res)
+	}
+	if res.Error == nil || res.Error.Kind != "outOfFuel" {
+		t.Fatalf("hostile _NewVec: error %+v, want kind outOfFuel", res.Error)
+	}
+	if !strings.Contains(res.Error.Message, "byte budget") {
+		t.Fatalf("hostile _NewVec: message %q does not name the byte budget", res.Error.Message)
+	}
+
+	// A guest IfFail: handler cannot swallow the fault into a 200.
+	code, res = postJSON(t, ts.URL+"/eval", `{"expr": "_NewVec: 500000000 IfFail: [ -1 ]"}`)
+	if code != http.StatusUnprocessableEntity || res.Error == nil || res.Error.Kind != "outOfFuel" {
+		t.Fatalf("IfFail: swallowed the byte fault: %d %+v", code, res)
+	}
+
+	// Requests may tighten the cap below the server's...
+	code, res = postJSON(t, ts.URL+"/eval", `{"expr": "_NewVec: 1024", "budget": {"max_bytes": 1024}}`)
+	if code != http.StatusUnprocessableEntity || res.Error == nil || res.Error.Kind != "outOfFuel" {
+		t.Fatalf("request-tightened budget not honored: %d %+v", code, res)
+	}
+	// ...but never raise it above.
+	code, res = postJSON(t, ts.URL+"/eval", `{"expr": "_NewVec: 500000000", "budget": {"max_bytes": 1099511627776}}`)
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("request raised the byte cap above the server's: %d %+v", code, res)
+	}
+
+	// Reasonable allocation under the same cap still answers 200, with
+	// the byte traffic reported.
+	code, res = postJSON(t, ts.URL+"/eval", `{"expr": "(_NewVec: 16 Fill: 3) at: 2"}`)
+	if code != http.StatusOK || res.Int != 3 {
+		t.Fatalf("benign _NewVec: %d %+v, want 200/3", code, res)
+	}
+	if res.Run == nil || res.Run.AllocBytes <= 0 {
+		t.Fatalf("benign _NewVec: run stats missing alloc_bytes: %+v", res.Run)
+	}
+}
+
+// scrapeGauge reads one metric's current value from /metrics text.
+func scrapeGauge(t *testing.T, url, name string) (float64, bool) {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	text, _ := io.ReadAll(resp.Body)
+	for _, line := range strings.Split(string(text), "\n") {
+		if v, ok := strings.CutPrefix(line, name+" "); ok {
+			var f float64
+			if _, err := fmt.Sscanf(v, "%g", &f); err == nil {
+				return f, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// TestPoolGaugesTrackOccupancy: the pool gauges must read live
+// occupancy off the pool channel — while a request holds a worker,
+// in-use rises and free drops; idle, they return to 0 and capacity.
+// (An earlier version exported the static config value, which never
+// moved.)
+func TestPoolGaugesTrackOccupancy(t *testing.T) {
+	_, ts := newTestServer(t, Config{Pool: 2})
+
+	if free, ok := scrapeGauge(t, ts.URL, "selfserved_pool_free"); !ok || free != 2 {
+		t.Fatalf("idle pool_free = %v (ok=%v), want 2", free, ok)
+	}
+	if used, ok := scrapeGauge(t, ts.URL, "selfserved_pool_in_use"); !ok || used != 0 {
+		t.Fatalf("idle pool_in_use = %v (ok=%v), want 0", used, ok)
+	}
+
+	// Park one worker on a slow run and watch the gauges move.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		body := `{"expr": "[ true ] whileTrue: [ ]", "deadline_ms": 2000}`
+		resp, err := http.Post(ts.URL+"/eval", "application/json", strings.NewReader(body))
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	moved := false
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		used, ok := scrapeGauge(t, ts.URL, "selfserved_pool_in_use")
+		free, okF := scrapeGauge(t, ts.URL, "selfserved_pool_free")
+		if ok && okF && used >= 1 && used+free == 2 {
+			moved = true
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	<-done
+	if !moved {
+		t.Fatal("pool gauges never reflected the in-flight request")
+	}
+
+	// Back to idle after the run completes and the worker is released.
+	deadline = time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		used, ok := scrapeGauge(t, ts.URL, "selfserved_pool_in_use")
+		if ok && used == 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("pool_in_use did not return to 0 after the request finished")
 }

@@ -105,11 +105,11 @@ func (r Range) IsFull() bool { return r.Lo <= obj.MinSmallInt && r.Hi >= obj.Max
 func (Unknown) String() string { return "?" }
 
 func (v Val) String() string {
-	switch v.V.K {
+	switch v.V.K() {
 	case obj.KNil:
 		return "nil"
 	case obj.KStr:
-		return fmt.Sprintf("'%s'", v.V.S)
+		return fmt.Sprintf("'%s'", v.V.S())
 	case obj.KObj:
 		if v.M != nil {
 			switch v.M.Name {
@@ -155,8 +155,8 @@ func elemsString(elems []Type) string {
 // constants become one-point ranges, per the paper's treatment of
 // integer value types as extreme subranges.
 func NewVal(v obj.Value, m *obj.Map) Type {
-	if v.K == obj.KInt {
-		return Range{Lo: v.I, Hi: v.I}
+	if v.K() == obj.KInt {
+		return Range{Lo: v.I(), Hi: v.I()}
 	}
 	return Val{V: v, M: m}
 }

@@ -282,7 +282,7 @@ func lowerInstrOp(c *Code, pc int, in *Instr) (nativeOp, error) {
 	case ir.LoadF:
 		dst, a, idx := in.Dst, in.A, in.Index
 		return func(vm *VM, fr *frame) (int, error) {
-			o := fr.regs[a].Obj
+			o := fr.regs[a].Obj()
 			if o == nil || idx >= len(o.Fields) {
 				return 0, errBadField(c, "access")
 			}
@@ -293,22 +293,25 @@ func lowerInstrOp(c *Code, pc int, in *Instr) (nativeOp, error) {
 	case ir.StoreF:
 		a, b, idx := in.A, in.B, in.Index
 		return func(vm *VM, fr *frame) (int, error) {
-			o := fr.regs[a].Obj
+			o := fr.regs[a].Obj()
 			if o == nil || idx >= len(o.Fields) {
 				return 0, errBadField(c, "store")
 			}
 			o.Fields[idx] = fr.regs[b]
+			if o.Ep != vm.curEp {
+				vm.escapeCheck(fr.regs[b])
+			}
 			return nFall, nil
 		}, nil
 
 	case ir.LoadE:
 		dst, a, b := in.Dst, in.A, in.B
 		return func(vm *VM, fr *frame) (int, error) {
-			o := fr.regs[a].Obj
+			o := fr.regs[a].Obj()
 			if o == nil {
 				return 0, errElemNonObject(c, "load")
 			}
-			i := fr.regs[b].I
+			i := fr.regs[b].I()
 			if i < 0 || i >= int64(len(o.Elems)) {
 				return 0, errElemOOB(c, "load", i, len(o.Elems))
 			}
@@ -319,22 +322,25 @@ func lowerInstrOp(c *Code, pc int, in *Instr) (nativeOp, error) {
 	case ir.StoreE:
 		a, b, cr := in.A, in.B, in.C
 		return func(vm *VM, fr *frame) (int, error) {
-			o := fr.regs[a].Obj
+			o := fr.regs[a].Obj()
 			if o == nil {
 				return 0, errElemNonObject(c, "store")
 			}
-			i := fr.regs[b].I
+			i := fr.regs[b].I()
 			if i < 0 || i >= int64(len(o.Elems)) {
 				return 0, errElemOOB(c, "store", i, len(o.Elems))
 			}
 			o.Elems[i] = fr.regs[cr]
+			if o.Ep != vm.curEp {
+				vm.escapeCheck(fr.regs[cr])
+			}
 			return nFall, nil
 		}, nil
 
 	case ir.VecLen:
 		dst, a := in.Dst, in.A
 		return func(vm *VM, fr *frame) (int, error) {
-			o := fr.regs[a].Obj
+			o := fr.regs[a].Obj()
 			if o == nil {
 				return 0, &RuntimeError{Msg: "vecLen of non-vector"}
 			}
@@ -352,7 +358,9 @@ func lowerInstrOp(c *Code, pc int, in *Instr) (nativeOp, error) {
 
 	case ir.CloneOp:
 		return func(vm *VM, fr *frame) (int, error) {
-			vm.makeClone(&vm.Stats, fr, in)
+			if cerr := vm.makeClone(&vm.Stats, fr, in); cerr != nil {
+				return 0, cerr
+			}
 			return nFall, nil
 		}, nil
 
@@ -502,7 +510,7 @@ func lowerInstrOp(c *Code, pc int, in *Instr) (nativeOp, error) {
 		dst, a, idx, fF := in.Dst, in.A, in.Index, f.F
 		return func(vm *VM, fr *frame) (int, error) {
 			st := &vm.Stats
-			o := fr.regs[a].Obj
+			o := fr.regs[a].Obj()
 			if o == nil || idx >= len(o.Fields) {
 				vm.uncharge(st, f)
 				return 0, errBadField(c, "access")
@@ -523,12 +531,12 @@ func lowerInstrOp(c *Code, pc int, in *Instr) (nativeOp, error) {
 		dst, a, b, fF := in.Dst, in.A, in.B, f.F
 		return func(vm *VM, fr *frame) (int, error) {
 			st := &vm.Stats
-			o := fr.regs[a].Obj
+			o := fr.regs[a].Obj()
 			if o == nil {
 				vm.uncharge(st, f)
 				return 0, errElemNonObject(c, "load")
 			}
-			i := fr.regs[b].I
+			i := fr.regs[b].I()
 			if i < 0 || i >= int64(len(o.Elems)) {
 				vm.uncharge(st, f)
 				return 0, errElemOOB(c, "load", i, len(o.Elems))
@@ -630,17 +638,17 @@ func lowerArith(in *Instr) nativeOp {
 		switch in.AOp {
 		case ir.Add:
 			return func(vm *VM, fr *frame) (int, error) {
-				fr.regs[dst] = obj.Int(fr.regs[a].I + fr.regs[b].I)
+				fr.regs[dst] = obj.Int(fr.regs[a].I() + fr.regs[b].I())
 				return nFall, nil
 			}
 		case ir.Sub:
 			return func(vm *VM, fr *frame) (int, error) {
-				fr.regs[dst] = obj.Int(fr.regs[a].I - fr.regs[b].I)
+				fr.regs[dst] = obj.Int(fr.regs[a].I() - fr.regs[b].I())
 				return nFall, nil
 			}
 		case ir.Mul:
 			return func(vm *VM, fr *frame) (int, error) {
-				fr.regs[dst] = obj.Int(fr.regs[a].I * fr.regs[b].I)
+				fr.regs[dst] = obj.Int(fr.regs[a].I() * fr.regs[b].I())
 				return nFall, nil
 			}
 		}
@@ -648,7 +656,7 @@ func lowerArith(in *Instr) nativeOp {
 		switch in.AOp {
 		case ir.Add:
 			return func(vm *VM, fr *frame) (int, error) {
-				v := fr.regs[a].I + fr.regs[b].I
+				v := fr.regs[a].I() + fr.regs[b].I()
 				vm.Stats.OvflChecks++
 				if v < obj.MinSmallInt || v > obj.MaxSmallInt {
 					return fpc, nil
@@ -658,7 +666,7 @@ func lowerArith(in *Instr) nativeOp {
 			}
 		case ir.Sub:
 			return func(vm *VM, fr *frame) (int, error) {
-				v := fr.regs[a].I - fr.regs[b].I
+				v := fr.regs[a].I() - fr.regs[b].I()
 				vm.Stats.OvflChecks++
 				if v < obj.MinSmallInt || v > obj.MaxSmallInt {
 					return fpc, nil
@@ -668,7 +676,7 @@ func lowerArith(in *Instr) nativeOp {
 			}
 		case ir.Mul:
 			return func(vm *VM, fr *frame) (int, error) {
-				v := fr.regs[a].I * fr.regs[b].I
+				v := fr.regs[a].I() * fr.regs[b].I()
 				vm.Stats.OvflChecks++
 				if v < obj.MinSmallInt || v > obj.MaxSmallInt {
 					return fpc, nil
@@ -699,28 +707,28 @@ func lowerCmpBr(in *Instr) nativeOp {
 		switch in.COp {
 		case ir.LT:
 			return func(vm *VM, fr *frame) (int, error) {
-				if fr.regs[a].I < fr.regs[b].I {
+				if fr.regs[a].I() < fr.regs[b].I() {
 					return tpc, nil
 				}
 				return fpc, nil
 			}
 		case ir.LE:
 			return func(vm *VM, fr *frame) (int, error) {
-				if fr.regs[a].I <= fr.regs[b].I {
+				if fr.regs[a].I() <= fr.regs[b].I() {
 					return tpc, nil
 				}
 				return fpc, nil
 			}
 		case ir.GT:
 			return func(vm *VM, fr *frame) (int, error) {
-				if fr.regs[a].I > fr.regs[b].I {
+				if fr.regs[a].I() > fr.regs[b].I() {
 					return tpc, nil
 				}
 				return fpc, nil
 			}
 		case ir.GE:
 			return func(vm *VM, fr *frame) (int, error) {
-				if fr.regs[a].I >= fr.regs[b].I {
+				if fr.regs[a].I() >= fr.regs[b].I() {
 					return tpc, nil
 				}
 				return fpc, nil

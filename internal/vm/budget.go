@@ -24,6 +24,12 @@ type Budget struct {
 	// MaxAllocs bounds allocation operations (vectors, clones,
 	// closures); exceeding it returns a KindOutOfFuel error.
 	MaxAllocs int64
+	// MaxBytes bounds the modelled bytes of vector and clone storage
+	// (per-element, see RunStats.AllocBytes); exceeding it returns a
+	// KindOutOfFuel error. Unlike the other axes this is checked at
+	// the allocation site, before the storage is created: one huge
+	// `_NewVec:` must fault instead of OOMing the host between polls.
+	MaxBytes int64
 	// PollEvery overrides the cooperative poll stride: how many
 	// instructions run between budget/cancellation checks. Zero keeps
 	// the default (budgetPollInterval, 1024). A server handling short
@@ -56,6 +62,8 @@ func (vm *VM) startRun(ctx context.Context) {
 	vm.ctx = ctx
 	vm.fuelStart = vm.Stats.Instrs
 	vm.allocStart = vm.Stats.Allocs
+	vm.bytesStart = vm.Stats.AllocBytes
+	vm.curEp = vm.Arena.Epoch()
 	vm.pollEvery = vm.Budget.PollEvery
 	if vm.pollEvery <= 0 {
 		vm.pollEvery = budgetPollInterval
@@ -86,6 +94,13 @@ func (vm *VM) poll(st *RunStats) error {
 	if b.MaxAllocs > 0 && st.Allocs-vm.allocStart > b.MaxAllocs {
 		return &RuntimeError{Kind: KindOutOfFuel,
 			Msg: fmt.Sprintf("out of fuel: allocation budget %d exhausted", b.MaxAllocs)}
+	}
+	// MaxBytes is enforced at the allocation sites (chargeBytes); the
+	// poll re-checks so a run that slipped past on an uncounted path
+	// still faults at the next stride.
+	if b.MaxBytes > 0 && st.AllocBytes-vm.bytesStart > b.MaxBytes {
+		return &RuntimeError{Kind: KindOutOfFuel,
+			Msg: fmt.Sprintf("out of fuel: byte budget %d exhausted", b.MaxBytes)}
 	}
 	if vm.ctx != nil {
 		if cerr := vm.ctx.Err(); cerr != nil {

@@ -21,7 +21,8 @@ const (
 	// KindStackOverflow: activation depth exceeded the VM limit or the
 	// budget's MaxDepth.
 	KindStackOverflow
-	// KindOutOfFuel: the budget's MaxInstrs or MaxAllocs was exhausted.
+	// KindOutOfFuel: the budget's MaxInstrs, MaxAllocs or MaxBytes was
+	// exhausted.
 	KindOutOfFuel
 	// KindCancelled: the context passed to RunMethodCtx was cancelled
 	// or its deadline expired.

@@ -127,7 +127,7 @@ func TestRunMethodArityMismatch(t *testing.T) {
 	}
 	// The correct arity still works.
 	v, err := h.vm.RunMethod(r.Slot.Meth, obj.Obj(h.w.Lobby), obj.Int(41))
-	if err != nil || v.I != 42 {
+	if err != nil || v.I() != 42 {
 		t.Fatalf("addOne: 41 = (%v, %v), want 42", v, err)
 	}
 }

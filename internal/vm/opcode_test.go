@@ -158,7 +158,7 @@ func TestOpCmpBranchesAndTypeTest(t *testing.T) {
 		c1.Succ = []*ir.Node{r1}
 		c0.Succ = []*ir.Node{r0}
 		v, _ := runGraph(t, w, g, obj.Nil())
-		return v.I
+		return v.I()
 	}
 	checks := []struct {
 		op   ir.CmpKind

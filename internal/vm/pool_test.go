@@ -27,12 +27,12 @@ callBlock: b With: v = ( b value: v ).
 func TestFramePoolZeroedOnReuse(t *testing.T) {
 	for _, cfg := range []core.Config{core.ST80, core.NewSELF} {
 		h := newHarness(t, cfg, poolSrc)
-		if v := h.call(t, "down:", obj.Int(2000)); v.I != 0 {
+		if v := h.call(t, "down:", obj.Int(2000)); v.I() != 0 {
 			t.Fatalf("%s: down: 2000 = %s, want 0", cfg.Name, v)
 		}
 		// fill: leaves non-nil temporaries in its frame registers.
 		for i := 0; i < 50; i++ {
-			if v := h.call(t, "fill:", obj.Int(int64(i))); v.I != int64(i+15) {
+			if v := h.call(t, "fill:", obj.Int(int64(i))); v.I() != int64(i+15) {
 				t.Fatalf("%s: fill: %d = %s", cfg.Name, i, v)
 			}
 			if v := h.call(t, "leak"); !v.Eq(obj.Nil()) {
@@ -49,17 +49,17 @@ func TestFramePoolZeroedOnReuse(t *testing.T) {
 func TestEscapedFramesSurvivePooling(t *testing.T) {
 	h := newHarness(t, core.ST80, poolSrc)
 	counter := h.call(t, "mkCounter")
-	if counter.K != obj.KBlock {
+	if counter.K() != obj.KBlock {
 		t.Fatalf("mkCounter returned %s, not a block", counter)
 	}
 	// Churn the pool so a recycled mkCounter frame would be reused and
 	// clobbered.
 	h.call(t, "down:", obj.Int(200))
-	if v := h.call(t, "callBlock:With:", counter, obj.Int(5)); v.I != 6 {
+	if v := h.call(t, "callBlock:With:", counter, obj.Int(5)); v.I() != 6 {
 		t.Fatalf("counter(5) = %s, want 6", v)
 	}
 	h.call(t, "down:", obj.Int(200))
-	if v := h.call(t, "callBlock:With:", counter, obj.Int(10)); v.I != 16 {
+	if v := h.call(t, "callBlock:With:", counter, obj.Int(10)); v.I() != 16 {
 		t.Fatalf("counter(10) = %s, want 16 (captured state lost)", v)
 	}
 }
@@ -72,7 +72,7 @@ func TestEscapedFramesSurvivePooling(t *testing.T) {
 func TestDeadHomeStillDetectedWithPooling(t *testing.T) {
 	h := newHarness(t, core.ST80, poolSrc)
 	blk := h.call(t, "mkRet")
-	if blk.K != obj.KBlock {
+	if blk.K() != obj.KBlock {
 		t.Fatalf("mkRet returned %s, not a block", blk)
 	}
 	// Churn: if mkRet's frame were pooled, these calls would recycle it

@@ -35,6 +35,7 @@ type RunStats struct {
 	BoundsChecks int64
 	BlockValues  int64
 	Allocs       int64
+	AllocBytes   int64 // modelled bytes of vector/clone storage (per-element charge)
 	MaxDepth     int
 
 	// Adaptive-tier activity this VM performed during the run; always
@@ -108,6 +109,13 @@ type VM struct {
 	// Budget. RunMethodCtx additionally honors context cancellation.
 	Budget Budget
 
+	// Arena, when non-nil, backs vector and clone storage with
+	// recycled per-VM chunks instead of individual Go allocations.
+	// The owner decides the epoch boundary by calling Arena.Reset
+	// between runs (never during one): the serving layer resets when a
+	// pooled VM returns to the pool. Nil keeps plain heap allocation.
+	Arena *obj.Arena
+
 	// Shared, when non-nil, replaces the private per-VM code caches
 	// with a process-wide sharded single-flight cache: compiled Code is
 	// shared read-only across every VM attached to the same cache, and
@@ -170,6 +178,12 @@ type VM struct {
 	pollEvery  int64
 	fuelStart  int64
 	allocStart int64
+	bytesStart int64
+
+	// curEp caches Arena.Epoch() for the duration of a run (0 when no
+	// arena): the store barrier compares every written-to object's
+	// epoch against it, and only mismatches take the slow path.
+	curEp uint32
 }
 
 type methodKey struct {
@@ -538,39 +552,45 @@ func (vm *VM) runFast(code *Code, fr *frame, pc int) (val obj.Value, err error) 
 		case ir.Move:
 			fr.regs[in.Dst] = fr.regs[in.A]
 		case ir.LoadF:
-			o := fr.regs[in.A].Obj
+			o := fr.regs[in.A].Obj()
 			if o == nil || in.Index >= len(o.Fields) {
 				return obj.Nil(), errBadField(code, "access")
 			}
 			fr.regs[in.Dst] = o.Fields[in.Index]
 		case ir.StoreF:
-			o := fr.regs[in.A].Obj
+			o := fr.regs[in.A].Obj()
 			if o == nil || in.Index >= len(o.Fields) {
 				return obj.Nil(), errBadField(code, "store")
 			}
 			o.Fields[in.Index] = fr.regs[in.B]
+			if o.Ep != vm.curEp {
+				vm.escapeCheck(fr.regs[in.B])
+			}
 		case ir.LoadE:
-			o := fr.regs[in.A].Obj
+			o := fr.regs[in.A].Obj()
 			if o == nil {
 				return obj.Nil(), errElemNonObject(code, "load")
 			}
-			i := fr.regs[in.B].I
+			i := fr.regs[in.B].I()
 			if i < 0 || i >= int64(len(o.Elems)) {
 				return obj.Nil(), errElemOOB(code, "load", i, len(o.Elems))
 			}
 			fr.regs[in.Dst] = o.Elems[i]
 		case ir.StoreE:
-			o := fr.regs[in.A].Obj
+			o := fr.regs[in.A].Obj()
 			if o == nil {
 				return obj.Nil(), errElemNonObject(code, "store")
 			}
-			i := fr.regs[in.B].I
+			i := fr.regs[in.B].I()
 			if i < 0 || i >= int64(len(o.Elems)) {
 				return obj.Nil(), errElemOOB(code, "store", i, len(o.Elems))
 			}
 			o.Elems[i] = fr.regs[in.C]
+			if o.Ep != vm.curEp {
+				vm.escapeCheck(fr.regs[in.C])
+			}
 		case ir.VecLen:
-			o := fr.regs[in.A].Obj
+			o := fr.regs[in.A].Obj()
 			if o == nil {
 				return obj.Nil(), &RuntimeError{Msg: "vecLen of non-vector"}
 			}
@@ -580,7 +600,9 @@ func (vm *VM) runFast(code *Code, fr *frame, pc int) (val obj.Value, err error) 
 				return obj.Nil(), verr
 			}
 		case ir.CloneOp:
-			vm.makeClone(st, fr, in)
+			if cerr := vm.makeClone(st, fr, in); cerr != nil {
+				return obj.Nil(), cerr
+			}
 		case ir.Arith:
 			br, aerr := arithVal(st, in, fr)
 			if aerr != nil {
@@ -682,7 +704,7 @@ func (vm *VM) runFast(code *Code, fr *frame, pc int) (val obj.Value, err error) 
 			}
 		case opLoadFArith:
 			f := in.Fused
-			o := fr.regs[in.A].Obj
+			o := fr.regs[in.A].Obj()
 			if o == nil || in.Index >= len(o.Fields) {
 				vm.uncharge(st, f)
 				return obj.Nil(), errBadField(code, "access")
@@ -698,12 +720,12 @@ func (vm *VM) runFast(code *Code, fr *frame, pc int) (val obj.Value, err error) 
 			}
 		case opLoadEArith:
 			f := in.Fused
-			o := fr.regs[in.A].Obj
+			o := fr.regs[in.A].Obj()
 			if o == nil {
 				vm.uncharge(st, f)
 				return obj.Nil(), errElemNonObject(code, "load")
 			}
-			i := fr.regs[in.B].I
+			i := fr.regs[in.B].I()
 			if i < 0 || i >= int64(len(o.Elems)) {
 				vm.uncharge(st, f)
 				return obj.Nil(), errElemOOB(code, "load", i, len(o.Elems))
@@ -830,39 +852,45 @@ func (vm *VM) runTraced(code *Code, fr *frame, pc int) (val obj.Value, err error
 		case ir.Move:
 			fr.regs[in.Dst] = fr.regs[in.A]
 		case ir.LoadF:
-			o := fr.regs[in.A].Obj
+			o := fr.regs[in.A].Obj()
 			if o == nil || in.Index >= len(o.Fields) {
 				return obj.Nil(), errBadField(code, "access")
 			}
 			fr.regs[in.Dst] = o.Fields[in.Index]
 		case ir.StoreF:
-			o := fr.regs[in.A].Obj
+			o := fr.regs[in.A].Obj()
 			if o == nil || in.Index >= len(o.Fields) {
 				return obj.Nil(), errBadField(code, "store")
 			}
 			o.Fields[in.Index] = fr.regs[in.B]
+			if o.Ep != vm.curEp {
+				vm.escapeCheck(fr.regs[in.B])
+			}
 		case ir.LoadE:
-			o := fr.regs[in.A].Obj
+			o := fr.regs[in.A].Obj()
 			if o == nil {
 				return obj.Nil(), errElemNonObject(code, "load")
 			}
-			i := fr.regs[in.B].I
+			i := fr.regs[in.B].I()
 			if i < 0 || i >= int64(len(o.Elems)) {
 				return obj.Nil(), errElemOOB(code, "load", i, len(o.Elems))
 			}
 			fr.regs[in.Dst] = o.Elems[i]
 		case ir.StoreE:
-			o := fr.regs[in.A].Obj
+			o := fr.regs[in.A].Obj()
 			if o == nil {
 				return obj.Nil(), errElemNonObject(code, "store")
 			}
-			i := fr.regs[in.B].I
+			i := fr.regs[in.B].I()
 			if i < 0 || i >= int64(len(o.Elems)) {
 				return obj.Nil(), errElemOOB(code, "store", i, len(o.Elems))
 			}
 			o.Elems[i] = fr.regs[in.C]
+			if o.Ep != vm.curEp {
+				vm.escapeCheck(fr.regs[in.C])
+			}
 		case ir.VecLen:
-			o := fr.regs[in.A].Obj
+			o := fr.regs[in.A].Obj()
 			if o == nil {
 				return obj.Nil(), &RuntimeError{Msg: "vecLen of non-vector"}
 			}
@@ -872,7 +900,9 @@ func (vm *VM) runTraced(code *Code, fr *frame, pc int) (val obj.Value, err error
 				return obj.Nil(), verr
 			}
 		case ir.CloneOp:
-			vm.makeClone(st, fr, in)
+			if cerr := vm.makeClone(st, fr, in); cerr != nil {
+				return obj.Nil(), cerr
+			}
 		case ir.Arith:
 			br, aerr := arithVal(st, in, fr)
 			if aerr != nil {
@@ -969,7 +999,7 @@ func (vm *VM) runTraced(code *Code, fr *frame, pc int) (val obj.Value, err error
 			}
 		case opLoadFArith:
 			f := in.Fused
-			o := fr.regs[in.A].Obj
+			o := fr.regs[in.A].Obj()
 			if o == nil || in.Index >= len(o.Fields) {
 				vm.uncharge(st, f)
 				return obj.Nil(), errBadField(code, "access")
@@ -985,12 +1015,12 @@ func (vm *VM) runTraced(code *Code, fr *frame, pc int) (val obj.Value, err error
 			}
 		case opLoadEArith:
 			f := in.Fused
-			o := fr.regs[in.A].Obj
+			o := fr.regs[in.A].Obj()
 			if o == nil {
 				vm.uncharge(st, f)
 				return obj.Nil(), errElemNonObject(code, "load")
 			}
-			i := fr.regs[in.B].I
+			i := fr.regs[in.B].I()
 			if i < 0 || i >= int64(len(o.Elems)) {
 				vm.uncharge(st, f)
 				return obj.Nil(), errElemOOB(code, "load", i, len(o.Elems))
@@ -1097,7 +1127,7 @@ func (vm *VM) uncharge(st *RunStats, sub *Instr) {
 // checked div/mod by zero branches away before the overflow check runs,
 // exactly as in the unfused interpreter.
 func arithVal(st *RunStats, in *Instr, fr *frame) (branchF bool, err error) {
-	a, b := fr.regs[in.A].I, fr.regs[in.B].I
+	a, b := fr.regs[in.A].I(), fr.regs[in.B].I()
 	var v int64
 	switch in.AOp {
 	case ir.Add:
@@ -1142,13 +1172,13 @@ func arithVal(st *RunStats, in *Instr, fr *frame) (branchF bool, err error) {
 func cmpTaken(op ir.CmpKind, a, b obj.Value) bool {
 	switch op {
 	case ir.LT:
-		return a.I < b.I
+		return a.I() < b.I()
 	case ir.LE:
-		return a.I <= b.I
+		return a.I() <= b.I()
 	case ir.GT:
-		return a.I > b.I
+		return a.I() > b.I()
 	case ir.GE:
-		return a.I >= b.I
+		return a.I() >= b.I()
 	case ir.EQ:
 		return a.Eq(b)
 	case ir.NE:
@@ -1157,12 +1187,72 @@ func cmpTaken(op ir.CmpKind, a, b obj.Value) bool {
 	return false
 }
 
+// chargeBytes charges the modelled bytes of an n-Value storage
+// allocation and enforces Budget.MaxBytes at the allocation site —
+// before the storage exists. This is what turns the old `_NewVec:
+// 5e8` hole into policy: a hostile size faults with the OutOfFuel
+// taxonomy here instead of asking the Go runtime for gigabytes and
+// letting the poll notice one alloc too late. The charge lands even
+// when the check faults, mirroring how Instrs keeps counting past
+// MaxInstrs until the poll fires.
+func (vm *VM) chargeBytes(st *RunStats, nvals int64) error {
+	st.AllocBytes += nvals * obj.ValueBytes
+	if b := vm.Budget.MaxBytes; b > 0 && st.AllocBytes-vm.bytesStart > b {
+		return &RuntimeError{Kind: KindOutOfFuel,
+			Msg: fmt.Sprintf("out of fuel: byte budget %d exhausted (allocation of %d bytes)",
+				b, nvals*obj.ValueBytes)}
+	}
+	return nil
+}
+
+// newVector allocates vector storage through the arena when one is
+// attached, else from the Go heap.
+func (vm *VM) newVector(n int, fill obj.Value) *obj.Object {
+	if vm.Arena != nil {
+		return vm.Arena.NewVector(vm.World.VecMap, n, fill)
+	}
+	return vm.World.NewVector(n, fill)
+}
+
+// cloneObject allocates a shallow copy through the arena when one is
+// attached, else from the Go heap.
+func (vm *VM) cloneObject(src *obj.Object) *obj.Object {
+	if vm.Arena != nil {
+		return vm.Arena.Clone(src)
+	}
+	return src.Clone()
+}
+
+// escapeCheck is the slow half of the store barrier: a value was just
+// written into an object from a different epoch (the world, or an
+// earlier abandoned epoch), so if the value is bound to the current
+// arena epoch it can now outlive it — mark the epoch escaped, and the
+// next Arena.Reset will abandon its chunks to the GC instead of
+// recycling them. Blocks are conservative: a closure's UpLocals alias
+// frame slots that stay writable after the store, so any block
+// crossing an epoch boundary escapes the epoch. The fast half is the
+// inlined `o.Ep != vm.curEp` compare at each store site.
+func (vm *VM) escapeCheck(v obj.Value) {
+	if vm.curEp == 0 {
+		return // no arena this run; everything is permanent
+	}
+	switch v.K() {
+	case obj.KObj:
+		if v.Obj().Ep != 0 {
+			vm.Arena.MarkEscaped()
+		}
+	case obj.KBlock:
+		vm.Arena.MarkEscaped()
+	}
+}
+
 // makeVector executes NewVec: the base cost is precharged via
 // Instr.Cost, the size-dependent fill cost is charged here. On the
-// negative-size fault the base is uncharged — the unfused interpreter
-// faulted before charging anything for this instruction.
+// negative-size fault and on a byte-budget fault the base is
+// uncharged — the unfused interpreter faulted before charging
+// anything for this instruction, and no storage was allocated.
 func (vm *VM) makeVector(st *RunStats, fr *frame, in *Instr) error {
-	n := fr.regs[in.A].I
+	n := fr.regs[in.A].I()
 	if n < 0 {
 		// Reachable when the compiler's size guard was removed
 		// (StaticIdeal); without this check make([]Value, n) would
@@ -1170,27 +1260,38 @@ func (vm *VM) makeVector(st *RunStats, fr *frame, in *Instr) error {
 		st.Cycles -= CostNewVecBase
 		return &RuntimeError{Msg: "negative vector size on unchecked path"}
 	}
+	if berr := vm.chargeBytes(st, n); berr != nil {
+		st.Cycles -= CostNewVecBase
+		return berr
+	}
 	st.Cycles += n >> NewVecFillShift
 	st.Allocs++
 	fill := obj.Nil()
 	if in.B != ir.NoReg {
 		fill = fr.regs[in.B]
 	}
-	fr.regs[in.Dst] = obj.Obj(vm.World.NewVector(int(n), fill))
+	fr.regs[in.Dst] = obj.Obj(vm.newVector(int(n), fill))
 	return nil
 }
 
 // makeClone executes CloneOp; the base cost is precharged, the
-// per-field copy cost is charged here.
-func (vm *VM) makeClone(st *RunStats, fr *frame, in *Instr) {
+// per-field copy cost is charged here. A byte-budget fault uncharges
+// the base, exactly like makeVector.
+func (vm *VM) makeClone(st *RunStats, fr *frame, in *Instr) error {
 	src := fr.regs[in.A]
-	if src.K != obj.KObj {
+	if src.K() != obj.KObj {
 		fr.regs[in.Dst] = src // immediates clone to themselves
-		return
+		return nil
 	}
-	st.Cycles += int64(len(src.Obj.Fields)+len(src.Obj.Elems)) * CostClonePerField
+	so := src.Obj()
+	if berr := vm.chargeBytes(st, int64(len(so.Fields)+len(so.Elems))); berr != nil {
+		st.Cycles -= CostCloneBase
+		return berr
+	}
+	st.Cycles += int64(len(so.Fields)+len(so.Elems)) * CostClonePerField
 	st.Allocs++
-	fr.regs[in.Dst] = obj.Obj(src.Obj.Clone())
+	fr.regs[in.Dst] = obj.Obj(vm.cloneObject(so))
+	return nil
 }
 
 // makeBlock executes MkBlk. Closure creation pins the frame: captured
@@ -1286,10 +1387,10 @@ func (vm *VM) execSend(in *Instr, fr *frame, code *Code) (obj.Value, error) {
 	args := vm.argVals(in.Args[1:], fr)
 
 	// Blocks answer the value protocol directly.
-	if recv.K == obj.KBlock && strings.HasPrefix(in.Sel, "value") {
+	if recv.K() == obj.KBlock && strings.HasPrefix(in.Sel, "value") {
 		st.Cycles += CostBlockValue
 		st.BlockValues++
-		return vm.invokeClosure(recv.Blk, args)
+		return vm.invokeClosure(recv.Blk(), args)
 	}
 
 	if in.Direct {
@@ -1346,7 +1447,7 @@ func (vm *VM) execSend(in *Instr, fr *frame, code *Code) (obj.Value, error) {
 	case obj.DataSlot:
 		target := holder
 		if target == nil {
-			target = recv.Obj
+			target = recv.Obj()
 		}
 		if target == nil {
 			return obj.Nil(), &RuntimeError{Msg: "data slot on immediate"}
@@ -1355,12 +1456,15 @@ func (vm *VM) execSend(in *Instr, fr *frame, code *Code) (obj.Value, error) {
 	case obj.AssignSlot:
 		target := holder
 		if target == nil {
-			target = recv.Obj
+			target = recv.Obj()
 		}
 		if target == nil {
 			return obj.Nil(), &RuntimeError{Msg: "assignment on immediate"}
 		}
 		target.Fields[slot.Index] = args[0]
+		if target.Ep != vm.curEp {
+			vm.escapeCheck(args[0])
+		}
 		return args[0], nil
 	case obj.MethodSlot:
 		callee, err := vm.CodeFor(slot.Meth, m)
@@ -1411,21 +1515,21 @@ func (vm *VM) execPrim(in *Instr, fr *frame) (obj.Value, error) {
 	fail := func(why string) (obj.Value, error) {
 		if in.FailBlk != ir.NoReg {
 			fb := fr.regs[in.FailBlk]
-			if fb.K == obj.KBlock {
-				return vm.invokeClosure(fb.Blk, nil)
+			if fb.K() == obj.KBlock {
+				return vm.invokeClosure(fb.Blk(), nil)
 			}
 		}
 		return obj.Nil(), &RuntimeError{Kind: KindPrimitiveFailed,
 			Msg: fmt.Sprintf("primitive %s failed: %s", in.Sel, why)}
 	}
-	wantInt := func(v obj.Value) bool { return v.K == obj.KInt }
+	wantInt := func(v obj.Value) bool { return v.K() == obj.KInt }
 	switch in.Sel {
 	case "_IntAdd:", "_IntSub:", "_IntMul:", "_IntDiv:", "_IntMod:",
 		"_IntAnd:", "_IntOr:", "_IntXor:":
 		if !wantInt(recv) || len(args) != 1 || !wantInt(args[0]) {
 			return fail("not an integer")
 		}
-		a, b := recv.I, args[0].I
+		a, b := recv.I(), args[0].I()
 		var v int64
 		switch in.Sel {
 		case "_IntAdd:":
@@ -1459,7 +1563,7 @@ func (vm *VM) execPrim(in *Instr, fr *frame) (obj.Value, error) {
 		if !wantInt(recv) || len(args) != 1 || !wantInt(args[0]) {
 			return fail("not an integer")
 		}
-		a, b := recv.I, args[0].I
+		a, b := recv.I(), args[0].I()
 		var r bool
 		switch in.Sel {
 		case "_IntLT:":
@@ -1479,47 +1583,60 @@ func (vm *VM) execPrim(in *Instr, fr *frame) (obj.Value, error) {
 	case "_Eq:":
 		return vm.World.Bool(recv.Eq(args[0])), nil
 	case "_At:":
-		o := recv.Obj
-		if recv.K != obj.KObj || !o.Map.Indexable || len(args) != 1 || !wantInt(args[0]) {
+		o := recv.Obj()
+		if recv.K() != obj.KObj || !o.Map.Indexable || len(args) != 1 || !wantInt(args[0]) {
 			return fail("bad receiver or index")
 		}
-		i := args[0].I
+		i := args[0].I()
 		if i < 0 || i >= int64(len(o.Elems)) {
 			return fail("index out of bounds")
 		}
 		return o.Elems[i], nil
 	case "_At:Put:":
-		o := recv.Obj
-		if recv.K != obj.KObj || !o.Map.Indexable || len(args) != 2 || !wantInt(args[0]) {
+		o := recv.Obj()
+		if recv.K() != obj.KObj || !o.Map.Indexable || len(args) != 2 || !wantInt(args[0]) {
 			return fail("bad receiver or index")
 		}
-		i := args[0].I
+		i := args[0].I()
 		if i < 0 || i >= int64(len(o.Elems)) {
 			return fail("index out of bounds")
 		}
 		o.Elems[i] = args[1]
+		if o.Ep != vm.curEp {
+			vm.escapeCheck(args[1])
+		}
 		return args[1], nil
 	case "_Size":
-		if recv.K != obj.KObj || !recv.Obj.Map.Indexable {
+		if recv.K() != obj.KObj || !recv.Obj().Map.Indexable {
 			return fail("not a vector")
 		}
-		return obj.Int(int64(len(recv.Obj.Elems))), nil
+		return obj.Int(int64(len(recv.Obj().Elems))), nil
 	case "_NewVec:", "_NewVec:Fill:":
-		if len(args) < 1 || !wantInt(args[0]) || args[0].I < 0 {
+		if len(args) < 1 || !wantInt(args[0]) || args[0].I() < 0 {
 			return fail("bad size")
 		}
 		fill := obj.Nil()
 		if len(args) > 1 {
 			fill = args[1]
 		}
-		st.Allocs++
-		return obj.Obj(vm.World.NewVector(int(args[0].I), fill)), nil
-	case "_Clone":
-		if recv.K != obj.KObj {
-			return recv, nil
+		// The byte-budget fault is a real OutOfFuel error, not a
+		// primitive failure: a guest's _IfFail: block must not be able
+		// to swallow resource exhaustion.
+		if berr := vm.chargeBytes(st, args[0].I()); berr != nil {
+			return obj.Nil(), berr
 		}
 		st.Allocs++
-		return obj.Obj(recv.Obj.Clone()), nil
+		return obj.Obj(vm.newVector(int(args[0].I()), fill)), nil
+	case "_Clone":
+		if recv.K() != obj.KObj {
+			return recv, nil
+		}
+		ro := recv.Obj()
+		if berr := vm.chargeBytes(st, int64(len(ro.Fields)+len(ro.Elems))); berr != nil {
+			return obj.Nil(), berr
+		}
+		st.Allocs++
+		return obj.Obj(vm.cloneObject(ro)), nil
 	case "_Print":
 		fmt.Fprint(vm.Out, recv.String())
 		return recv, nil

@@ -110,8 +110,8 @@ func TestDeadCodeEliminated(t *testing.T) {
 	h := newHarness(t, core.NewSELF, `go = ( | x <- 0 | (x < 1) ifTrue: [ 7 ] False: [ 8 ] ).`)
 	code := h.codeFor(t, "go")
 	for _, in := range code.Instrs {
-		if in.Op == ir.Const && in.Val.K == obj.KObj {
-			if in.Val.Obj == h.w.TrueObj || in.Val.Obj == h.w.FalseObj {
+		if in.Op == ir.Const && in.Val.K() == obj.KObj {
+			if in.Val.Obj() == h.w.TrueObj || in.Val.Obj() == h.w.FalseObj {
 				t.Errorf("dead boolean constant survived:\n%s", code.Disasm())
 			}
 		}

@@ -23,7 +23,10 @@ import (
 type Budget struct {
 	MaxInstrs int64 `json:"max_instrs,omitempty"`
 	MaxAllocs int64 `json:"max_allocs,omitempty"`
-	MaxDepth  int   `json:"max_depth,omitempty"`
+	// MaxBytes bounds modelled vector/clone storage bytes; see
+	// vm.Budget.MaxBytes.
+	MaxBytes int64 `json:"max_bytes,omitempty"`
+	MaxDepth int   `json:"max_depth,omitempty"`
 	// PollEvery tightens the cooperative budget/cancellation poll
 	// stride for this request (see vm.Budget.PollEvery).
 	PollEvery int64 `json:"poll_every,omitempty"`
@@ -194,7 +197,7 @@ func validateBudget(b *Budget) error {
 	if b == nil {
 		return nil
 	}
-	if b.MaxInstrs < 0 || b.MaxAllocs < 0 || b.MaxDepth < 0 || b.PollEvery < 0 {
+	if b.MaxInstrs < 0 || b.MaxAllocs < 0 || b.MaxBytes < 0 || b.MaxDepth < 0 || b.PollEvery < 0 {
 		return badRequest("budget fields must be >= 0")
 	}
 	return nil
@@ -248,6 +251,7 @@ type RunStatsJSON struct {
 	BoundsChecks int64 `json:"bounds_checks"`
 	BlockValues  int64 `json:"block_values"`
 	Allocs       int64 `json:"allocs"`
+	AllocBytes   int64 `json:"alloc_bytes"`
 	MaxDepth     int   `json:"max_depth"`
 	Promotions   int64 `json:"promotions"`
 	Harvests     int64 `json:"harvests"`
@@ -260,7 +264,7 @@ func NewRunStats(st vm.RunStats) *RunStatsJSON {
 		ICHits: st.ICHits, ICMisses: st.ICMisses, Calls: st.Calls,
 		TypeTests: st.TypeTests, OvflChecks: st.OvflChecks,
 		BoundsChecks: st.BoundsChecks, BlockValues: st.BlockValues,
-		Allocs: st.Allocs, MaxDepth: st.MaxDepth,
+		Allocs: st.Allocs, AllocBytes: st.AllocBytes, MaxDepth: st.MaxDepth,
 		Promotions: st.Promotions, Harvests: st.Harvests,
 	}
 }
@@ -332,7 +336,7 @@ type Result struct {
 func NewResult(v obj.Value, run vm.RunStats, comp vm.CompileRecord, compileTime time.Duration) *Result {
 	return &Result{
 		Value:         v.String(),
-		Int:           v.I,
+		Int:           v.I(),
 		Run:           NewRunStats(run),
 		Compile:       NewCompile(comp),
 		CompileTimeMS: float64(compileTime) / float64(time.Millisecond),

@@ -55,8 +55,8 @@ func TestNativeVsInterpBenchmarks(t *testing.T) {
 				if err != nil {
 					t.Fatalf("%s native: %v", b.Name, err)
 				}
-				if interp.Value != native.Value.I {
-					t.Errorf("%s: value interp=%d native=%d", b.Name, interp.Value, native.Value.I)
+				if interp.Value != native.Value.I() {
+					t.Errorf("%s: value interp=%d native=%d", b.Name, interp.Value, native.Value.I())
 				}
 				if interp.Run != native.Run {
 					t.Errorf("%s: RunStats diverged:\ninterp: %+v\nnative: %+v", b.Name, interp.Run, native.Run)
@@ -146,8 +146,8 @@ func TestConcurrentSecondRungPromotion(t *testing.T) {
 					errs[i] = err
 					return
 				}
-				if res.Value.I != b.Expect {
-					errs[i] = fmt.Errorf("lap %d computed %d, want %d", lap, res.Value.I, b.Expect)
+				if res.Value.I() != b.Expect {
+					errs[i] = fmt.Errorf("lap %d computed %d, want %d", lap, res.Value.I(), b.Expect)
 					return
 				}
 			}
@@ -201,8 +201,8 @@ func TestConcurrentSecondRungPromotion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Value.I != b.Expect {
-		t.Errorf("steady lap on native code computed %d, want %d", res.Value.I, b.Expect)
+	if res.Value.I() != b.Expect {
+		t.Errorf("steady lap on native code computed %d, want %d", res.Value.I(), b.Expect)
 	}
 }
 

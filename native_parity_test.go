@@ -83,8 +83,8 @@ func TestNativeConformanceBitIdentical(t *testing.T) {
 				if err != nil {
 					t.Fatalf("[%s] native: %v", cfg.Name, err)
 				}
-				if ires.Value.I != nres.Value.I {
-					t.Errorf("[%s] value interp=%d native=%d", cfg.Name, ires.Value.I, nres.Value.I)
+				if ires.Value.I() != nres.Value.I() {
+					t.Errorf("[%s] value interp=%d native=%d", cfg.Name, ires.Value.I(), nres.Value.I())
 				}
 				if ires.Run != nres.Run {
 					t.Errorf("[%s] RunStats diverged:\ninterp: %+v\nnative: %+v", cfg.Name, ires.Run, nres.Run)
@@ -190,8 +190,8 @@ run = ( make. stash value ).
 			if ierr == nil {
 				// Both took the failure path to a value (overflow):
 				// pin value and stats parity across that branch.
-				if ires.Value.I != nres.Value.I {
-					t.Errorf("value interp=%d native=%d", ires.Value.I, nres.Value.I)
+				if ires.Value.I() != nres.Value.I() {
+					t.Errorf("value interp=%d native=%d", ires.Value.I(), nres.Value.I())
 				}
 				if istats != nstats {
 					t.Errorf("stats diverged:\ninterp: %+v\nnative: %+v", istats, nstats)
@@ -319,8 +319,8 @@ func TestNativeInvalidationParity(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if ires.Value.I != nres.Value.I {
-			t.Errorf("round %d: value interp=%d native=%d", round, ires.Value.I, nres.Value.I)
+		if ires.Value.I() != nres.Value.I() {
+			t.Errorf("round %d: value interp=%d native=%d", round, ires.Value.I(), nres.Value.I())
 		}
 		if ires.Run != nres.Run {
 			t.Errorf("round %d: RunStats diverged:\ninterp: %+v\nnative: %+v", round, ires.Run, nres.Run)

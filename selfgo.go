@@ -448,6 +448,7 @@ func (s *System) newVM() *vm.VM {
 		MissHandlers: cfg.CallSiteICMissHandlers,
 		PICs:         cfg.PolymorphicInlineCaches,
 		Shared:       s.shared,
+		Arena:        obj.NewArena(),
 	}
 	m.CompileMethod = func(meth *obj.Method, rmap *obj.Map) (*vm.Code, error) {
 		c, err := s.compileMethodAt(s.firstTier(), meth, rmap, nil)
@@ -552,6 +553,40 @@ func (s *System) Fork() (*System, error) {
 // RuntimeError of KindOutOfFuel (instructions, allocations) or
 // KindStackOverflow (depth).
 func (s *System) SetBudget(b Budget) { s.machine.Budget = b }
+
+// ResetArena ends the VM's current arena epoch, recycling (or, when a
+// value escaped to the world, abandoning to the GC) the chunks that
+// backed this epoch's vectors and clones. Callers mark request
+// boundaries with it — the serving layer resets when a pooled System
+// returns to the pool, the bench harness between iterations. Must not
+// be called while a Call/Eval is running on this system, and values
+// returned by earlier calls must not be used afterwards unless they
+// escaped to the world (which promotes them).
+func (s *System) ResetArena() { s.machine.Arena.Reset() }
+
+// ArenaStats reports the arena's lifecycle counters: epochs recycled
+// cleanly and epochs abandoned to the GC because a value escaped.
+func (s *System) ArenaStats() (resets, abandons int64) {
+	return s.machine.Arena.Resets, s.machine.Arena.Abandons
+}
+
+// MarkEscaped pins v across the next ResetArena: a caller that holds a
+// returned Value past the reset (the serving layer encodes results
+// after the worker goes back to the pool) calls this first, so the
+// arena abandons the epoch's chunks to the GC instead of recycling
+// them. Immediates (ints, strings, nil) reference no arena storage and
+// are free to hold forever; blocks are pinned unconditionally because
+// their captured frames may alias arena values.
+func (s *System) MarkEscaped(v Value) {
+	switch v.K() {
+	case obj.KObj:
+		if o := v.Obj(); o != nil && o.Ep != 0 {
+			s.machine.Arena.MarkEscaped()
+		}
+	case obj.KBlock:
+		s.machine.Arena.MarkEscaped()
+	}
+}
 
 // CacheStats snapshots the shared code cache's summed counters; ok is
 // false for a private (non-shared) system.

@@ -25,7 +25,7 @@ func callInt(t *testing.T, sys *System, sel string, args ...Value) int64 {
 	if err != nil {
 		t.Fatalf("Call(%s): %v", sel, err)
 	}
-	return res.Value.I
+	return res.Value.I()
 }
 
 // TestLanguageFeatures exercises the language surface under every
@@ -165,7 +165,7 @@ func TestEval(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Value.I != 20 {
+	if res.Value.I() != 20 {
 		t.Errorf("Eval = %v, want 20", res.Value)
 	}
 }
@@ -280,8 +280,8 @@ func TestEvalProgramInterning(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if res.Value.I != 1225 {
-				t.Fatalf("value = %d, want 1225", res.Value.I)
+			if res.Value.I() != 1225 {
+				t.Fatalf("value = %d, want 1225", res.Value.I())
 			}
 		}
 	}
@@ -310,7 +310,7 @@ func TestEvalProgramInterning(t *testing.T) {
 	}
 	// And the program still runs afterwards (recompiles).
 	res, err := w.EvalProgramCtx(context.Background(), p)
-	if err != nil || res.Value.I != 1225 {
+	if err != nil || res.Value.I() != 1225 {
 		t.Fatalf("rerun after drop: %v, %v", res, err)
 	}
 }

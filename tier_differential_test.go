@@ -96,7 +96,7 @@ func legacyRun(t *testing.T, b bench.Benchmark, cfg selfgo.Config) *legacyMeasur
 		t.Fatalf("%s under %s (legacy): %v", b.Name, cfg.Name, err)
 	}
 	return &legacyMeasurement{
-		Value:     v.I,
+		Value:     v.I(),
 		Run:       m.Stats,
 		Methods:   m.Compile.Methods,
 		CodeBytes: m.Compile.CodeBytes,
@@ -133,8 +133,8 @@ func TestTierOptBitIdentical(t *testing.T) {
 				if err != nil {
 					t.Fatalf("%s: %v", label, err)
 				}
-				if res.Value.I != want.Value {
-					t.Errorf("%s: value = %d, legacy = %d", label, res.Value.I, want.Value)
+				if res.Value.I() != want.Value {
+					t.Errorf("%s: value = %d, legacy = %d", label, res.Value.I(), want.Value)
 				}
 				if !reflect.DeepEqual(res.Run, want.Run) {
 					t.Errorf("%s: RunStats diverge from legacy:\n got %+v\nwant %+v", label, res.Run, want.Run)
@@ -199,11 +199,11 @@ func assertAdaptivePromotes(t *testing.T, name string) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if first.Value.I != steady.Value.I {
-		t.Fatalf("value changed across promotion: %d -> %d", first.Value.I, steady.Value.I)
+	if first.Value.I() != steady.Value.I() {
+		t.Fatalf("value changed across promotion: %d -> %d", first.Value.I(), steady.Value.I())
 	}
-	if b.HasExpect && steady.Value.I != b.Expect {
-		t.Fatalf("steady value = %d, want %d", steady.Value.I, b.Expect)
+	if b.HasExpect && steady.Value.I() != b.Expect {
+		t.Fatalf("steady value = %d, want %d", steady.Value.I(), b.Expect)
 	}
 	ps := sys.PromotionStats()
 	if ps.Installed < 1 {
@@ -302,7 +302,7 @@ func TestConcurrentAdaptivePromotion(t *testing.T) {
 				errs[i] = err
 				return
 			}
-			values[i] = res.Value.I
+			values[i] = res.Value.I()
 		}()
 	}
 	wg.Wait()
@@ -364,8 +364,8 @@ func TestConcurrentAdaptivePromotion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Value.I != b.Expect {
-		t.Errorf("steady value = %d, want %d", res.Value.I, b.Expect)
+	if res.Value.I() != b.Expect {
+		t.Errorf("steady value = %d, want %d", res.Value.I(), b.Expect)
 	}
 	root.DrainPromotions()
 	if after := root.PromotionStats(); after.Installed < ps.Installed {
