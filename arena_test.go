@@ -139,6 +139,77 @@ func TestAllocChargingDifferential(t *testing.T) {
 	}
 }
 
+// TestCrossWorkerEpochIdentity: epoch numbers must identify their
+// arena globally, not just sequence within one arena. Two forked
+// workers share one world; worker A publishes an arena vector into the
+// world (escape, abandoned on A's reset), then worker B stores a fresh
+// arena-B vector into that escaped object. B's store barrier compares
+// raw epoch numbers — with per-arena counters both workers can sit at
+// the same number, the store looks intra-epoch, no escape is recorded,
+// and B's clean reset recycles the chunk under a world-reachable
+// value. Globally-unique epochs make the barrier fire: B's epoch must
+// be abandoned and the published value stay intact.
+func TestCrossWorkerEpochIdentity(t *testing.T) {
+	root, err := selfgo.NewSharedSystem(selfgo.NewSELF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := `
+		keep <- 0.
+		stash = ( keep: (vector copySize: 4 FillWith: 9). 0 ).
+		poke = ( keep at: 0 Put: (vector copySize: 4 FillWith: 6). 0 ).
+		churn: n = ( | v | v: vector copySize: n FillWith: 1. v at: 0 ).
+		read = ( (keep at: 0) at: 2 ).
+	`
+	if err := root.LoadSource(src); err != nil {
+		t.Fatal(err)
+	}
+	a, err := root.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := root.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Worker A: escape a vector to the shared world, then reset. Both
+	// workers' arenas have now each seen exactly one reset-relevant
+	// event; with per-arena epoch counters their numbers would collide.
+	if _, err := a.Call("stash"); err != nil {
+		t.Fatal(err)
+	}
+	a.ResetArena()
+	if _, ab := a.ArenaStats(); ab != 1 {
+		t.Fatalf("worker A abandons = %d, want 1 (world escape)", ab)
+	}
+
+	// Worker B: store a fresh arena-B vector into A's escaped vector.
+	// The target's epoch differs from B's, so the barrier must record
+	// the escape of B's current epoch.
+	if _, err := b.Call("poke"); err != nil {
+		t.Fatal(err)
+	}
+	b.ResetArena()
+	if _, ab := b.ArenaStats(); ab != 1 {
+		t.Fatalf("worker B abandons = %d, want 1 (cross-arena store must escape)", ab)
+	}
+
+	// Hammer B's arena through fresh epochs so a wrongly-recycled chunk
+	// would be rewritten, then read the published value back through
+	// the world: it must be unclobbered.
+	for i := 0; i < 8; i++ {
+		if _, err := b.Call("churn:", selfgo.IntValue(200)); err != nil {
+			t.Fatal(err)
+		}
+		b.ResetArena()
+	}
+	res, err := b.Call("read")
+	if err != nil || res.Value.I() != 6 {
+		t.Fatalf("read = (%v, %v), want 6 (cross-worker published vector corrupted)", res, err)
+	}
+}
+
 // TestArenaLifecycle exercises the per-VM arena across epochs: clean
 // runs recycle their chunks, values that escape to the world (or are
 // pinned by the embedder) survive the reset because the dirty epoch is

@@ -1,5 +1,7 @@
 package obj
 
+import "sync/atomic"
+
 // Arena is a per-VM bump allocator for request-lifetime object
 // storage: vector elements, clone fields and the Object headers
 // themselves come out of recycled chunks instead of individual Go
@@ -11,7 +13,13 @@ package obj
 // chunk would be rewritten under it. Epoch 0 is the permanent Go heap
 // (everything created at world-load time); each Object carries the
 // epoch it was allocated in, and the VM's store barrier watches every
-// write into object storage. When a current-epoch object or a block
+// write into object storage. Epoch numbers are allocated from one
+// process-wide counter, so an epoch identifies its arena globally:
+// forked workers sharing a world can never be at the same epoch, and a
+// store from worker B into an object that escaped worker A's arena
+// always trips B's barrier (with per-arena counters both workers would
+// typically sit at the same small epoch number and the barrier would
+// see a false "same epoch" match). When a current-epoch object or a block
 // is stored into an object from any *other* epoch — the world, or a
 // previous epoch that itself escaped — the value may be reachable
 // after Reset, and the barrier promotes the whole epoch: MarkEscaped
@@ -55,9 +63,28 @@ const (
 	arenaMaxFree     = 16   // recycled chunks kept across epochs
 )
 
-// NewArena returns an empty arena at epoch 1 (epoch 0 is reserved for
-// the permanent heap).
-func NewArena() *Arena { return &Arena{epoch: 1} }
+// epochCounter hands out epoch numbers process-wide. Epochs are
+// identity, not just sequence: the store barrier's `o.Ep != curEp`
+// compare is only sound if no two live arenas ever share an epoch
+// number, so every arena draws from this one counter.
+var epochCounter atomic.Uint32
+
+// nextEpoch returns a fresh process-unique epoch, never 0 (0 is the
+// permanent heap). uint32 wrap after 4G epochs is tolerated: a stale
+// collision would need an abandoned object *and* a live arena exactly
+// 2^32 epochs apart, and the failure mode is a missed escape on a
+// barrier that already fires only on cross-epoch stores.
+func nextEpoch() uint32 {
+	for {
+		if e := epochCounter.Add(1); e != 0 {
+			return e
+		}
+	}
+}
+
+// NewArena returns an empty arena at a fresh process-unique epoch
+// (epoch 0 is reserved for the permanent heap).
+func NewArena() *Arena { return &Arena{epoch: nextEpoch()} }
 
 // Epoch returns the current epoch. Never 0.
 func (a *Arena) Epoch() uint32 {
@@ -114,10 +141,7 @@ func (a *Arena) Reset() {
 	a.cur, a.used = nil, 0
 	a.objCur, a.objUsed = nil, 0
 	a.dirty = false
-	a.epoch++
-	if a.epoch == 0 { // uint32 wrap: 0 means permanent, skip it
-		a.epoch = 1
-	}
+	a.epoch = nextEpoch()
 }
 
 // allocValues returns a zeroed n-slot Value array from the current
@@ -140,6 +164,14 @@ func (a *Arena) allocValues(n int) []Value {
 }
 
 func (a *Arena) newValueChunk() {
+	// Once the per-epoch tracking cap is hit, further chunks are loose
+	// heap memory that Reset never sees — consuming the free list for
+	// them would permanently drain the recycled pool, so untracked
+	// chunks always come fresh from the heap.
+	if len(a.chunks) >= arenaMaxTracked {
+		a.cur, a.used = make([]Value, arenaChunkValues), 0
+		return
+	}
 	var c []Value
 	if k := len(a.free); k > 0 {
 		c = a.free[k-1]
@@ -147,9 +179,7 @@ func (a *Arena) newValueChunk() {
 	} else {
 		c = make([]Value, arenaChunkValues)
 	}
-	if len(a.chunks) < arenaMaxTracked {
-		a.chunks = append(a.chunks, c)
-	}
+	a.chunks = append(a.chunks, c)
 	a.cur, a.used = c, 0
 }
 
@@ -157,17 +187,21 @@ func (a *Arena) newValueChunk() {
 // epoch.
 func (a *Arena) allocObject() *Object {
 	if a.objUsed >= len(a.objCur) {
-		var c []Object
-		if k := len(a.objFree); k > 0 {
-			c = a.objFree[k-1]
-			a.objFree = a.objFree[:k-1]
+		if len(a.objChunks) >= arenaMaxTracked {
+			// Same rule as newValueChunk: untracked chunks must not
+			// drain the recycled free list.
+			a.objCur, a.objUsed = make([]Object, arenaChunkObjs), 0
 		} else {
-			c = make([]Object, arenaChunkObjs)
-		}
-		if len(a.objChunks) < arenaMaxTracked {
+			var c []Object
+			if k := len(a.objFree); k > 0 {
+				c = a.objFree[k-1]
+				a.objFree = a.objFree[:k-1]
+			} else {
+				c = make([]Object, arenaChunkObjs)
+			}
 			a.objChunks = append(a.objChunks, c)
+			a.objCur, a.objUsed = c, 0
 		}
-		a.objCur, a.objUsed = c, 0
 	}
 	o := &a.objCur[a.objUsed]
 	a.objUsed++

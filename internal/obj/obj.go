@@ -76,15 +76,52 @@ type Value struct {
 // intern is the global string-intern table: every KStr Value points at
 // the canonical *string for its contents, so Eq can compare pointers
 // first and value payloads never carry a 16-byte string header.
-var intern sync.Map // string -> *string
+//
+// The table is bounded: guests mint strings (literals in /expr
+// requests, _StrCat results), and an unbounded table would be a host
+// memory-growth vector the bytes budget cannot see. When the entry
+// count reaches internMaxEntries the current generation is dropped and
+// a fresh map started — already-issued pointers stay valid (their
+// Values hold the *string alive), and Eq's content fallback keeps
+// equality correct between strings interned in different generations;
+// only the pointer-compare fast path is lost across the boundary.
+var (
+	internMu  sync.RWMutex
+	internTab = make(map[string]*string)
+)
 
-// Intern returns the canonical pointer for s.
+// internMaxEntries caps one intern generation. 64K distinct strings is
+// far beyond any world load plus steady-state serving traffic, and at
+// that point one generation retains at most a few MB of table.
+const internMaxEntries = 1 << 16
+
+// Intern returns the canonical pointer for s (canonical within the
+// current intern generation; see the table comment).
 func Intern(s string) *string {
-	if p, ok := intern.Load(s); ok {
-		return p.(*string)
+	internMu.RLock()
+	p := internTab[s]
+	internMu.RUnlock()
+	if p != nil {
+		return p
 	}
-	p, _ := intern.LoadOrStore(s, &s)
-	return p.(*string)
+	internMu.Lock()
+	defer internMu.Unlock()
+	if p = internTab[s]; p != nil {
+		return p
+	}
+	if len(internTab) >= internMaxEntries {
+		internTab = make(map[string]*string)
+	}
+	p = &s
+	internTab[s] = p
+	return p
+}
+
+// internLen reports the current generation's entry count (tests).
+func internLen() int {
+	internMu.RLock()
+	defer internMu.RUnlock()
+	return len(internTab)
 }
 
 // Convenience constructors.

@@ -1,6 +1,7 @@
 package obj
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 
@@ -251,5 +252,77 @@ func TestInheritedDataSlotHolder(t *testing.T) {
 	rb := Lookup(bv.Obj().Map, "shared")
 	if got := rb.Holder.Fields[rb.Slot.Index]; !got.Eq(Int(42)) {
 		t.Errorf("shared storage not shared: %v", got)
+	}
+}
+
+// TestArenaEpochsGloballyUnique: epoch numbers are identity for the
+// store barrier's `Ep != curEp` compare, so no two arenas may ever
+// observe the same epoch — including across resets. Per-arena counters
+// (the original bug) would hand every fresh arena epoch 1.
+func TestArenaEpochsGloballyUnique(t *testing.T) {
+	a, b := NewArena(), NewArena()
+	seen := map[uint32]bool{}
+	for i := 0; i < 50; i++ {
+		for _, ar := range []*Arena{a, b} {
+			e := ar.Epoch()
+			if e == 0 {
+				t.Fatal("live arena at reserved epoch 0")
+			}
+			if seen[e] {
+				t.Fatalf("epoch %d observed twice across arenas", e)
+			}
+			seen[e] = true
+			ar.Reset()
+		}
+	}
+}
+
+// TestArenaUntrackedChunksSpareFreeList: once an epoch has hit the
+// tracking cap, further chunks are invisible to Reset — consuming the
+// recycled free list for them would permanently lose those chunks from
+// the pool, silently degrading a busy worker to plain heap allocation.
+func TestArenaUntrackedChunksSpareFreeList(t *testing.T) {
+	a := NewArena()
+	for len(a.chunks) < arenaMaxTracked {
+		a.chunks = append(a.chunks, make([]Value, arenaChunkValues))
+	}
+	a.free = append(a.free, make([]Value, arenaChunkValues))
+	a.cur, a.used = nil, 0
+	a.newValueChunk()
+	if len(a.free) != 1 {
+		t.Fatalf("untracked value chunk consumed the free list (len=%d, want 1)", len(a.free))
+	}
+	if len(a.chunks) != arenaMaxTracked {
+		t.Fatalf("chunk tracked past the cap: %d", len(a.chunks))
+	}
+
+	for len(a.objChunks) < arenaMaxTracked {
+		a.objChunks = append(a.objChunks, make([]Object, arenaChunkObjs))
+	}
+	a.objFree = append(a.objFree, make([]Object, arenaChunkObjs))
+	a.objCur, a.objUsed = nil, 0
+	a.allocObject()
+	if len(a.objFree) != 1 {
+		t.Fatalf("untracked object chunk consumed the free list (len=%d, want 1)", len(a.objFree))
+	}
+}
+
+// TestInternBounded: the intern table must not grow without bound —
+// guests mint strings — and dropping a generation must not break
+// string equality for Values that span the boundary.
+func TestInternBounded(t *testing.T) {
+	before := Str("intern-generation-probe")
+	for i := 0; i < internMaxEntries+16; i++ {
+		Intern(fmt.Sprintf("intern-bound-filler-%d", i))
+	}
+	if n := internLen(); n > internMaxEntries {
+		t.Fatalf("intern table grew past its cap: %d > %d", n, internMaxEntries)
+	}
+	after := Str("intern-generation-probe")
+	if !before.Eq(after) || !after.Eq(before) {
+		t.Fatal("string equality broken across intern generations")
+	}
+	if before.S() != "intern-generation-probe" || after.S() != "intern-generation-probe" {
+		t.Fatalf("string payload corrupted across generations: %q / %q", before.S(), after.S())
 	}
 }
