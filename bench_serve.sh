@@ -1,0 +1,192 @@
+#!/bin/sh
+# bench_serve.sh — the macro serving rail: one recorded trace, three
+# serving topologies, one committed comparison (BENCH_serve.json).
+#
+#   ./bench_serve.sh             # run all three arms, write BENCH_serve.json
+#
+# The trace is K distinct programs interleaved R times at a fixed
+# open-loop arrival rate. Each arm replays the SAME trace against a
+# fresh stack:
+#
+#   single_replica   one selfserved               (the pre-cluster baseline)
+#   router_affinity  3 replicas, selfrouter       (rendezvous-hashed cache keys)
+#   router_random    3 replicas, selfrouter       (-policy random: the control)
+#
+# Alongside throughput and latency quantiles, each arm records how many
+# programs each replica compiled (delta of selfgo_codecache_misses_total
+# across the replay, plus selfserved_exprs_interned_total). The number
+# the rail exists to pin: under affinity routing the FLEET compiles each
+# distinct program exactly once — compiles_total == K — while random
+# routing recompiles the same programs on every replica it scatters them
+# to (>= 2x). The script fails if either bound breaks, so the committed
+# BENCH_serve.json is an asserted artifact, not a screenshot.
+set -eu
+cd "$(dirname "$0")"
+
+K=12       # distinct programs in the trace
+R=30       # repetitions of each program
+DT_US=1200 # open-loop interarrival gap between requests
+SPEED=1    # replay speed multiplier
+
+workdir=$(mktemp -d)
+pids=""
+cleanup() {
+    for p in $pids; do kill "$p" 2>/dev/null || true; done
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$workdir/selfserved" ./cmd/selfserved
+go build -o "$workdir/selfload" ./cmd/selfload
+go build -o "$workdir/selfrouter" ./cmd/selfrouter
+
+# One trace for every arm: K distinct upTo: bounds make K distinct
+# program identities (affinity keys) with near-identical work.
+awk -v K="$K" -v R="$R" -v DT="$DT_US" 'BEGIN{
+    for (r = 0; r < R; r++)
+        for (k = 0; k < K; k++) {
+            dt = (r == 0 && k == 0) ? 0 : DT;
+            printf("{\"dt_us\":%d,\"endpoint\":\"/eval\",\"body\":\"{\\\"expr\\\": \\\"| s <- 0 | 1 upTo: %d Do: [ :i | s: s + i ]. s\\\"}\"}\n", dt, 4000 + k);
+        }
+}' > "$workdir/trace.jsonl"
+total=$((K * R))
+echo "== trace: $K distinct programs x $R reps = $total requests, ${DT_US}us apart"
+
+# boot_replica LOGFILE [extra flags...] — leaves the base URL in
+# $BOOT_URL. Not a command substitution: the pid must land in the
+# parent shell's $pids, and the child must not inherit a $(...) pipe.
+boot_replica() {
+    _log=$1; shift
+    "$workdir/selfserved" -addr 127.0.0.1:0 -pool 4 "$@" >/dev/null 2>"$_log" &
+    pids="$pids $!"
+    wait_url "$_log" replica
+}
+
+boot_router() {
+    _log=$1; _policy=$2; _replicas=$3
+    "$workdir/selfrouter" -addr 127.0.0.1:0 -policy "$_policy" -replicas "$_replicas" >/dev/null 2>"$_log" &
+    pids="$pids $!"
+    wait_url "$_log" router
+}
+
+wait_url() {
+    _wlog=$1; _what=$2
+    BOOT_URL=""
+    for _i in $(seq 1 50); do
+        BOOT_URL=$(grep -o 'listening on http://[0-9.:]*' "$_wlog" | head -1 | sed 's/listening on //' || true)
+        [ -n "$BOOT_URL" ] && break
+        sleep 0.1
+    done
+    [ -n "$BOOT_URL" ] || { echo "bench_serve: $_what never came up" >&2; cat "$_wlog" >&2; exit 1; }
+}
+
+scrape() { "$workdir/selfload" -url "$1" -scrape "$2"; }
+
+stop_all() {
+    for p in $pids; do
+        kill -TERM "$p" 2>/dev/null || true
+        wait "$p" 2>/dev/null || true
+    done
+    pids=""
+}
+
+# run_arm NAME TARGET_URL REPLICA_URLS... — replays the trace, leaves
+# the selfload summary in $workdir/NAME.json and per-replica compile
+# deltas in $workdir/NAME.compiles (space-separated).
+run_arm() {
+    _name=$1; _target=$2; shift 2
+    _before=""
+    for _r in "$@"; do
+        _before="$_before $(scrape "$_r" selfgo_codecache_misses_total)"
+    done
+    "$workdir/selfload" -url "$_target" -replay "$workdir/trace.jsonl" -speed "$SPEED" \
+        -fail-on-error -json -q > "$workdir/$_name.json"
+    _compiles=""
+    _interned=""
+    _i=1
+    for _r in "$@"; do
+        _b=$(echo "$_before" | awk -v n="$_i" '{print $n}')
+        _a=$(scrape "$_r" selfgo_codecache_misses_total)
+        _compiles="$_compiles $((_a - _b))"
+        _interned="$_interned $(scrape "$_r" selfserved_exprs_interned_total)"
+        _i=$((_i + 1))
+    done
+    echo "$_compiles" | sed 's/^ //' > "$workdir/$_name.compiles"
+    echo "$_interned" | sed 's/^ //' > "$workdir/$_name.interned"
+    echo "   $_name: compiles per replica: $(cat "$workdir/$_name.compiles")"
+}
+
+sum() { tr ' ' '\n' | awk '{s += $1} END {print s}'; }
+to_json_list() { sed 's/ /, /g'; }
+
+echo "== arm 1: single replica"
+boot_replica "$workdir/single-r1.log"; r1=$BOOT_URL
+run_arm single "$r1" "$r1"
+stop_all
+
+echo "== arm 2: 3 replicas behind selfrouter (affinity)"
+boot_replica "$workdir/aff-r1.log"; a1=$BOOT_URL
+boot_replica "$workdir/aff-r2.log"; a2=$BOOT_URL
+boot_replica "$workdir/aff-r3.log"; a3=$BOOT_URL
+boot_router "$workdir/aff-router.log" affinity "$a1,$a2,$a3"; ar=$BOOT_URL
+run_arm affinity "$ar" "$a1" "$a2" "$a3"
+stop_all
+
+echo "== arm 3: 3 replicas behind selfrouter (random control)"
+boot_replica "$workdir/rand-r1.log"; b1=$BOOT_URL
+boot_replica "$workdir/rand-r2.log"; b2=$BOOT_URL
+boot_replica "$workdir/rand-r3.log"; b3=$BOOT_URL
+boot_router "$workdir/rand-router.log" random "$b1,$b2,$b3"; br=$BOOT_URL
+run_arm random "$br" "$b1" "$b2" "$b3"
+stop_all
+
+single_total=$(sum < "$workdir/single.compiles")
+affinity_total=$(sum < "$workdir/affinity.compiles")
+random_total=$(sum < "$workdir/random.compiles")
+echo "== compiles_total: single=$single_total affinity=$affinity_total random=$random_total (distinct programs: $K)"
+
+# The two bounds the rail pins.
+[ "$affinity_total" -eq "$K" ] || {
+    echo "bench_serve: FAIL — affinity fleet compiled $affinity_total, want exactly $K (compile-once)"; exit 1; }
+[ "$random_total" -ge $((2 * K)) ] || {
+    echo "bench_serve: FAIL — random routing compiled $random_total, want >= $((2 * K)) (scatter control)"; exit 1; }
+[ "$single_total" -eq "$K" ] || {
+    echo "bench_serve: FAIL — single replica compiled $single_total, want exactly $K"; exit 1; }
+
+cat > BENCH_serve.json <<EOF
+{
+  "note": "macro serving comparison: one open-loop trace replayed against three topologies; compiles are per-replica codecache-miss deltas across the replay. Affinity routing must keep the fleet at exactly one compile per distinct program; the random-policy control shows the redundant compilation affinity exists to avoid. Regenerate with ./bench_serve.sh.",
+  "trace": {
+    "distinct_programs": $K,
+    "repetitions": $R,
+    "requests": $total,
+    "interarrival_us": $DT_US,
+    "replay_speed": $SPEED
+  },
+  "arms": {
+    "single_replica": {
+      "replicas": 1,
+      "compiles_per_replica": [$(to_json_list < "$workdir/single.compiles")],
+      "compiles_total": $single_total,
+      "exprs_interned_per_replica": [$(to_json_list < "$workdir/single.interned")],
+      "selfload": $(cat "$workdir/single.json")
+    },
+    "router_affinity": {
+      "replicas": 3,
+      "compiles_per_replica": [$(to_json_list < "$workdir/affinity.compiles")],
+      "compiles_total": $affinity_total,
+      "exprs_interned_per_replica": [$(to_json_list < "$workdir/affinity.interned")],
+      "selfload": $(cat "$workdir/affinity.json")
+    },
+    "router_random": {
+      "replicas": 3,
+      "compiles_per_replica": [$(to_json_list < "$workdir/random.compiles")],
+      "compiles_total": $random_total,
+      "exprs_interned_per_replica": [$(to_json_list < "$workdir/random.interned")],
+      "selfload": $(cat "$workdir/random.json")
+    }
+  }
+}
+EOF
+echo "bench_serve: wrote BENCH_serve.json (affinity $affinity_total == $K compiles, random $random_total >= $((2 * K)))"

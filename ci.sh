@@ -1,8 +1,9 @@
 #!/bin/sh
 # ci.sh — the checks a change must pass before it lands.
 #
-#   ./ci.sh          # vet + build + tests + race detector
-#   ./ci.sh -short   # the same, with the slow tests trimmed
+#   ./ci.sh                # vet + build + tests + race detector
+#   ./ci.sh -short         # the same, with the slow tests trimmed
+#   ./ci.sh cluster-smoke  # only the 3-replica router smoke
 #
 # Tier-1 (build + go test ./...) is the compatibility bar tracked in
 # ROADMAP.md; the race run exercises the shared code cache and the
@@ -11,6 +12,140 @@ set -eu
 cd "$(dirname "$0")"
 
 short="${1:-}"
+
+# cluster_smoke boots 3 selfserved replicas behind selfrouter on
+# ephemeral ports and pins the cluster-serving invariants:
+#   - a recorded trace replays deterministically (re-record is
+#     byte-identical modulo timestamps),
+#   - affinity routing compiles each distinct program on exactly ONE
+#     replica (fleet compile-once), and a second replay of the same
+#     trace compiles nothing anywhere,
+#   - an overloaded home replica sheds and the router retries the
+#     next-ranked replica (>= 1 shed failover observed),
+#   - SIGTERM-draining a replica mid-run loses zero requests at the
+#     router, and both the replica and the router drain cleanly.
+cluster_smoke() {
+    echo "== cluster smoke (3 replicas + selfrouter)"
+    go build -o /tmp/ci-selfserved ./cmd/selfserved
+    go build -o /tmp/ci-selfload ./cmd/selfload
+    go build -o /tmp/ci-selfrouter ./cmd/selfrouter
+    cwork=$(mktemp -d)
+    cpids=""
+    trap 'for p in $cpids; do kill "$p" 2>/dev/null || true; done; rm -rf "$cwork"' EXIT
+
+    # 8 distinct programs x 3 reps, 2ms apart.
+    awk 'BEGIN{
+        for (r = 0; r < 3; r++)
+            for (k = 0; k < 8; k++)
+                printf("{\"dt_us\":%d,\"endpoint\":\"/eval\",\"body\":\"{\\\"expr\\\": \\\"| s <- 0 | 1 upTo: %d Do: [ :i | s: s + i ]. s\\\"}\"}\n", (r == 0 && k == 0) ? 0 : 2000, 1000 + k);
+    }' > "$cwork/trace.jsonl"
+
+    boot() { # boot LOGFILE CMD [flags...] -> $boot_url
+        _log=$1; shift
+        "$@" >/dev/null 2>"$_log" &
+        cpids="$cpids $!"
+        boot_url=""
+        for _i in $(seq 1 50); do
+            boot_url=$(grep -o 'listening on http://[0-9.:]*' "$_log" | head -1 | sed 's/listening on //' || true)
+            [ -n "$boot_url" ] && break
+            sleep 0.1
+        done
+        [ -n "$boot_url" ] || { echo "ci: $_log never came up"; cat "$_log"; exit 1; }
+    }
+    scrape() { /tmp/ci-selfload -url "$1" -scrape "$2"; }
+
+    boot "$cwork/r1.log" /tmp/ci-selfserved -addr 127.0.0.1:0 -pool 2 -queue 2; cr1=$boot_url
+    boot "$cwork/r2.log" /tmp/ci-selfserved -addr 127.0.0.1:0 -pool 2 -queue 2; cr2=$boot_url
+    boot "$cwork/r3.log" /tmp/ci-selfserved -addr 127.0.0.1:0 -pool 2 -queue 2; cr3=$boot_url
+    boot "$cwork/router.log" /tmp/ci-selfrouter -addr 127.0.0.1:0 -replicas "$cr1,$cr2,$cr3"; crouter=$boot_url
+
+    # Replay the trace twice through the router, re-recording both
+    # runs: the re-records must match byte-for-byte modulo dt_us.
+    /tmp/ci-selfload -url "$crouter" -replay "$cwork/trace.jsonl" -speed 2 \
+        -record "$cwork/rec1.jsonl" -fail-on-error -q
+    m1=$(scrape "$cr1" selfgo_codecache_misses_total)
+    m2=$(scrape "$cr2" selfgo_codecache_misses_total)
+    m3=$(scrape "$cr3" selfgo_codecache_misses_total)
+    /tmp/ci-selfload -url "$crouter" -replay "$cwork/trace.jsonl" -speed 2 \
+        -record "$cwork/rec2.jsonl" -fail-on-error -q
+    sed 's/"dt_us":[0-9]*/"dt_us":0/' "$cwork/rec1.jsonl" > "$cwork/rec1.norm"
+    sed 's/"dt_us":[0-9]*/"dt_us":0/' "$cwork/rec2.jsonl" > "$cwork/rec2.norm"
+    cmp -s "$cwork/rec1.norm" "$cwork/rec2.norm" || {
+        echo "ci: trace replay is not deterministic (re-records differ)"; exit 1; }
+    # Per-replica compile-once: the second replay of an already-warm
+    # trace must compile NOTHING on any replica.
+    for pair in "1 $cr1 $m1" "2 $cr2 $m2" "3 $cr3 $m3"; do
+        set -- $pair
+        now=$(scrape "$2" selfgo_codecache_misses_total)
+        [ "$now" -eq "$3" ] || {
+            echo "ci: replica $1 compiled again on a warm trace ($3 -> $now)"; exit 1; }
+    done
+    # Fleet compile-once: 8 distinct programs -> exactly 8 interned
+    # exprs across the whole fleet, on at least 2 replicas.
+    i1=$(scrape "$cr1" selfserved_exprs_interned_total)
+    i2=$(scrape "$cr2" selfserved_exprs_interned_total)
+    i3=$(scrape "$cr3" selfserved_exprs_interned_total)
+    [ $((i1 + i2 + i3)) -eq 8 ] || {
+        echo "ci: fleet interned $i1+$i2+$i3 exprs for 8 distinct programs"; exit 1; }
+    echo "   compile-once held: interned $i1/$i2/$i3 across replicas"
+
+    # Shed failover: flood one affinity key's home replica (pool 2 +
+    # queue 2) until it sheds; the router must retry the next-ranked
+    # replica at least once.
+    /tmp/ci-selfload -url "$crouter" -c 8 -n 40 \
+        -expr '| s <- 0 | 1 upTo: 300000 Do: [ :i | s: s + 1 ]. s' -q >/dev/null
+    fo=$(scrape "$crouter" 'selfrouter_failovers_total{reason="shed"}')
+    [ "$fo" -ge 1 ] || { echo "ci: no shed failover observed at the router"; exit 1; }
+    echo "   shed failovers at router: $fo"
+
+    # Drain mid-run: three tenants keep the fleet busy while replica 1
+    # gets SIGTERM. Every request must still succeed (429 excepted) and
+    # the replica and ring must both settle cleanly.
+    /tmp/ci-selfload -url "$crouter" -c 2 -n 120 -tenant t1 \
+        -expr '| s <- 0 | 1 upTo: 60000 Do: [ :i | s: s + 1 ]. s' -fail-on-error -q >/dev/null &
+    l1=$!
+    /tmp/ci-selfload -url "$crouter" -c 2 -n 120 -tenant t2 \
+        -expr '| s <- 0 | 1 upTo: 60000 Do: [ :i | s: s + 2 ]. s' -fail-on-error -q >/dev/null &
+    l2=$!
+    /tmp/ci-selfload -url "$crouter" -c 2 -n 120 -tenant t3 \
+        -expr '| s <- 0 | 1 upTo: 60000 Do: [ :i | s: s + 3 ]. s' -fail-on-error -q >/dev/null &
+    l3=$!
+    sleep 0.5
+    r1pid=$(echo "$cpids" | awk '{print $1}')
+    kill -TERM "$r1pid"
+    wait "$l1" || { echo "ci: tenant t1 saw failures during replica drain"; exit 1; }
+    wait "$l2" || { echo "ci: tenant t2 saw failures during replica drain"; exit 1; }
+    wait "$l3" || { echo "ci: tenant t3 saw failures during replica drain"; exit 1; }
+    wait "$r1pid" || { echo "ci: replica 1 did not drain cleanly"; cat "$cwork/r1.log"; exit 1; }
+    grep -q 'drained cleanly' "$cwork/r1.log" || {
+        echo "ci: no drain line in replica 1 log"; cat "$cwork/r1.log"; exit 1; }
+    for _i in $(seq 1 50); do
+        [ "$(scrape "$crouter" selfrouter_replicas_healthy)" -eq 2 ] && break
+        sleep 0.1
+    done
+    [ "$(scrape "$crouter" selfrouter_replicas_healthy)" -eq 2 ] || {
+        echo "ci: router ring did not drop the drained replica"; exit 1; }
+    echo "   drain under router: zero failed requests, ring at 2 replicas"
+
+    # The router itself must shut down cleanly on SIGTERM.
+    routerpid=$(echo "$cpids" | awk '{print $4}')
+    kill -TERM "$routerpid"
+    wait "$routerpid" || { echo "ci: router did not drain cleanly"; cat "$cwork/router.log"; exit 1; }
+    grep -q 'drained cleanly' "$cwork/router.log" || {
+        echo "ci: no drain line in router log"; cat "$cwork/router.log"; exit 1; }
+
+    for p in $cpids; do kill "$p" 2>/dev/null || true; done
+    wait 2>/dev/null || true
+    rm -rf "$cwork"
+    cpids=""
+    trap - EXIT
+    echo "   cluster smoke passed"
+}
+
+if [ "$short" = "cluster-smoke" ]; then
+    cluster_smoke
+    exit 0
+fi
 
 echo "== go vet ./..."
 go vet ./...
@@ -100,6 +235,11 @@ kill -TERM "$server_pid"
 wait "$server_pid" || { echo "ci: selfserved (overload) did not drain cleanly"; cat "$server_log"; exit 1; }
 trap - EXIT
 rm -f "$server_log" /tmp/ci-selfserved /tmp/ci-selfload
+
+# Cluster smoke: 3 replicas behind selfrouter — fleet compile-once
+# under affinity routing, shed failover, deterministic trace replay,
+# and a clean mid-run drain. See cluster_smoke above.
+cluster_smoke
 
 # Alloc regression: re-measure host allocation traffic on the two
 # allocation-heavy benchmarks and fail if allocsPerOp or bytesPerOp

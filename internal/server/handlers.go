@@ -23,6 +23,21 @@ import (
 // honest about why the run was aborted.
 const statusClientClosedRequest = 499
 
+// RequestIDHeader carries the request id end to end: a front router
+// mints one (or forwards the client's), every replica echoes it on
+// the response and stamps it into error bodies, so one failing
+// request can be followed across processes.
+const RequestIDHeader = wire.RequestIDHeader
+
+// ridKey carries the request id through the handler's context.
+type ridKey struct{}
+
+// requestIDFrom reads the id instrument() stored.
+func requestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(ridKey{}).(string)
+	return id
+}
+
 // Handler returns the server's HTTP surface.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -56,11 +71,20 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 }
 
 // instrument wraps a handler with panic containment (a bug in the
-// serving layer answers 500, it does not take the process down) and
-// request accounting.
+// serving layer answers 500, it does not take the process down),
+// request-id propagation and request accounting.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		// Accept a well-formed forwarded id, mint one otherwise; echo it
+		// on the response before the handler can write, and thread it to
+		// the error paths through the context.
+		rid := r.Header.Get(RequestIDHeader)
+		if !wire.ValidRequestID(rid) {
+			rid = wire.NewRequestID()
+		}
+		w.Header().Set(RequestIDHeader, rid)
+		r = r.WithContext(context.WithValue(r.Context(), ridKey{}, rid))
 		sw := &statusWriter{ResponseWriter: w}
 		defer func() {
 			if rec := recover(); rec != nil {
@@ -69,7 +93,8 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
 				if sw.code == 0 {
 					s.writeJSON(sw, http.StatusInternalServerError, &wire.Result{
 						Error: &wire.ErrorJSON{Kind: "internal",
-							Message: fmt.Sprintf("server panic: %v", rec)},
+							Message:   fmt.Sprintf("server panic: %v", rec),
+							RequestID: rid},
 					})
 				}
 				_ = debug.Stack() // keep the stack retrievable in a debugger
@@ -95,16 +120,17 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 // writeRunError maps a failed guest run (or admission failure) to an
 // HTTP status plus the shared error encoding.
 func (s *Server) writeRunError(w http.ResponseWriter, ctx context.Context, err error) {
+	rid := requestIDFrom(ctx)
 	var re *wire.RequestError
 	if errors.As(err, &re) {
 		s.writeJSON(w, re.Status, &wire.Result{
-			Error: &wire.ErrorJSON{Kind: "request", Message: re.Msg}})
+			Error: &wire.ErrorJSON{Kind: "request", Message: re.Msg, RequestID: rid}})
 		return
 	}
 	if errors.Is(err, errShed) {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		s.writeJSON(w, http.StatusTooManyRequests, &wire.Result{
-			Error: &wire.ErrorJSON{Kind: "overload", Message: err.Error()}})
+			Error: &wire.ErrorJSON{Kind: "overload", Message: err.Error(), RequestID: rid}})
 		return
 	}
 	status := http.StatusUnprocessableEntity // guest fault: valid request, failed program
@@ -126,7 +152,9 @@ func (s *Server) writeRunError(w http.ResponseWriter, ctx context.Context, err e
 	} else if errors.Is(ctx.Err(), context.Canceled) {
 		status = statusClientClosedRequest
 	}
-	s.writeJSON(w, status, &wire.Result{Error: wire.NewError(err)})
+	ej := wire.NewError(err)
+	ej.RequestID = rid
+	s.writeJSON(w, status, &wire.Result{Error: ej})
 }
 
 // runOnWorker is the shared execution path: admission, budget,
@@ -182,7 +210,8 @@ func (s *Server) result(res *selfgo.Result) *wire.Result {
 func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		s.writeJSON(w, http.StatusServiceUnavailable, &wire.Result{
-			Error: &wire.ErrorJSON{Kind: "draining", Message: "server is draining"}})
+			Error: &wire.ErrorJSON{Kind: "draining", Message: "server is draining",
+				RequestID: requestIDFrom(r.Context())}})
 		return
 	}
 	req, err := wire.DecodeEvalRequest(r.Body, s.cfg.Limits)
@@ -232,7 +261,8 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		s.writeJSON(w, http.StatusServiceUnavailable, &wire.Result{
-			Error: &wire.ErrorJSON{Kind: "draining", Message: "server is draining"}})
+			Error: &wire.ErrorJSON{Kind: "draining", Message: "server is draining",
+				RequestID: requestIDFrom(r.Context())}})
 		return
 	}
 	req, err := wire.DecodeRunRequest(r.Body, s.cfg.Limits)

@@ -79,6 +79,9 @@ func (s *Server) registerMetrics() {
 	r.GaugeFunc("selfserved_pool_in_use",
 		"Worker VMs checked out and serving requests.",
 		func() float64 { return float64(s.cfg.Pool - len(s.pool)) })
+	r.GaugeFunc("selfserved_pool_in_use_peak",
+		"High-water mark of simultaneously checked-out workers since start.",
+		func() float64 { return float64(s.poolPeak.Load()) })
 	r.GaugeFunc("selfserved_draining",
 		"1 while the server is draining for shutdown.",
 		func() float64 {

@@ -175,6 +175,7 @@ type Server struct {
 	benches  map[string]benchEntry
 	queued   atomic.Int64
 	inFlight atomic.Int64
+	poolPeak atomic.Int64 // high-water mark of checked-out workers
 	draining atomic.Bool
 	served   atomic.Int64 // requests answered (any status)
 	drained  atomic.Int64 // requests completed while draining
@@ -282,6 +283,7 @@ var errShed = fmt.Errorf("admission queue full")
 func (s *Server) acquire(ctx context.Context) (*selfgo.System, error) {
 	select {
 	case sys := <-s.pool:
+		s.notePoolCheckout()
 		return sys, nil
 	default:
 	}
@@ -293,10 +295,57 @@ func (s *Server) acquire(ctx context.Context) (*selfgo.System, error) {
 	defer s.queued.Add(-1)
 	select {
 	case sys := <-s.pool:
+		s.notePoolCheckout()
 		return sys, nil
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
+}
+
+// notePoolCheckout folds the post-checkout occupancy into the pool's
+// high-water mark. The live in-use gauge can only be point-sampled —
+// a cached expression holds a worker for microseconds, so an external
+// scraper watching the gauge under load may legitimately never catch
+// it nonzero. The peak is the monotone record of the same live
+// occupancy that load drivers can assert on after the fact.
+func (s *Server) notePoolCheckout() {
+	inUse := int64(s.cfg.Pool - len(s.pool))
+	for {
+		cur := s.poolPeak.Load()
+		if inUse <= cur || s.poolPeak.CompareAndSwap(cur, inUse) {
+			return
+		}
+	}
+}
+
+// Retry-After bounds: never tell a shed client to come back sooner
+// than 1s (it would just be shed again) or later than 30s (past that
+// the hint is noise — the client should re-resolve or give up).
+const (
+	minRetryAfterSeconds = 1
+	maxRetryAfterSeconds = 30
+)
+
+// retryAfterSeconds derives the Retry-After hint for a shed request
+// from live load: the backlog the client is behind (everything
+// running plus everything queued) divided by the pool's parallelism,
+// i.e. roughly how many "pool drains" must happen before a retry
+// would find a free slot, at an assumed ~1s per drain. Coarse on
+// purpose — the value's job is to spread retries of a thundering herd
+// proportionally to how overloaded the server actually is, and to
+// give a front router an honest shed signal, not to be a latency
+// oracle. Always within [minRetryAfterSeconds, maxRetryAfterSeconds].
+func (s *Server) retryAfterSeconds() int {
+	backlog := s.inFlight.Load() + s.queued.Load()
+	pool := int64(s.cfg.Pool)
+	secs := (backlog + pool - 1) / pool // ceil(backlog / pool)
+	if secs < minRetryAfterSeconds {
+		return minRetryAfterSeconds
+	}
+	if secs > maxRetryAfterSeconds {
+		return maxRetryAfterSeconds
+	}
+	return int(secs)
 }
 
 func (s *Server) release(sys *selfgo.System) {

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -511,6 +512,146 @@ func TestHostileNewVecFaults(t *testing.T) {
 	}
 }
 
+// TestRequestID: a well-formed forwarded X-Request-Id is echoed on
+// the response and stamped into error bodies; absent or malformed
+// ids are replaced with a freshly minted one.
+func TestRequestID(t *testing.T) {
+	_, ts := newTestServer(t, Config{Pool: 1})
+
+	// Forwarded id: echoed verbatim.
+	req, _ := http.NewRequest("POST", ts.URL+"/eval", strings.NewReader(`{"expr": "1 + 1"}`))
+	req.Header.Set(RequestIDHeader, "router-abc-123")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get(RequestIDHeader); got != "router-abc-123" {
+		t.Fatalf("forwarded id not echoed: %q", got)
+	}
+
+	// No id: one is minted (32 hex chars), echoed on the response.
+	resp, err = http.Post(ts.URL+"/eval", "application/json", strings.NewReader(`{"expr": "1"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get(RequestIDHeader); !wire.ValidRequestID(got) || len(got) != 32 {
+		t.Fatalf("minted id %q", got)
+	}
+
+	// Malformed forwarded id: replaced, not parroted.
+	req, _ = http.NewRequest("POST", ts.URL+"/eval", strings.NewReader(`{"expr": "1"}`))
+	req.Header.Set(RequestIDHeader, "has spaces and \"quotes\"")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get(RequestIDHeader); !wire.ValidRequestID(got) {
+		t.Fatalf("malformed id not replaced: %q", got)
+	}
+
+	// Error bodies carry the id, so a failure seen through a router
+	// names the request it belongs to.
+	req, _ = http.NewRequest("POST", ts.URL+"/eval", strings.NewReader(`{"expr": "3 +"}`))
+	req.Header.Set(RequestIDHeader, "fail-42")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res wire.Result
+	err = json.NewDecoder(resp.Body).Decode(&res)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Error == nil || res.Error.RequestID != "fail-42" {
+		t.Fatalf("error body request id: %+v", res.Error)
+	}
+}
+
+// TestRetryAfterLoadAware pins the bounds and monotonicity of the
+// shed Retry-After hint: >= 1 always, <= 30 under any backlog, and
+// growing with queue depth. (An earlier version hardcoded 1, which
+// told a thundering herd to come back all at once.)
+func TestRetryAfterLoadAware(t *testing.T) {
+	s, err := New(Config{Pool: 4, Benches: []string{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.retryAfterSeconds(); got != 1 {
+		t.Fatalf("idle retry-after %d, want 1", got)
+	}
+	// Backlog of 8 on a pool of 4: two pool drains.
+	s.inFlight.Store(4)
+	s.queued.Store(4)
+	if got := s.retryAfterSeconds(); got != 2 {
+		t.Fatalf("retry-after %d with backlog 8 / pool 4, want 2", got)
+	}
+	// Deeper queue, larger hint.
+	s.queued.Store(36)
+	if got := s.retryAfterSeconds(); got != 10 {
+		t.Fatalf("retry-after %d with backlog 40 / pool 4, want 10", got)
+	}
+	// Absurd backlog: clamped.
+	s.queued.Store(1 << 40)
+	if got := s.retryAfterSeconds(); got != maxRetryAfterSeconds {
+		t.Fatalf("retry-after %d, want clamp at %d", got, maxRetryAfterSeconds)
+	}
+	s.inFlight.Store(0)
+	s.queued.Store(0)
+
+	// End to end: a shed response carries the header.
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	s2, ts2 := newTestServer(t, Config{Pool: 1, QueueDepth: 1, DefaultDeadline: time.Minute})
+	slow := `{"expr": "| s <- 0 | 1 upTo: 3000000 Do: [ :i | s: s + 1 ]. s"}`
+	release := make(chan struct{})
+	go func() {
+		defer close(release)
+		postJSON(t, ts2.URL+"/eval", slow)
+	}()
+	for i := 0; s2.InFlight() == 0 && i < 500; i++ {
+		time.Sleep(2 * time.Millisecond)
+	}
+	shedHeaders := make(chan string, 6)
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts2.URL+"/eval", "application/json", strings.NewReader(`{"expr": "1"}`))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusTooManyRequests {
+				shedHeaders <- resp.Header.Get("Retry-After")
+			}
+		}()
+	}
+	wg.Wait()
+	close(shedHeaders)
+	sawShed := false
+	for h := range shedHeaders {
+		sawShed = true
+		ra, err := strconv.Atoi(h)
+		if err != nil || ra < minRetryAfterSeconds || ra > maxRetryAfterSeconds {
+			t.Fatalf("shed Retry-After %q out of bounds", h)
+		}
+	}
+	if !sawShed {
+		t.Fatal("never saw a 429 from the flooded server")
+	}
+	<-release
+}
+
 // scrapeGauge reads one metric's current value from /metrics text.
 func scrapeGauge(t *testing.T, url, name string) (float64, bool) {
 	t.Helper()
@@ -574,12 +715,22 @@ func TestPoolGaugesTrackOccupancy(t *testing.T) {
 
 	// Back to idle after the run completes and the worker is released.
 	deadline = time.Now().Add(5 * time.Second)
+	idle := false
 	for time.Now().Before(deadline) {
 		used, ok := scrapeGauge(t, ts.URL, "selfserved_pool_in_use")
 		if ok && used == 0 {
-			return
+			idle = true
+			break
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	t.Fatal("pool_in_use did not return to 0 after the request finished")
+	if !idle {
+		t.Fatal("pool_in_use did not return to 0 after the request finished")
+	}
+	// The checkout high-water mark survives the return to idle — it is
+	// what load drivers assert on when requests are too fast for the
+	// live gauge to be caught nonzero.
+	if peak, ok := scrapeGauge(t, ts.URL, "selfserved_pool_in_use_peak"); !ok || peak < 1 {
+		t.Fatalf("pool_in_use_peak = %v (ok=%v) after load, want >= 1", peak, ok)
+	}
 }

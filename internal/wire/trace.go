@@ -1,0 +1,114 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// TraceRecord is one request of a recorded serving trace — the jsonl
+// vocabulary selfload's -record and -replay share. A trace captures
+// the shape of a live request stream well enough to re-issue it:
+// when each request arrived (as a delta from the previous one, so a
+// replay can stretch or compress time uniformly), where it went, the
+// exact body, and the affinity key a router would derive for it (for
+// offline analysis; replays re-derive routing from the body).
+type TraceRecord struct {
+	// DeltaUS is the arrival gap to the previous record in
+	// microseconds (0 for the first record).
+	DeltaUS int64 `json:"dt_us"`
+	// Endpoint is the request path ("/eval" or "/run").
+	Endpoint string `json:"endpoint"`
+	// Body is the JSON request body, verbatim.
+	Body string `json:"body"`
+	// Tenant is the X-Tenant header, if the request carried one.
+	Tenant string `json:"tenant,omitempty"`
+	// Key is the affinity key derived at record time (AffinityKey,
+	// else RawAffinityKey).
+	Key string `json:"key,omitempty"`
+}
+
+// TraceWriter appends TraceRecords to a stream as jsonl, stamping
+// arrival deltas from a monotonic clock. Safe for concurrent use: a
+// closed-loop load generator records from many worker goroutines.
+type TraceWriter struct {
+	mu   sync.Mutex
+	w    *bufio.Writer
+	last time.Time
+}
+
+// NewTraceWriter wraps w. Call Flush before closing the underlying
+// file.
+func NewTraceWriter(w io.Writer) *TraceWriter {
+	return &TraceWriter{w: bufio.NewWriter(w)}
+}
+
+// Record appends one request, stamping DeltaUS from the previous call.
+func (t *TraceWriter) Record(endpoint, body, tenant string) error {
+	key, ok := AffinityKey(endpoint, []byte(body))
+	if !ok {
+		key = RawAffinityKey([]byte(body))
+	}
+	now := time.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var delta int64
+	if !t.last.IsZero() {
+		delta = now.Sub(t.last).Microseconds()
+		if delta < 0 {
+			delta = 0
+		}
+	}
+	t.last = now
+	rec := TraceRecord{DeltaUS: delta, Endpoint: endpoint, Body: body, Tenant: tenant, Key: key}
+	b, err := json.Marshal(&rec)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = t.w.Write(b)
+	return err
+}
+
+// Flush drains the buffer to the underlying writer.
+func (t *TraceWriter) Flush() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.w.Flush()
+}
+
+// ReadTrace parses a jsonl trace. Blank lines are skipped; a malformed
+// line fails the whole read with its line number — a trace is a
+// reproducibility artifact, so silent truncation would be worse than
+// an error.
+func ReadTrace(r io.Reader) ([]TraceRecord, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 4<<20) // bodies can be large
+	var out []TraceRecord
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Bytes()
+		if len(text) == 0 {
+			continue
+		}
+		var rec TraceRecord
+		if err := json.Unmarshal(text, &rec); err != nil {
+			return nil, fmt.Errorf("trace line %d: %v", line, err)
+		}
+		if rec.Endpoint != "/eval" && rec.Endpoint != "/run" {
+			return nil, fmt.Errorf("trace line %d: unknown endpoint %q", line, rec.Endpoint)
+		}
+		if rec.DeltaUS < 0 {
+			return nil, fmt.Errorf("trace line %d: negative dt_us", line)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,177 @@
+package wire
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestAffinityKeyStable(t *testing.T) {
+	// Field order and whitespace in the JSON must not change the key:
+	// the key is derived from the decoded fields, not the bytes.
+	k1, ok1 := AffinityKey("/eval", []byte(`{"expr": "3 + 4", "deadline_ms": 50}`))
+	k2, ok2 := AffinityKey("/eval", []byte(`{"deadline_ms":99,"expr":"3 + 4"}`))
+	if !ok1 || !ok2 || k1 != k2 {
+		t.Fatalf("same expr, different keys: %q/%v vs %q/%v", k1, ok1, k2, ok2)
+	}
+	if !strings.HasPrefix(k1, "eval:") {
+		t.Fatalf("eval key %q", k1)
+	}
+	// Different exprs must (overwhelmingly) differ.
+	k3, _ := AffinityKey("/eval", []byte(`{"expr": "3 + 5"}`))
+	if k3 == k1 {
+		t.Fatalf("distinct exprs share key %q", k1)
+	}
+	// A program load is part of the identity: same expr against a
+	// different program is different compiled code.
+	k4, _ := AffinityKey("/eval", []byte(`{"expr": "3 + 4", "program": "f = ( 1 )."}`))
+	if k4 == k1 {
+		t.Fatal("program text ignored in affinity key")
+	}
+	// Entry calls key on the selector, not the args — all fib: calls
+	// share one customized method.
+	k5, _ := AffinityKey("/eval", []byte(`{"entry": "fib:", "args": [10]}`))
+	k6, _ := AffinityKey("/eval", []byte(`{"entry": "fib:", "args": [25]}`))
+	if k5 != k6 {
+		t.Fatalf("same entry, different keys: %q vs %q", k5, k6)
+	}
+}
+
+func TestAffinityKeyRun(t *testing.T) {
+	k, ok := AffinityKey("/run", []byte(`{"bench": "richards"}`))
+	if !ok || k != "bench:richards" {
+		t.Fatalf("run key %q ok=%v", k, ok)
+	}
+	if _, ok := AffinityKey("/run", []byte(`{}`)); ok {
+		t.Fatal("empty bench decoded to a key")
+	}
+}
+
+func TestAffinityKeyFallback(t *testing.T) {
+	for _, c := range []struct{ endpoint, body string }{
+		{"/eval", `{`},                // malformed
+		{"/eval", `{}`},               // no expr or entry
+		{"/metrics", `{"expr": "1"}`}, // not a routed endpoint
+	} {
+		if k, ok := AffinityKey(c.endpoint, []byte(c.body)); ok {
+			t.Errorf("%s %s: unexpectedly keyed to %q", c.endpoint, c.body, k)
+		}
+	}
+	r1 := RawAffinityKey([]byte("abc"))
+	r2 := RawAffinityKey([]byte("abc"))
+	r3 := RawAffinityKey([]byte("abd"))
+	if r1 != r2 || r1 == r3 || !strings.HasPrefix(r1, "raw:") {
+		t.Fatalf("raw keys %q %q %q", r1, r2, r3)
+	}
+}
+
+func TestValidRequestID(t *testing.T) {
+	for _, ok := range []string{"abc", "req-123", "A_b.c:9", strings.Repeat("x", 128)} {
+		if !ValidRequestID(ok) {
+			t.Errorf("%q rejected", ok)
+		}
+	}
+	for _, bad := range []string{"", "has space", "tab\there", `q"uote`, "back\\slash",
+		strings.Repeat("x", 129), "new\nline", "ünïcode"} {
+		if ValidRequestID(bad) {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+	id := NewRequestID()
+	if !ValidRequestID(id) || len(id) != 32 {
+		t.Fatalf("minted id %q invalid", id)
+	}
+	if id == NewRequestID() {
+		t.Fatal("two minted ids collided")
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	var b strings.Builder
+	tw := NewTraceWriter(&b)
+	if err := tw.Record("/eval", `{"expr": "1 + 1"}`, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Record("/run", `{"bench": "sumTo"}`, "acme"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := ReadTrace(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	if recs[0].DeltaUS != 0 {
+		t.Fatalf("first record dt_us %d, want 0", recs[0].DeltaUS)
+	}
+	if recs[0].Endpoint != "/eval" || recs[0].Body != `{"expr": "1 + 1"}` {
+		t.Fatalf("record 0: %+v", recs[0])
+	}
+	wantKey, _ := AffinityKey("/eval", []byte(recs[0].Body))
+	if recs[0].Key != wantKey {
+		t.Fatalf("record 0 key %q, want %q", recs[0].Key, wantKey)
+	}
+	if recs[1].Tenant != "acme" || recs[1].Key != "bench:sumTo" {
+		t.Fatalf("record 1: %+v", recs[1])
+	}
+}
+
+func TestTraceConcurrentRecord(t *testing.T) {
+	var b strings.Builder
+	var mu sync.Mutex // strings.Builder is not goroutine-safe; the writer's lock only covers its own state
+	tw := NewTraceWriter(writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return b.Write(p)
+	}))
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if err := tw.Record("/eval", `{"expr": "2 + 2"}`, ""); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadTrace(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 200 {
+		t.Fatalf("got %d records, want 200", len(recs))
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+func TestTraceRejectsMalformed(t *testing.T) {
+	for _, c := range []string{
+		`{"dt_us": 0, "endpoint": "/evil", "body": "{}"}`,
+		`{"dt_us": -5, "endpoint": "/eval", "body": "{}"}`,
+		`not json`,
+	} {
+		if _, err := ReadTrace(strings.NewReader(c + "\n")); err == nil {
+			t.Errorf("accepted %q", c)
+		}
+	}
+	// Blank lines are fine.
+	recs, err := ReadTrace(strings.NewReader("\n" + `{"dt_us":0,"endpoint":"/eval","body":"{}"}` + "\n\n"))
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("blank-line trace: %v, %d records", err, len(recs))
+	}
+}

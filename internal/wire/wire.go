@@ -5,6 +5,9 @@
 package wire
 
 import (
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -234,6 +237,88 @@ func validName(s string) bool {
 }
 
 // ---------------------------------------------------------------------
+// Affinity keys and request ids
+
+// AffinityKey derives the cache-affinity key for a request body headed
+// to endpoint ("/eval" or "/run"). The key is what a front router
+// hashes onto replicas: two requests with the same key exercise the
+// same compiled code (the same interned program text, eval expression
+// or preloaded benchmark), so landing them on the same replica keeps
+// that replica's code cache, inline caches and tier promotions warm.
+//
+// The derivation deliberately mirrors the server's own interning
+// identity (internal/server hashes program and expr texts the same
+// way), and it is byte-order independent of the JSON encoding: two
+// bodies that decode to the same fields get the same key. Returns
+// ok=false when the body does not decode — the router falls back to
+// hashing the raw bytes, which still gives repeated identical bodies
+// affinity.
+func AffinityKey(endpoint string, body []byte) (key string, ok bool) {
+	switch endpoint {
+	case "/run":
+		var req RunRequest
+		if err := json.Unmarshal(body, &req); err != nil || req.Bench == "" {
+			return "", false
+		}
+		return "bench:" + req.Bench, true
+	case "/eval":
+		var req EvalRequest
+		if err := json.Unmarshal(body, &req); err != nil || (req.Expr == "" && req.Entry == "") {
+			return "", false
+		}
+		h := sha256.New()
+		io.WriteString(h, req.Program)
+		h.Write([]byte{0xff})
+		io.WriteString(h, req.Expr)
+		h.Write([]byte{0xff})
+		io.WriteString(h, req.Entry)
+		return "eval:" + hex.EncodeToString(h.Sum(nil)[:12]), true
+	}
+	return "", false
+}
+
+// RawAffinityKey is the fallback key for bodies AffinityKey cannot
+// decode: a hash of the raw bytes. Identical retransmissions still
+// stick to one replica; everything else spreads.
+func RawAffinityKey(body []byte) string {
+	sum := sha256.Sum256(body)
+	return "raw:" + hex.EncodeToString(sum[:12])
+}
+
+// RequestIDHeader carries the request id end to end: the router mints
+// one (or forwards the client's), every replica echoes it on the
+// response and stamps it into error bodies.
+const RequestIDHeader = "X-Request-Id"
+
+// ValidRequestID reports whether a client-supplied X-Request-Id is
+// safe to propagate: non-empty, bounded, printable ASCII with no
+// whitespace or quotes (it travels through headers, JSON bodies and
+// log lines).
+func ValidRequestID(id string) bool {
+	if id == "" || len(id) > 128 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if c <= ' ' || c >= 0x7f || c == '"' || c == '\'' || c == '\\' {
+			return false
+		}
+	}
+	return true
+}
+
+// NewRequestID mints a fresh request id (16 random bytes, hex).
+func NewRequestID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Entropy exhaustion is not a reason to fail a request; fall
+		// back to a constant that is at least greppable.
+		return "rid-entropy-unavailable"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ---------------------------------------------------------------------
 // Result encoding
 
 // RunStatsJSON is vm.RunStats on the wire. A reflection test pins the
@@ -300,6 +385,10 @@ type ErrorJSON struct {
 	Kind      string   `json:"kind"`
 	Message   string   `json:"message"`
 	Backtrace []string `json:"backtrace,omitempty"`
+	// RequestID echoes the X-Request-Id the failed request carried (or
+	// the one the server minted for it), so a failure seen at the
+	// router can be matched to the replica's logs and metrics.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // NewError renders err; RuntimeErrors carry their kind and Self-level
