@@ -1,0 +1,59 @@
+package selfgo_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"selfgo"
+	"selfgo/internal/bench"
+)
+
+// TestImageRoundTripBenchmarks extends the round-trip oracle to the
+// full benchmark suite: every benchmark must produce a bit-identical
+// check value and RunStats on a restored world as on the world the
+// image was saved from. Any divergence means the image either lost
+// state or resurrected state that should not exist.
+func TestImageRoundTripBenchmarks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark round-trip is slow; skipped in -short mode")
+	}
+	for _, b := range bench.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			fresh, err := selfgo.NewTieredSystem(selfgo.NewSELF, selfgo.ModeOpt, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := fresh.LoadSource(b.Source); err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if _, err := fresh.SaveImage(&buf, nil); err != nil {
+				t.Fatalf("SaveImage: %v", err)
+			}
+			boot, err := selfgo.BootFromImage(&buf, selfgo.NewSELF, selfgo.ModeOpt, 0)
+			if err != nil {
+				t.Fatalf("BootFromImage: %v", err)
+			}
+
+			want, err := fresh.Call(b.Entry)
+			if err != nil {
+				t.Fatalf("fresh run: %v", err)
+			}
+			got, err := boot.Sys.Call(b.Entry)
+			if err != nil {
+				t.Fatalf("restored run: %v", err)
+			}
+			if got.Value.I() != want.Value.I() {
+				t.Fatalf("check value diverged: restored %d, fresh %d", got.Value.I(), want.Value.I())
+			}
+			if b.HasExpect && got.Value.I() != b.Expect {
+				t.Fatalf("restored check value %d, want %d", got.Value.I(), b.Expect)
+			}
+			if !reflect.DeepEqual(got.Run, want.Run) {
+				t.Fatalf("RunStats diverged:\nfresh    %+v\nrestored %+v", want.Run, got.Run)
+			}
+		})
+	}
+}

@@ -1,0 +1,167 @@
+package image
+
+import (
+	"bytes"
+	"testing"
+)
+
+// seedImage builds a structurally rich image by hand: enough sections,
+// reference kinds and nesting that mutations reach every decoder path.
+func seedImage() *Image {
+	img := &Image{
+		Sources:     []string{"prelude text", "app = (| parent* = lobby |)."},
+		EvalSources: []string{"1 + 2"},
+		Maps: []MapRec{
+			{LoadOrd: 0},
+			{LoadOrd: 3},
+			{
+				Runtime: true,
+				Owner:   OwnerRef{LoadOrd: 1, Sel: "mk"},
+				LitOrd:  2,
+				SlotVals: []SlotVal{
+					{Idx: 0, V: Val{Kind: ValInt, I: -42}},
+					{Idx: 2, V: Val{Kind: ValObj, Ref: 1}},
+				},
+			},
+			{
+				Runtime:  true,
+				Owner:    OwnerRef{Eval: true, EvalIdx: 0},
+				LitOrd:   0,
+				SlotVals: []SlotVal{{Idx: 1, V: Val{Kind: ValStr, S: "s"}}},
+			},
+		},
+		NumAnchors: 2,
+		Objects: []ObjRec{
+			{MapIdx: 0, Fields: []Val{{Kind: ValNil}, {Kind: ValInt, I: 7}}},
+			{MapIdx: 1, Fields: []Val{{Kind: ValStr, S: "hello"}}},
+			{MapIdx: 2, Elems: []Val{{Kind: ValObj, Ref: 0}, {Kind: ValObj, Ref: 2}}},
+		},
+		Manifest: []ManifestRec{
+			{
+				Meth: MethodRec{MapIdx: 1, Sel: "run"}, RMapIdx: 0,
+				Tier: "optimizing", Invocations: 100, Backedges: 5, Requested: true,
+			},
+			{
+				Meth: MethodRec{Eval: true, EvalIdx: 0}, RMapIdx: -1,
+				Tier: "baseline",
+			},
+			{
+				Block: true, Owner: OwnerRef{LoadOrd: 3, Sel: "each:"}, Ord: 1,
+				UpNames: []string{"a", "b"}, Tier: "native", Invocations: 9,
+			},
+		},
+	}
+	copy(img.WalkDigest[:], bytes.Repeat([]byte{0xAB, 0xCD}, 16))
+	return img
+}
+
+// FuzzImageDecode throws truncated, bit-flipped and arbitrary bytes at
+// Decode. The contract under attack: Decode never panics and never
+// returns a partially-valid image — it either errors or produces an
+// image whose every index is in range (Restore relies on that).
+func FuzzImageDecode(f *testing.F) {
+	valid := Encode(seedImage())
+	f.Add(valid)
+	// Truncations at section-ish boundaries and off-by-ones.
+	for _, n := range []int{0, 1, 7, 8, 39, 40, 41, len(valid) / 2, len(valid) - 1} {
+		if n <= len(valid) {
+			f.Add(valid[:n])
+		}
+	}
+	// Bit flips sprinkled through header, checksum and payload.
+	for _, pos := range []int{0, 8, 20, 40, 50, len(valid) - 2} {
+		if pos < len(valid) {
+			mut := append([]byte(nil), valid...)
+			mut[pos] ^= 0x40
+			f.Add(mut)
+		}
+	}
+	f.Add(append(append([]byte(nil), valid...), 0x00)) // trailing garbage
+	f.Add([]byte("SELFIMG1"))
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		img, err := Decode(data)
+		if err != nil {
+			if img != nil {
+				t.Fatal("Decode returned both an image and an error")
+			}
+			return
+		}
+		// Decode accepted the bytes: every cross-reference must be in
+		// range, exactly as Restore assumes.
+		for _, m := range img.Maps {
+			for _, sv := range m.SlotVals {
+				checkVal(t, img, sv.V)
+			}
+			if m.Runtime && m.Owner.Eval && m.Owner.EvalIdx >= len(img.EvalSources) {
+				t.Fatalf("map owner eval index %d out of range", m.Owner.EvalIdx)
+			}
+		}
+		if img.NumAnchors > len(img.Objects) {
+			t.Fatalf("NumAnchors %d > %d objects", img.NumAnchors, len(img.Objects))
+		}
+		for _, o := range img.Objects {
+			if o.MapIdx < 0 || o.MapIdx >= len(img.Maps) {
+				t.Fatalf("object map index %d out of range", o.MapIdx)
+			}
+			for _, v := range o.Fields {
+				checkVal(t, img, v)
+			}
+			for _, v := range o.Elems {
+				checkVal(t, img, v)
+			}
+		}
+		for _, m := range img.Manifest {
+			if !m.Block && !m.Meth.Eval && (m.Meth.MapIdx < 0 || m.Meth.MapIdx >= len(img.Maps)) {
+				t.Fatalf("manifest method map index %d out of range", m.Meth.MapIdx)
+			}
+		}
+	})
+}
+
+func checkVal(t *testing.T, img *Image, v Val) {
+	t.Helper()
+	if v.Kind == ValObj && (v.Ref < 0 || v.Ref >= len(img.Objects)) {
+		t.Fatalf("object ref %d out of range (%d objects)", v.Ref, len(img.Objects))
+	}
+}
+
+// TestEncodeDecodeRoundTrip pins the wire format: a decoded image is
+// structurally identical to what was encoded, and the hash matches.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	img := seedImage()
+	data := Encode(img)
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode of freshly encoded image: %v", err)
+	}
+	if got.Hash != img.Hash || got.Hash == "" {
+		t.Fatalf("hash mismatch: encode %q, decode %q", img.Hash, got.Hash)
+	}
+	re := Encode(got)
+	if !bytes.Equal(re, data) {
+		t.Fatal("re-encoding a decoded image produced different bytes")
+	}
+}
+
+// TestDecodeRejectsCorruption spot-checks the fuzz property on the
+// deterministic corpus, so plain `go test` covers it too.
+func TestDecodeRejectsCorruption(t *testing.T) {
+	valid := Encode(seedImage())
+	for i := 0; i < len(valid); i++ {
+		if _, err := Decode(valid[:i]); err == nil {
+			t.Fatalf("accepted truncation to %d of %d bytes", i, len(valid))
+		}
+	}
+	for i := 0; i < len(valid); i++ {
+		mut := append([]byte(nil), valid...)
+		mut[i] ^= 0x01
+		if _, err := Decode(mut); err == nil {
+			t.Fatalf("accepted bit flip at byte %d", i)
+		}
+	}
+	if _, err := Decode(append(append([]byte(nil), valid...), 0)); err == nil {
+		t.Fatal("accepted trailing garbage")
+	}
+}

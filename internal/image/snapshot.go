@@ -1,0 +1,320 @@
+package image
+
+import (
+	"fmt"
+	"sort"
+
+	"selfgo/internal/ast"
+	"selfgo/internal/obj"
+)
+
+// Eval is one interned eval program offered for snapshot: its source
+// text and the scratch method it was parsed into. Restore re-parses
+// the text; the method pointer lets the exporter resolve manifest
+// entries that reference this program's method or blocks.
+type Eval struct {
+	Source string
+	Meth   *obj.Method
+}
+
+// Manifest is one code-cache entry offered for snapshot, still in
+// pointer form. Method entries set Meth (and optionally RMap); block
+// entries set Blk and UpNames.
+type Manifest struct {
+	Meth    *obj.Method
+	RMap    *obj.Map
+	Blk     *ast.Block
+	UpNames []string
+
+	Tier        string
+	Invocations int64
+	Backedges   int64
+	Requested   bool
+}
+
+// Snapshot serializes a world into an Image. sources must be the load
+// texts in the order they were loaded (prelude first); evals the
+// interned eval programs; manifest the code-cache contents to persist.
+//
+// Manifest entries whose code objects are no longer reachable from the
+// current world (a method slot was redefined, an eval program was
+// dropped) are silently skipped and counted in the second return:
+// they name code a replayed world cannot rebuild. An unreachable map
+// on a live *object* is different — that is state the image cannot
+// represent, so it is an error.
+func Snapshot(w *obj.World, sources []string, evals []Eval, manifest []Manifest) (*Image, int, error) {
+	b := &builder{
+		w:       w,
+		litRef:  map[*ast.ObjectLit]ownerPos{},
+		blkRef:  map[*ast.Block]ownerPos{},
+		evalIdx: map[*obj.Method]int{},
+		mapIdx:  map[*obj.Map]int{},
+		objIdx:  map[*obj.Object]int{},
+	}
+	b.img = &Image{Sources: append([]string(nil), sources...)}
+	for i, ev := range evals {
+		b.img.EvalSources = append(b.img.EvalSources, ev.Source)
+		b.evalIdx[ev.Meth] = i
+		b.indexOwner(OwnerRef{Eval: true, EvalIdx: i}, ev.Meth.Ast)
+	}
+	// Index every load map's current method slots: one walk per
+	// top-level method covers all nested literals and blocks.
+	for _, m := range w.LoadMaps() {
+		for i := range m.Slots {
+			s := &m.Slots[i]
+			if s.Kind == obj.MethodSlot {
+				b.indexOwner(OwnerRef{LoadOrd: m.LoadOrd, Sel: s.Name}, s.Meth.Ast)
+			}
+		}
+	}
+
+	// Discover the world-reachable graph, resolve the manifest (which
+	// can intern maps — and thereby discover objects — nothing in the
+	// world graph references anymore), finish discovery, then emit.
+	anchors, digest := walkAnchors(w)
+	b.img.WalkDigest = digest
+	b.img.NumAnchors = len(anchors)
+	for _, o := range anchors {
+		b.objIdx[o] = len(b.objs)
+		b.objs = append(b.objs, o)
+	}
+	if err := b.scan(0); err != nil {
+		return nil, 0, err
+	}
+	scanned := len(b.objs)
+	skipped := b.resolveManifest(manifest)
+	if err := b.scan(scanned); err != nil {
+		return nil, 0, err
+	}
+	b.emit()
+	return b.img, skipped, nil
+}
+
+type ownerPos struct {
+	owner OwnerRef
+	ord   int
+}
+
+type builder struct {
+	w   *obj.World
+	img *Image
+
+	litRef  map[*ast.ObjectLit]ownerPos
+	blkRef  map[*ast.Block]ownerPos
+	evalIdx map[*obj.Method]int
+
+	mapIdx map[*obj.Map]int
+	rtMaps []*obj.Map // runtime maps, parallel to rtIdx entries in img.Maps
+	rtIdx  []int
+	objIdx map[*obj.Object]int
+	objs   []*obj.Object
+}
+
+// indexOwner records the literal and block ordinals under one
+// top-level method, in the canonical walk order.
+func (b *builder) indexOwner(owner OwnerRef, m *ast.Method) {
+	lit, blk := 0, 0
+	walkMethod(m, func(e ast.Expr) {
+		switch n := e.(type) {
+		case *ast.ObjectLit:
+			if _, ok := b.litRef[n]; !ok {
+				b.litRef[n] = ownerPos{owner, lit}
+			}
+			lit++
+		case *ast.Block:
+			if _, ok := b.blkRef[n]; !ok {
+				b.blkRef[n] = ownerPos{owner, blk}
+			}
+			blk++
+		}
+	})
+}
+
+// mapRef interns a map into the image's map table. Run-time maps must
+// be traceable to an object literal inside a currently-installed
+// method (or live eval program), or the replayed world cannot rebuild
+// them.
+func (b *builder) mapRef(m *obj.Map) (int, error) {
+	if i, ok := b.mapIdx[m]; ok {
+		return i, nil
+	}
+	i := len(b.img.Maps)
+	if m.LoadOrd >= 0 {
+		b.mapIdx[m] = i
+		b.img.Maps = append(b.img.Maps, MapRec{LoadOrd: m.LoadOrd})
+		return i, nil
+	}
+	if m.Lit == nil {
+		return 0, fmt.Errorf("cannot save image: map %q was not created by a source load or an object literal", m.Name)
+	}
+	pos, ok := b.litRef[m.Lit]
+	if !ok {
+		return 0, fmt.Errorf("cannot save image: map %q comes from an object literal whose method is no longer installed", m.Name)
+	}
+	b.mapIdx[m] = i
+	b.img.Maps = append(b.img.Maps, MapRec{Runtime: true, Owner: pos.owner, LitOrd: pos.ord})
+	b.rtMaps = append(b.rtMaps, m)
+	b.rtIdx = append(b.rtIdx, i)
+	// A runtime map's const/parent slots can hold objects nothing else
+	// references; they are part of the reachable graph.
+	for j := range m.Slots {
+		s := &m.Slots[j]
+		if s.Kind == obj.ConstSlot || s.Kind == obj.ParentSlot {
+			if err := b.addVal(s.Value, fmt.Sprintf("map %q slot %q", m.Name, s.Name)); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return i, nil
+}
+
+func (b *builder) addVal(v obj.Value, where string) error {
+	switch v.K() {
+	case obj.KBlock:
+		return fmt.Errorf("cannot save image: %s holds a live block closure (blocks pin VM frames and cannot be serialized)", where)
+	case obj.KObj:
+		o := v.Obj()
+		if _, ok := b.objIdx[o]; !ok {
+			b.objIdx[o] = len(b.objs)
+			b.objs = append(b.objs, o)
+		}
+	}
+	return nil
+}
+
+// scan runs the discovery worklist from index `from`: each object's
+// map is interned and its fields and elements enqueued, until no new
+// objects appear.
+func (b *builder) scan(from int) error {
+	for i := from; i < len(b.objs); i++ {
+		o := b.objs[i]
+		if _, err := b.mapRef(o.Map); err != nil {
+			return err
+		}
+		for j, f := range o.Fields {
+			if err := b.addVal(f, fmt.Sprintf("object %d field %d (map %q)", i, j, o.Map.Name)); err != nil {
+				return err
+			}
+		}
+		for j, e := range o.Elems {
+			if err := b.addVal(e, fmt.Sprintf("object %d element %d", i, j)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// emit freezes the discovered graph into records, now that every
+// reachable object and map has a stable index.
+func (b *builder) emit() {
+	for _, o := range b.objs {
+		rec := ObjRec{MapIdx: b.mapIdx[o.Map]}
+		for _, f := range o.Fields {
+			rec.Fields = append(rec.Fields, b.val(f))
+		}
+		for _, e := range o.Elems {
+			rec.Elems = append(rec.Elems, b.val(e))
+		}
+		b.img.Objects = append(b.img.Objects, rec)
+	}
+	for k, m := range b.rtMaps {
+		rec := &b.img.Maps[b.rtIdx[k]]
+		for j := range m.Slots {
+			s := &m.Slots[j]
+			if s.Kind == obj.ConstSlot || s.Kind == obj.ParentSlot {
+				rec.SlotVals = append(rec.SlotVals, SlotVal{Idx: j, V: b.val(s.Value)})
+			}
+		}
+	}
+}
+
+// val encodes a value whose object referent (if any) is already
+// indexed; addVal ran first on every reachable value.
+func (b *builder) val(v obj.Value) Val {
+	switch v.K() {
+	case obj.KInt:
+		return Val{Kind: ValInt, I: v.I()}
+	case obj.KStr:
+		return Val{Kind: ValStr, S: v.S()}
+	case obj.KObj:
+		return Val{Kind: ValObj, Ref: b.objIdx[v.Obj()]}
+	default:
+		return Val{Kind: ValNil}
+	}
+}
+
+// resolveManifest resolves the offered code-cache entries, skipping
+// the ones that no longer correspond to reachable code, and sorts the
+// result so identical cache contents encode to identical bytes.
+func (b *builder) resolveManifest(entries []Manifest) int {
+	skipped := 0
+	for _, ent := range entries {
+		rec, ok := b.manifestRec(ent)
+		if !ok {
+			skipped++
+			continue
+		}
+		b.img.Manifest = append(b.img.Manifest, rec)
+	}
+	sort.Slice(b.img.Manifest, func(i, j int) bool {
+		return manifestKey(b.img.Manifest[i]) < manifestKey(b.img.Manifest[j])
+	})
+	return skipped
+}
+
+func (b *builder) manifestRec(ent Manifest) (ManifestRec, bool) {
+	rec := ManifestRec{
+		Tier:        ent.Tier,
+		Invocations: ent.Invocations,
+		Backedges:   ent.Backedges,
+		Requested:   ent.Requested,
+		RMapIdx:     -1,
+	}
+	if ent.Blk != nil {
+		pos, ok := b.blkRef[ent.Blk]
+		if !ok {
+			return rec, false // block of a replaced method or dropped eval
+		}
+		rec.Block = true
+		rec.Owner = pos.owner
+		rec.Ord = pos.ord
+		rec.UpNames = ent.UpNames
+		return rec, true
+	}
+	if ent.Meth == nil {
+		return rec, false
+	}
+	if i, ok := b.evalIdx[ent.Meth]; ok {
+		rec.Meth = MethodRec{Eval: true, EvalIdx: i}
+	} else {
+		holder := ent.Meth.Holder
+		if holder == nil {
+			return rec, false
+		}
+		sl := holder.SlotNamed(ent.Meth.Sel)
+		if sl == nil || sl.Kind != obj.MethodSlot || sl.Meth != ent.Meth {
+			return rec, false // redefined since this entry was compiled
+		}
+		mi, err := b.mapRef(holder)
+		if err != nil {
+			return rec, false // holder map itself is no longer rebuildable
+		}
+		rec.Meth = MethodRec{MapIdx: mi, Sel: ent.Meth.Sel}
+	}
+	if ent.RMap != nil {
+		mi, err := b.mapRef(ent.RMap)
+		if err != nil {
+			return rec, false
+		}
+		rec.RMapIdx = mi
+	}
+	return rec, true
+}
+
+func manifestKey(m ManifestRec) string {
+	if m.Block {
+		return fmt.Sprintf("b/%v/%06d/%s/%06d", m.Owner.Eval, m.Owner.EvalIdx+m.Owner.LoadOrd, m.Owner.Sel, m.Ord)
+	}
+	return fmt.Sprintf("m/%v/%06d/%s/%06d", m.Meth.Eval, m.Meth.EvalIdx+m.Meth.MapIdx, m.Meth.Sel, m.RMapIdx+1)
+}

@@ -86,6 +86,12 @@ func nextEpoch() uint32 {
 // (epoch 0 is reserved for the permanent heap).
 func NewArena() *Arena { return &Arena{epoch: nextEpoch()} }
 
+// NewEpoch hands out a fresh process-unique epoch from the same
+// counter arenas draw from, for non-arena lifetimes that must be
+// distinguishable from every live arena: the frozen base world
+// (World.Freeze) and each copy-on-write fork's shadow objects.
+func NewEpoch() uint32 { return nextEpoch() }
+
 // Epoch returns the current epoch. Never 0.
 func (a *Arena) Epoch() uint32 {
 	if a == nil {

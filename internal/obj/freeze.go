@@ -1,0 +1,78 @@
+package obj
+
+// Freeze stamps every object reachable from the world's roots with a
+// fresh process-unique epoch (drawn from the same counter as arena
+// epochs, so it can never collide with a live arena) and records it as
+// the world's base epoch. After Freeze the world is a copy-on-write
+// base: further Loads are refused, and VMs running with a matching
+// cowEp redirect writes to base objects into per-fork shadow copies.
+//
+// Freeze is idempotent — repeated calls return the epoch of the first.
+// It must not race with guest execution: freeze after loading is done
+// and before forks start serving, the same window Fork already
+// requires.
+func (w *World) Freeze() uint32 {
+	if w.frozenEp != 0 {
+		return w.frozenEp
+	}
+	ep := nextEpoch()
+	for _, o := range w.ReachableObjects() {
+		o.Ep = ep
+	}
+	w.frozenEp = ep
+	return ep
+}
+
+// FrozenEpoch returns the base epoch set by Freeze, or 0 for an
+// unfrozen world.
+func (w *World) FrozenEpoch() uint32 { return w.frozenEp }
+
+// ReachableObjects enumerates every object reachable from the world's
+// roots (lobby, true, false, the vector prototype) through map
+// constant/parent slot values, object fields and vector elements, in a
+// deterministic breadth-first discovery order. The order is a pure
+// function of world structure, which is what both Freeze and the image
+// writer rely on.
+func (w *World) ReachableObjects() []*Object {
+	seen := make(map[*Object]bool)
+	seenMap := make(map[*Map]bool)
+	var out []*Object
+	add := func(v Value) {
+		if o := v.Obj(); o != nil && !seen[o] {
+			seen[o] = true
+			out = append(out, o)
+		}
+	}
+	scanMap := func(m *Map) {
+		if seenMap[m] {
+			return
+		}
+		seenMap[m] = true
+		for j := range m.Slots {
+			if k := m.Slots[j].Kind; k == ConstSlot || k == ParentSlot {
+				add(m.Slots[j].Value)
+			}
+		}
+	}
+	add(Obj(w.Lobby))
+	add(Obj(w.TrueObj))
+	add(Obj(w.FalseObj))
+	add(Obj(w.VectorProto))
+	// Builtin maps are not any root's own map but carry patched parent
+	// slots; scan them up front so their parents are rooted even if no
+	// lobby slot mentions them.
+	for _, m := range []*Map{w.NilMap, w.IntMap, w.StrMap, w.BlockMap, w.VecMap} {
+		scanMap(m)
+	}
+	for i := 0; i < len(out); i++ {
+		o := out[i]
+		scanMap(o.Map)
+		for _, v := range o.Fields {
+			add(v)
+		}
+		for _, v := range o.Elems {
+			add(v)
+		}
+	}
+	return out
+}

@@ -2,6 +2,7 @@ package obj
 
 import (
 	"fmt"
+	"sync"
 
 	"selfgo/internal/ast"
 )
@@ -9,7 +10,26 @@ import (
 // World is an object universe: the lobby (global namespace), the
 // built-in maps for immediate values, and the well-known singletons.
 type World struct {
+	// mapMu guards map creation: run-time object literals mint maps
+	// from concurrent compiles (the single-flight cache runs compiles
+	// on worker goroutines), so the ID counter and the load registry
+	// need a lock even though source loading itself is single-threaded.
+	mapMu     sync.Mutex
 	nextMapID int
+
+	// loadMaps registers every map created while loading (world
+	// construction and Load calls), in creation order. The order is a
+	// pure function of the source texts loaded, so it is the stable
+	// coordinate system world images use to name maps.
+	loadMaps []*Map
+	// loading is true during world construction and Load; maps created
+	// while it is set get a LoadOrd.
+	loading bool
+
+	// frozenEp, once set by Freeze, marks every world object's epoch;
+	// further source loads are refused (copy-on-write forks share the
+	// frozen base and must see an immutable world).
+	frozenEp uint32
 
 	Lobby *Object
 
@@ -39,6 +59,8 @@ type World struct {
 // otherwise empty lobby. Callers normally load the prelude next.
 func NewWorld() *World {
 	w := &World{}
+	w.loading = true
+	defer func() { w.loading = false }()
 	w.NilMap = w.newMap("nil")
 	w.IntMap = w.newMap("smallInt")
 	w.StrMap = w.newMap("string")
@@ -74,8 +96,30 @@ func NewWorld() *World {
 }
 
 func (w *World) newMap(name string) *Map {
+	w.mapMu.Lock()
+	defer w.mapMu.Unlock()
 	w.nextMapID++
-	return &Map{ID: w.nextMapID, Name: name, byName: map[string]int{}}
+	m := &Map{ID: w.nextMapID, Name: name, byName: map[string]int{}, LoadOrd: -1}
+	if w.loading {
+		m.LoadOrd = len(w.loadMaps)
+		w.loadMaps = append(w.loadMaps, m)
+	}
+	return m
+}
+
+func (w *World) setLoading(b bool) {
+	w.mapMu.Lock()
+	w.loading = b
+	w.mapMu.Unlock()
+}
+
+// LoadMaps returns the registry of maps created during world
+// construction and source loads, in creation order. The slice is the
+// world's own bookkeeping: callers must treat it as read-only.
+func (w *World) LoadMaps() []*Map {
+	w.mapMu.Lock()
+	defer w.mapMu.Unlock()
+	return w.loadMaps
 }
 
 // addSlot appends a slot to a map, assigning field indices to data
@@ -139,6 +183,11 @@ func (w *World) NewVector(n int, fill Value) *Object {
 // literals). Definitions are processed in order, so files may refer to
 // anything defined earlier.
 func (w *World) Load(f *ast.File) error {
+	if w.frozenEp != 0 {
+		return fmt.Errorf("world is frozen (copy-on-write base); no further loads")
+	}
+	w.setLoading(true)
+	defer w.setLoading(false)
 	for _, s := range f.Slots {
 		if err := w.installSlot(w.Lobby, s); err != nil {
 			return err
@@ -216,6 +265,7 @@ func (w *World) evalInit(e ast.Expr) (Value, error) {
 // creating a new map for it.
 func (w *World) BuildObject(lit *ast.ObjectLit) (Value, error) {
 	m := w.newMap(fmt.Sprintf("obj@%s", lit.P))
+	m.Lit = lit
 	o := &Object{Map: m}
 	for _, s := range lit.Slots {
 		if err := w.installSlot(o, s); err != nil {

@@ -146,6 +146,7 @@ type Router struct {
 	reg      *metrics.Registry
 	replicas []*replica
 	start    time.Time
+	bootDur  time.Duration // New() construction time; routers are always cold-booted
 	stop     chan struct{}
 	stopped  chan struct{}
 	scatter  atomic.Uint64 // PolicyRandom sequence
@@ -179,6 +180,7 @@ func New(cfg Config) (*Router, error) {
 		rt.replicas = append(rt.replicas, r)
 	}
 	rt.registerMetrics()
+	rt.bootDur = time.Since(rt.start)
 	go rt.healthLoop()
 	return rt, nil
 }
@@ -534,7 +536,19 @@ type statuszView struct {
 	UptimeSeconds float64         `json:"uptime_seconds"`
 	Policy        string          `json:"policy"`
 	TenantHeader  string          `json:"tenant_header"`
+	Boot          bootStatus      `json:"boot"`
 	Replicas      []replicaStatus `json:"replicas"`
+}
+
+// bootStatus is the boot-provenance block every tier of the fleet
+// exposes on /statusz. The router has no world to restore, so its
+// image is always "cold" and prepromoted always 0; the fields exist so
+// fleet tooling can scrape one shape everywhere.
+type bootStatus struct {
+	Image       string  `json:"image"`
+	BootSeconds float64 `json:"boot_seconds"`
+	Prepromoted int64   `json:"prepromoted"`
+	Ready       bool    `json:"ready"`
 }
 
 type replicaStatus struct {
@@ -548,6 +562,11 @@ func (rt *Router) handleStatusz(w http.ResponseWriter, r *http.Request) {
 		UptimeSeconds: time.Since(rt.start).Seconds(),
 		Policy:        rt.cfg.Policy.String(),
 		TenantHeader:  rt.cfg.TenantHeader,
+		Boot: bootStatus{
+			Image:       "cold",
+			BootSeconds: rt.bootDur.Seconds(),
+			Ready:       true,
+		},
 	}
 	for _, rep := range rt.replicas {
 		view.Replicas = append(view.Replicas, replicaStatus{

@@ -668,3 +668,33 @@ func TestStatuszAndMetricsExposition(t *testing.T) {
 		}
 	}
 }
+
+// TestStatuszBootProvenance: the router's /statusz carries the
+// fleet-wide boot block — always "cold" (a router has no world), with
+// a recorded construction time.
+func TestStatuszBootProvenance(t *testing.T) {
+	a := newStub(t, ok200)
+	_, ts := newTestRouter(t, Config{Replicas: []string{a.ts.URL}})
+	resp, err := http.Get(ts.URL + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var view struct {
+		Boot struct {
+			Image       string  `json:"image"`
+			BootSeconds float64 `json:"boot_seconds"`
+			Prepromoted int64   `json:"prepromoted"`
+			Ready       bool    `json:"ready"`
+		} `json:"boot"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	if view.Boot.Image != "cold" || !view.Boot.Ready || view.Boot.Prepromoted != 0 {
+		t.Fatalf("router boot block: %+v", view.Boot)
+	}
+	if view.Boot.BootSeconds <= 0 {
+		t.Fatalf("router boot_seconds %v, want > 0", view.Boot.BootSeconds)
+	}
+}

@@ -32,6 +32,8 @@ import (
 	"crypto/sha256"
 	"fmt"
 	"net/http"
+	"os"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -99,6 +101,14 @@ type Config struct {
 	// (default 1024; past it the least-recently-used entry is dropped
 	// and its compiled code evicted from the shared cache).
 	MaxEvalPrograms int
+
+	// ImagePath, when set, boots the world from that image instead of
+	// cold-loading the prelude: the image's recorded sources are
+	// replayed, saved object state is restored on top, interned eval
+	// programs are re-seeded, and the code-cache manifest is
+	// re-compiled in the background. /readyz stays 503 until that
+	// pre-promotion finishes.
+	ImagePath string
 }
 
 // ShortDeadline is the deadline at or below which the server forces a
@@ -180,6 +190,17 @@ type Server struct {
 	served   atomic.Int64 // requests answered (any status)
 	drained  atomic.Int64 // requests completed while draining
 
+	// Boot provenance. imageHash and restoreDur are fixed at New
+	// ("" / 0 for a cold boot); ready flips once background
+	// pre-promotion finishes (immediately on a cold boot), and
+	// readySeconds records the time-to-ready at that moment.
+	imageHash        string
+	restoreDur       time.Duration
+	prepromoted      atomic.Int64
+	prepromoteFailed atomic.Int64
+	ready            atomic.Bool
+	readySeconds     atomic.Int64 // microseconds, stored once
+
 	m serverMetrics
 }
 
@@ -189,18 +210,16 @@ type exprEntry struct {
 	last int64 // logical clock for LRU
 }
 
-// New builds the shared system, preloads the prelude and the named
-// benchmarks, forks the worker pool, and wires the metrics registry.
+// New builds the shared system — cold (prelude load) or warm (world
+// image replay + restore) — preloads the named benchmarks, forks the
+// worker pool, and wires the metrics registry. On a warm boot the
+// manifest pre-promotion runs in the background; /readyz reports 503
+// until it finishes.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	root, err := selfgo.NewTieredSystem(cfg.Compiler, cfg.Mode, cfg.PromoteThreshold)
-	if err != nil {
-		return nil, err
-	}
 	s := &Server{
 		cfg:     cfg,
 		reg:     metrics.NewRegistry(),
-		root:    root,
 		pool:    make(chan *selfgo.System, cfg.Pool),
 		start:   time.Now(),
 		loaded:  map[[sha256.Size]byte]bool{},
@@ -208,9 +227,47 @@ func New(cfg Config) (*Server, error) {
 		benches: map[string]benchEntry{},
 	}
 
+	var boot *selfgo.Boot
+	if cfg.ImagePath != "" {
+		f, err := os.Open(cfg.ImagePath)
+		if err != nil {
+			return nil, fmt.Errorf("opening image: %w", err)
+		}
+		boot, err = selfgo.BootFromImage(f, cfg.Compiler, cfg.Mode, cfg.PromoteThreshold)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("booting from image %s: %w", cfg.ImagePath, err)
+		}
+		s.root = boot.Sys
+		s.imageHash = boot.Hash
+		s.restoreDur = boot.RestoreDuration
+		// The replayed sources are already in the world: seed the
+		// program-dedup table so a trace that re-submits them does not
+		// re-load (a re-load would reshape maps and invalidate the
+		// code the manifest is about to rebuild). Same for the
+		// restored eval programs: re-seeding the intern table keeps
+		// their identity — and thus their pre-promoted cache entries —
+		// live for replayed /eval traffic.
+		for _, src := range boot.Sources {
+			s.loaded[sha256.Sum256([]byte(src))] = true
+		}
+		for _, p := range boot.Programs {
+			key := sha256.Sum256([]byte(p.Source))
+			s.exprs[key] = &exprEntry{key: key, prog: p, last: s.touch()}
+		}
+	} else {
+		root, err := selfgo.NewTieredSystem(cfg.Compiler, cfg.Mode, cfg.PromoteThreshold)
+		if err != nil {
+			return nil, err
+		}
+		s.root = root
+	}
+
 	// Preload benchmarks: their sources join the shared world once, so
 	// every later /run request is pure execution against warm or
-	// warming cache.
+	// warming cache. A warm boot normally replayed them out of the
+	// image already; only benchmarks the image does not carry load
+	// here.
 	names := cfg.Benches
 	if names == nil {
 		for _, b := range bench.ParallelSafe() {
@@ -225,8 +282,10 @@ func New(cfg Config) (*Server, error) {
 		if !b.ParallelSafe {
 			return nil, fmt.Errorf("benchmark %q keeps state in lobby globals and cannot run on concurrent workers", name)
 		}
-		if err := root.LoadSource(b.Source); err != nil {
-			return nil, fmt.Errorf("preloading %s: %w", name, err)
+		if !s.loaded[sha256.Sum256([]byte(b.Source))] {
+			if err := s.root.LoadSource(b.Source); err != nil {
+				return nil, fmt.Errorf("preloading %s: %w", name, err)
+			}
 		}
 		s.benches[name] = benchEntry{b: b}
 	}
@@ -234,9 +293,9 @@ func New(cfg Config) (*Server, error) {
 	// The pool: the root plus Pool-1 forks. Every worker shares the
 	// world, the pipelines and the code cache; each runs one request
 	// at a time.
-	s.pool <- root
+	s.pool <- s.root
 	for i := 1; i < cfg.Pool; i++ {
-		w, err := root.Fork()
+		w, err := s.root.Fork()
 		if err != nil {
 			return nil, err
 		}
@@ -244,7 +303,101 @@ func New(cfg Config) (*Server, error) {
 	}
 
 	s.registerMetrics()
+
+	if boot != nil && boot.ManifestLen() > 0 {
+		// Rebuild the hot code set off the request path. Readiness is
+		// gated on completion, so a load balancer only routes here
+		// once the manifest's code is resident at its recorded tiers.
+		go func() {
+			compiled, failed := boot.Prepromote(cfg.Pool)
+			s.prepromoted.Store(int64(compiled))
+			s.prepromoteFailed.Store(int64(failed))
+			s.markReady()
+		}()
+	} else {
+		s.markReady()
+	}
 	return s, nil
+}
+
+// markReady flips the readiness gate once and records time-to-ready.
+func (s *Server) markReady() {
+	if s.ready.CompareAndSwap(false, true) {
+		s.readySeconds.Store(time.Since(s.start).Microseconds())
+	}
+}
+
+// Ready reports whether boot (including any background manifest
+// pre-promotion) has completed.
+func (s *Server) Ready() bool { return s.ready.Load() }
+
+// BootInfo describes how this process came up, for /statusz.
+type BootInfo struct {
+	// Image is the booted image's hash, or "cold".
+	Image string `json:"image"`
+	// ReadySeconds is the time from New to readiness (0 while still
+	// warming); RestoreSeconds the image decode+replay+restore time.
+	ReadySeconds   float64 `json:"ready_seconds"`
+	RestoreSeconds float64 `json:"restore_seconds"`
+	// Prepromoted counts manifest entries re-compiled at boot;
+	// PrepromoteFailed the ones that fell back to on-demand compiles.
+	Prepromoted      int64 `json:"prepromoted"`
+	PrepromoteFailed int64 `json:"prepromote_failed"`
+	Ready            bool  `json:"ready"`
+}
+
+// Boot reports this server's boot provenance.
+func (s *Server) Boot() BootInfo {
+	info := BootInfo{
+		Image:            "cold",
+		RestoreSeconds:   s.restoreDur.Seconds(),
+		ReadySeconds:     float64(s.readySeconds.Load()) / 1e6,
+		Prepromoted:      s.prepromoted.Load(),
+		PrepromoteFailed: s.prepromoteFailed.Load(),
+		Ready:            s.ready.Load(),
+	}
+	if s.imageHash != "" {
+		info.Image = s.imageHash
+	}
+	return info
+}
+
+// SaveImage writes a world image — sources, object state, interned
+// eval programs, code-cache manifest — to path. Meant to run after
+// Drain and listener shutdown: it takes the world lock exclusively, so
+// any still-running request finishes first, and drains background
+// promotions so the manifest sees settled tiers.
+func (s *Server) SaveImage(path string) (*selfgo.ImageInfo, error) {
+	s.root.DrainPromotions()
+	s.worldMu.Lock()
+	defer s.worldMu.Unlock()
+	s.progMu.Lock()
+	entries := make([]*exprEntry, 0, len(s.exprs))
+	for _, e := range s.exprs {
+		entries = append(entries, e)
+	}
+	s.progMu.Unlock()
+	// Oldest first, so a restored process re-interns in the same
+	// relative order and identical cache contents produce identical
+	// images.
+	sort.Slice(entries, func(i, j int) bool { return entries[i].last < entries[j].last })
+	progs := make([]*selfgo.EvalProgram, len(entries))
+	for i, e := range entries {
+		progs[i] = e.prog
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("creating image file: %w", err)
+	}
+	info, err := s.root.SaveImage(f, progs)
+	if cerr := f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("writing image: %w", cerr)
+	}
+	if err != nil {
+		os.Remove(path)
+		return nil, err
+	}
+	return info, nil
 }
 
 // Registry exposes the metrics registry (cmd/selfserved adds process

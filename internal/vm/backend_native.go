@@ -286,6 +286,9 @@ func lowerInstrOp(c *Code, pc int, in *Instr) (nativeOp, error) {
 			if o == nil || idx >= len(o.Fields) {
 				return 0, errBadField(c, "access")
 			}
+			if vm.cowEp != 0 && o.Ep == vm.cowEp {
+				o = vm.cowShadowed(o)
+			}
 			fr.regs[dst] = o.Fields[idx]
 			return nFall, nil
 		}, nil
@@ -297,10 +300,10 @@ func lowerInstrOp(c *Code, pc int, in *Instr) (nativeOp, error) {
 			if o == nil || idx >= len(o.Fields) {
 				return 0, errBadField(c, "store")
 			}
-			o.Fields[idx] = fr.regs[b]
 			if o.Ep != vm.curEp {
-				vm.escapeCheck(fr.regs[b])
+				o = vm.storeSlow(o, fr.regs[b])
 			}
+			o.Fields[idx] = fr.regs[b]
 			return nFall, nil
 		}, nil
 
@@ -314,6 +317,9 @@ func lowerInstrOp(c *Code, pc int, in *Instr) (nativeOp, error) {
 			i := fr.regs[b].I()
 			if i < 0 || i >= int64(len(o.Elems)) {
 				return 0, errElemOOB(c, "load", i, len(o.Elems))
+			}
+			if vm.cowEp != 0 && o.Ep == vm.cowEp {
+				o = vm.cowShadowed(o)
 			}
 			fr.regs[dst] = o.Elems[i]
 			return nFall, nil
@@ -330,10 +336,10 @@ func lowerInstrOp(c *Code, pc int, in *Instr) (nativeOp, error) {
 			if i < 0 || i >= int64(len(o.Elems)) {
 				return 0, errElemOOB(c, "store", i, len(o.Elems))
 			}
-			o.Elems[i] = fr.regs[cr]
 			if o.Ep != vm.curEp {
-				vm.escapeCheck(fr.regs[cr])
+				o = vm.storeSlow(o, fr.regs[cr])
 			}
+			o.Elems[i] = fr.regs[cr]
 			return nFall, nil
 		}, nil
 
@@ -515,6 +521,9 @@ func lowerInstrOp(c *Code, pc int, in *Instr) (nativeOp, error) {
 				vm.uncharge(st, f)
 				return 0, errBadField(c, "access")
 			}
+			if vm.cowEp != 0 && o.Ep == vm.cowEp {
+				o = vm.cowShadowed(o)
+			}
 			fr.regs[dst] = o.Fields[idx]
 			br, aerr := arithVal(st, f, fr)
 			if aerr != nil {
@@ -540,6 +549,9 @@ func lowerInstrOp(c *Code, pc int, in *Instr) (nativeOp, error) {
 			if i < 0 || i >= int64(len(o.Elems)) {
 				vm.uncharge(st, f)
 				return 0, errElemOOB(c, "load", i, len(o.Elems))
+			}
+			if vm.cowEp != 0 && o.Ep == vm.cowEp {
+				o = vm.cowShadowed(o)
 			}
 			fr.regs[dst] = o.Elems[i]
 			br, aerr := arithVal(st, f, fr)

@@ -142,6 +142,18 @@ func (h *HotCounts) Backedges() int64 { return h.backedges.Load() }
 // Requested reports whether promotion was already requested.
 func (h *HotCounts) Requested() bool { return h.requested.Load() }
 
+// Seed restores persisted hotness state onto freshly compiled code: a
+// process booting from a world image replays the counters its
+// predecessor recorded, so adaptive promotion resumes where it left
+// off instead of re-learning from zero. Requested is seeded too —
+// manifest preload compiles directly at the recorded tier, so a
+// counter that already fired must not fire again.
+func (h *HotCounts) Seed(invocations, backedges int64, requested bool) {
+	h.invocations.Store(invocations)
+	h.backedges.Store(backedges)
+	h.requested.Store(requested)
+}
+
 // Code is one compiled method or block.
 type Code struct {
 	Name    string

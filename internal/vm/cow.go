@@ -1,0 +1,81 @@
+package vm
+
+import "selfgo/internal/obj"
+
+// EnableCOW puts the VM in copy-on-write mode over a frozen base
+// world. baseEp is the epoch World.Freeze stamped on every base
+// object; stores into base objects are redirected to per-VM shadow
+// copies and reads through base objects see the shadow, so forks
+// sharing one restored image mutate private overlays while object
+// identity — maps, inline caches, TypeTest — keeps working on the
+// shared base (shadows are storage only and never appear as Values).
+//
+// Escape discipline matches the arena rules: base objects and shadows
+// are permanent (storing them anywhere never dirties an arena), and
+// storing an arena value into a shadow marks the arena escaped exactly
+// as a store into the world does today.
+func (vm *VM) EnableCOW(baseEp uint32) {
+	vm.cowEp = baseEp
+	vm.cowShadowEp = obj.NewEpoch()
+	vm.cowShadows = make(map[*obj.Object]*obj.Object)
+}
+
+// Permanent reports whether a value with epoch ep is epoch-durable
+// from this VM's point of view: the permanent heap (epoch 0), the
+// frozen copy-on-write base world, or this fork's own shadow objects.
+// Such values survive every ResetArena, so holding one across a reset
+// needs no escape marking.
+func (vm *VM) Permanent(ep uint32) bool {
+	if ep == 0 {
+		return true
+	}
+	return vm.cowEp != 0 && (ep == vm.cowEp || ep == vm.cowShadowEp)
+}
+
+// COWShadowCount reports how many base objects this VM has shadowed
+// (tests and /statusz).
+func (vm *VM) COWShadowCount() int { return len(vm.cowShadows) }
+
+// cowShadowed returns the VM's private view of o for reading: the
+// shadow if this fork has written to o, otherwise o itself. Callers
+// guard with `vm.cowEp != 0 && o.Ep == vm.cowEp` so non-COW VMs never
+// pay the map lookup.
+func (vm *VM) cowShadowed(o *obj.Object) *obj.Object {
+	if s, ok := vm.cowShadows[o]; ok {
+		return s
+	}
+	return o
+}
+
+// cowTarget returns the fork-private shadow for base object o,
+// creating it on first write. The shadow shares o's map (identity of
+// shape is identity of the base) and starts as a full copy of o's
+// storage; it is stamped with the fork's shadow epoch so the store
+// barrier and escape check treat it as permanent.
+func (vm *VM) cowTarget(o *obj.Object) *obj.Object {
+	if s, ok := vm.cowShadows[o]; ok {
+		return s
+	}
+	s := &obj.Object{Map: o.Map, Ep: vm.cowShadowEp}
+	if len(o.Fields) > 0 {
+		s.Fields = append([]obj.Value(nil), o.Fields...)
+	}
+	if len(o.Elems) > 0 {
+		s.Elems = append([]obj.Value(nil), o.Elems...)
+	}
+	vm.cowShadows[o] = s
+	return s
+}
+
+// storeSlow is the out-of-line half of the store barrier, entered when
+// the written-to object's epoch differs from the VM's current arena
+// epoch. It redirects base-world stores to the fork's shadow (COW mode
+// only) and runs the escape check on the stored value; the caller
+// performs the actual store on the returned object.
+func (vm *VM) storeSlow(o *obj.Object, v obj.Value) *obj.Object {
+	if vm.cowEp != 0 && o.Ep == vm.cowEp {
+		o = vm.cowTarget(o)
+	}
+	vm.escapeCheck(v)
+	return o
+}

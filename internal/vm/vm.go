@@ -184,6 +184,19 @@ type VM struct {
 	// arena): the store barrier compares every written-to object's
 	// epoch against it, and only mismatches take the slow path.
 	curEp uint32
+
+	// Copy-on-write state (EnableCOW): cowEp is the frozen base
+	// world's epoch — stores into objects carrying it are redirected
+	// into per-VM shadow copies, reads through them see the shadow.
+	// cowShadowEp stamps the shadows themselves (fork-permanent, so
+	// the escape check must not mistake them for arena values).
+	// Base-object stores already miss the `o.Ep != curEp` fast-path
+	// compare, so the write barrier costs nothing new; reads pay one
+	// predictable `cowEp != 0` compare. cowShadows is keyed by the
+	// base object. Zero cowEp (the default) disables all of it.
+	cowEp       uint32
+	cowShadowEp uint32
+	cowShadows  map[*obj.Object]*obj.Object
 }
 
 type methodKey struct {
@@ -528,6 +541,7 @@ func (vm *VM) runFast(code *Code, fr *frame, pc int) (val obj.Value, err error) 
 	st := &vm.Stats
 	extra := vm.InstrExtra
 	trackHot := vm.OnHot != nil
+	cowEp := vm.cowEp // non-zero only on copy-on-write forks
 	for pc >= 0 && pc < len(code.Instrs) {
 		in := &code.Instrs[pc]
 		st.Instrs += int64(in.N)
@@ -556,16 +570,19 @@ func (vm *VM) runFast(code *Code, fr *frame, pc int) (val obj.Value, err error) 
 			if o == nil || in.Index >= len(o.Fields) {
 				return obj.Nil(), errBadField(code, "access")
 			}
+			if cowEp != 0 && o.Ep == cowEp {
+				o = vm.cowShadowed(o)
+			}
 			fr.regs[in.Dst] = o.Fields[in.Index]
 		case ir.StoreF:
 			o := fr.regs[in.A].Obj()
 			if o == nil || in.Index >= len(o.Fields) {
 				return obj.Nil(), errBadField(code, "store")
 			}
-			o.Fields[in.Index] = fr.regs[in.B]
 			if o.Ep != vm.curEp {
-				vm.escapeCheck(fr.regs[in.B])
+				o = vm.storeSlow(o, fr.regs[in.B])
 			}
+			o.Fields[in.Index] = fr.regs[in.B]
 		case ir.LoadE:
 			o := fr.regs[in.A].Obj()
 			if o == nil {
@@ -574,6 +591,9 @@ func (vm *VM) runFast(code *Code, fr *frame, pc int) (val obj.Value, err error) 
 			i := fr.regs[in.B].I()
 			if i < 0 || i >= int64(len(o.Elems)) {
 				return obj.Nil(), errElemOOB(code, "load", i, len(o.Elems))
+			}
+			if cowEp != 0 && o.Ep == cowEp {
+				o = vm.cowShadowed(o)
 			}
 			fr.regs[in.Dst] = o.Elems[i]
 		case ir.StoreE:
@@ -585,10 +605,10 @@ func (vm *VM) runFast(code *Code, fr *frame, pc int) (val obj.Value, err error) 
 			if i < 0 || i >= int64(len(o.Elems)) {
 				return obj.Nil(), errElemOOB(code, "store", i, len(o.Elems))
 			}
-			o.Elems[i] = fr.regs[in.C]
 			if o.Ep != vm.curEp {
-				vm.escapeCheck(fr.regs[in.C])
+				o = vm.storeSlow(o, fr.regs[in.C])
 			}
+			o.Elems[i] = fr.regs[in.C]
 		case ir.VecLen:
 			o := fr.regs[in.A].Obj()
 			if o == nil {
@@ -709,6 +729,9 @@ func (vm *VM) runFast(code *Code, fr *frame, pc int) (val obj.Value, err error) 
 				vm.uncharge(st, f)
 				return obj.Nil(), errBadField(code, "access")
 			}
+			if cowEp != 0 && o.Ep == cowEp {
+				o = vm.cowShadowed(o)
+			}
 			fr.regs[in.Dst] = o.Fields[in.Index]
 			br, aerr := arithVal(st, f, fr)
 			if aerr != nil {
@@ -729,6 +752,9 @@ func (vm *VM) runFast(code *Code, fr *frame, pc int) (val obj.Value, err error) 
 			if i < 0 || i >= int64(len(o.Elems)) {
 				vm.uncharge(st, f)
 				return obj.Nil(), errElemOOB(code, "load", i, len(o.Elems))
+			}
+			if cowEp != 0 && o.Ep == cowEp {
+				o = vm.cowShadowed(o)
 			}
 			fr.regs[in.Dst] = o.Elems[i]
 			br, aerr := arithVal(st, f, fr)
@@ -827,6 +853,7 @@ func (vm *VM) runTraced(code *Code, fr *frame, pc int) (val obj.Value, err error
 	st := &vm.Stats
 	extra := vm.InstrExtra
 	trackHot := vm.OnHot != nil
+	cowEp := vm.cowEp // non-zero only on copy-on-write forks
 	for pc >= 0 && pc < len(code.Instrs) {
 		in := &code.Instrs[pc]
 		fmt.Fprintf(vm.Trace, "%*s%s @%d: %s\n", vm.depth, "", code.Name, pc, in)
@@ -856,16 +883,19 @@ func (vm *VM) runTraced(code *Code, fr *frame, pc int) (val obj.Value, err error
 			if o == nil || in.Index >= len(o.Fields) {
 				return obj.Nil(), errBadField(code, "access")
 			}
+			if cowEp != 0 && o.Ep == cowEp {
+				o = vm.cowShadowed(o)
+			}
 			fr.regs[in.Dst] = o.Fields[in.Index]
 		case ir.StoreF:
 			o := fr.regs[in.A].Obj()
 			if o == nil || in.Index >= len(o.Fields) {
 				return obj.Nil(), errBadField(code, "store")
 			}
-			o.Fields[in.Index] = fr.regs[in.B]
 			if o.Ep != vm.curEp {
-				vm.escapeCheck(fr.regs[in.B])
+				o = vm.storeSlow(o, fr.regs[in.B])
 			}
+			o.Fields[in.Index] = fr.regs[in.B]
 		case ir.LoadE:
 			o := fr.regs[in.A].Obj()
 			if o == nil {
@@ -874,6 +904,9 @@ func (vm *VM) runTraced(code *Code, fr *frame, pc int) (val obj.Value, err error
 			i := fr.regs[in.B].I()
 			if i < 0 || i >= int64(len(o.Elems)) {
 				return obj.Nil(), errElemOOB(code, "load", i, len(o.Elems))
+			}
+			if cowEp != 0 && o.Ep == cowEp {
+				o = vm.cowShadowed(o)
 			}
 			fr.regs[in.Dst] = o.Elems[i]
 		case ir.StoreE:
@@ -885,10 +918,10 @@ func (vm *VM) runTraced(code *Code, fr *frame, pc int) (val obj.Value, err error
 			if i < 0 || i >= int64(len(o.Elems)) {
 				return obj.Nil(), errElemOOB(code, "store", i, len(o.Elems))
 			}
-			o.Elems[i] = fr.regs[in.C]
 			if o.Ep != vm.curEp {
-				vm.escapeCheck(fr.regs[in.C])
+				o = vm.storeSlow(o, fr.regs[in.C])
 			}
+			o.Elems[i] = fr.regs[in.C]
 		case ir.VecLen:
 			o := fr.regs[in.A].Obj()
 			if o == nil {
@@ -1004,6 +1037,9 @@ func (vm *VM) runTraced(code *Code, fr *frame, pc int) (val obj.Value, err error
 				vm.uncharge(st, f)
 				return obj.Nil(), errBadField(code, "access")
 			}
+			if cowEp != 0 && o.Ep == cowEp {
+				o = vm.cowShadowed(o)
+			}
 			fr.regs[in.Dst] = o.Fields[in.Index]
 			br, aerr := arithVal(st, f, fr)
 			if aerr != nil {
@@ -1024,6 +1060,9 @@ func (vm *VM) runTraced(code *Code, fr *frame, pc int) (val obj.Value, err error
 			if i < 0 || i >= int64(len(o.Elems)) {
 				vm.uncharge(st, f)
 				return obj.Nil(), errElemOOB(code, "load", i, len(o.Elems))
+			}
+			if cowEp != 0 && o.Ep == cowEp {
+				o = vm.cowShadowed(o)
 			}
 			fr.regs[in.Dst] = o.Elems[i]
 			br, aerr := arithVal(st, f, fr)
@@ -1238,7 +1277,9 @@ func (vm *VM) escapeCheck(v obj.Value) {
 	}
 	switch v.K() {
 	case obj.KObj:
-		if v.Obj().Ep != 0 {
+		// Permanent epochs: 0 (heap), the frozen COW base, and this
+		// fork's shadow copies. Everything else is arena-lifetime.
+		if ep := v.Obj().Ep; ep != 0 && ep != vm.cowEp && ep != vm.cowShadowEp {
 			vm.Arena.MarkEscaped()
 		}
 	case obj.KBlock:
@@ -1284,6 +1325,9 @@ func (vm *VM) makeClone(st *RunStats, fr *frame, in *Instr) error {
 		return nil
 	}
 	so := src.Obj()
+	if vm.cowEp != 0 && so.Ep == vm.cowEp {
+		so = vm.cowShadowed(so) // clone sees the fork's writes
+	}
 	if berr := vm.chargeBytes(st, int64(len(so.Fields)+len(so.Elems))); berr != nil {
 		st.Cycles -= CostCloneBase
 		return berr
@@ -1452,6 +1496,9 @@ func (vm *VM) execSend(in *Instr, fr *frame, code *Code) (obj.Value, error) {
 		if target == nil {
 			return obj.Nil(), &RuntimeError{Msg: "data slot on immediate"}
 		}
+		if vm.cowEp != 0 && target.Ep == vm.cowEp {
+			target = vm.cowShadowed(target)
+		}
 		return target.Fields[slot.Index], nil
 	case obj.AssignSlot:
 		target := holder
@@ -1461,10 +1508,10 @@ func (vm *VM) execSend(in *Instr, fr *frame, code *Code) (obj.Value, error) {
 		if target == nil {
 			return obj.Nil(), &RuntimeError{Msg: "assignment on immediate"}
 		}
-		target.Fields[slot.Index] = args[0]
 		if target.Ep != vm.curEp {
-			vm.escapeCheck(args[0])
+			target = vm.storeSlow(target, args[0])
 		}
+		target.Fields[slot.Index] = args[0]
 		return args[0], nil
 	case obj.MethodSlot:
 		callee, err := vm.CodeFor(slot.Meth, m)
@@ -1591,6 +1638,9 @@ func (vm *VM) execPrim(in *Instr, fr *frame) (obj.Value, error) {
 		if i < 0 || i >= int64(len(o.Elems)) {
 			return fail("index out of bounds")
 		}
+		if vm.cowEp != 0 && o.Ep == vm.cowEp {
+			o = vm.cowShadowed(o)
+		}
 		return o.Elems[i], nil
 	case "_At:Put:":
 		o := recv.Obj()
@@ -1601,10 +1651,10 @@ func (vm *VM) execPrim(in *Instr, fr *frame) (obj.Value, error) {
 		if i < 0 || i >= int64(len(o.Elems)) {
 			return fail("index out of bounds")
 		}
-		o.Elems[i] = args[1]
 		if o.Ep != vm.curEp {
-			vm.escapeCheck(args[1])
+			o = vm.storeSlow(o, args[1])
 		}
+		o.Elems[i] = args[1]
 		return args[1], nil
 	case "_Size":
 		if recv.K() != obj.KObj || !recv.Obj().Map.Indexable {
@@ -1632,6 +1682,9 @@ func (vm *VM) execPrim(in *Instr, fr *frame) (obj.Value, error) {
 			return recv, nil
 		}
 		ro := recv.Obj()
+		if vm.cowEp != 0 && ro.Ep == vm.cowEp {
+			ro = vm.cowShadowed(ro) // clone sees the fork's writes
+		}
 		if berr := vm.chargeBytes(st, int64(len(ro.Fields)+len(ro.Elems))); berr != nil {
 			return obj.Nil(), berr
 		}

@@ -19,7 +19,7 @@ import (
 // execution backend.
 func nativeSys(t *testing.T, cfg Config, src string) *System {
 	t.Helper()
-	sys, err := newSystem(cfg, nil, ModeNative, 0)
+	sys, err := newSystem(cfg, nil, ModeNative, 0, true)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -234,6 +234,38 @@ type System struct {
 	// order; forked workers append to their parent's log, so it is
 	// mutex-protected.
 	log *compileLog
+
+	// sources records every text successfully loaded into the world,
+	// in order — the replayable recipe world images are built on.
+	// Shared across forks like the log.
+	sources *sourceLog
+}
+
+// sourceLog is the shared, locked load-text record. dirty is set when
+// a load failed partway: the world then no longer matches any
+// replayable source sequence and SaveImage refuses to run.
+type sourceLog struct {
+	mu    sync.Mutex
+	texts []string
+	dirty bool
+}
+
+func (l *sourceLog) add(src string) {
+	l.mu.Lock()
+	l.texts = append(l.texts, src)
+	l.mu.Unlock()
+}
+
+func (l *sourceLog) markDirty() {
+	l.mu.Lock()
+	l.dirty = true
+	l.mu.Unlock()
+}
+
+func (l *sourceLog) snapshot() ([]string, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]string(nil), l.texts...), l.dirty
 }
 
 // compileLog is the shared, locked compile log.
@@ -314,7 +346,7 @@ type Result struct {
 // accept program source. Its code cache is private to the one VM, as in
 // the original single-process SELF system.
 func NewSystem(cfg Config) (*System, error) {
-	return newSystem(cfg, nil, ModeOpt, 0)
+	return newSystem(cfg, nil, ModeOpt, 0, true)
 }
 
 // NewSharedSystem creates a system whose VM compiles through a shared
@@ -323,7 +355,7 @@ func NewSystem(cfg Config) (*System, error) {
 // each (method, receiver map) customization is then compiled exactly
 // once no matter how many workers request it concurrently.
 func NewSharedSystem(cfg Config) (*System, error) {
-	return newSystem(cfg, codecache.New[*vm.Code](), ModeOpt, 0)
+	return newSystem(cfg, codecache.New[*vm.Code](), ModeOpt, 0, true)
 }
 
 // NewTieredSystem creates a shared-cache system running the given tier
@@ -334,10 +366,14 @@ func NewTieredSystem(cfg Config, mode TierMode, promoteThreshold int64) (*System
 	if promoteThreshold <= 0 {
 		promoteThreshold = DefaultPromoteThreshold
 	}
-	return newSystem(cfg, codecache.New[*vm.Code](), mode, promoteThreshold)
+	return newSystem(cfg, codecache.New[*vm.Code](), mode, promoteThreshold, true)
 }
 
-func newSystem(cfg Config, shared *codecache.Cache[*vm.Code], mode TierMode, promoteThreshold int64) (*System, error) {
+// newSystem builds a system. loadPrelude is false only when booting
+// from a world image, whose recorded source list starts with the
+// prelude text the saving process loaded — replaying that (possibly
+// older) text is what makes the image self-contained.
+func newSystem(cfg Config, shared *codecache.Cache[*vm.Code], mode TierMode, promoteThreshold int64, loadPrelude bool) (*System, error) {
 	if mode == ModeAdaptive && shared == nil {
 		return nil, fmt.Errorf("adaptive mode requires a shared code cache")
 	}
@@ -346,6 +382,7 @@ func newSystem(cfg Config, shared *codecache.Cache[*vm.Code], mode TierMode, pro
 		Cfg: cfg, Mode: mode, world: w, shared: shared,
 		promoteThreshold: promoteThreshold,
 		prom:             &promAgg{}, log: &compileLog{},
+		sources:          &sourceLog{},
 	}
 	s.pipeOpt = core.NewPipeline(w, cfg, core.TierOptimizing)
 	s.pipeNative = core.NewPipeline(w, cfg, core.TierNative)
@@ -357,8 +394,10 @@ func newSystem(cfg Config, shared *codecache.Cache[*vm.Code], mode TierMode, pro
 		// compiler already specialized against.
 		w.OnMapChange = func(m *obj.Map) { shared.InvalidateMap(m) }
 	}
-	if err := s.LoadSource(prelude.Source); err != nil {
-		return nil, fmt.Errorf("loading prelude: %w", err)
+	if loadPrelude {
+		if err := s.LoadSource(prelude.Source); err != nil {
+			return nil, fmt.Errorf("loading prelude: %w", err)
+		}
 	}
 	return s, nil
 }
@@ -541,6 +580,7 @@ func (s *System) Fork() (*System, error) {
 		promoteThreshold: s.promoteThreshold,
 		prom:             s.prom,
 		log:              s.log,
+		sources:          s.sources,
 	}
 	w.machine = w.newVM()
 	w.machine.Budget = s.machine.Budget
@@ -580,7 +620,7 @@ func (s *System) ArenaStats() (resets, abandons int64) {
 func (s *System) MarkEscaped(v Value) {
 	switch v.K() {
 	case obj.KObj:
-		if o := v.Obj(); o != nil && o.Ep != 0 {
+		if o := v.Obj(); o != nil && !s.machine.Permanent(o.Ep) {
 			s.machine.Arena.MarkEscaped()
 		}
 	case obj.KBlock:
@@ -646,15 +686,23 @@ func (s *System) TierCounts() map[string]int {
 func (s *System) World() *World { return s.world }
 
 // LoadSource parses src as lobby slot definitions and installs them.
+// Successful loads are recorded for SaveImage; a load that fails after
+// installing some slots leaves the world unreplayable and poisons
+// image saving (parse errors and loads refused by a frozen world
+// install nothing and poison nothing).
 func (s *System) LoadSource(src string) error {
 	f, err := parser.ParseFile(src)
 	if err != nil {
 		return err
 	}
 	if err := s.world.Load(f); err != nil {
+		if s.world.FrozenEpoch() == 0 {
+			s.sources.markDirty()
+		}
 		return err
 	}
 	s.world.Finalize()
+	s.sources.add(src)
 	return nil
 }
 
