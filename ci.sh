@@ -289,6 +289,14 @@ go run ./cmd/selfbench -bench richards -tier adaptive -promote 50 -assert-promot
 echo "== tier differential"
 go test -run 'TestTierOptBitIdentical' .
 
+# BBV differential: the lazy basic-block versioning strategy must stay
+# bit-identical to splitting on every benchmark and conformance program
+# (values and fault taxonomy), plateau at the version cap on
+# megamorphic code, and invalidate shape-specialized versions through
+# OnMapChange like any other customization.
+echo "== bbv differential"
+go test -run 'TestBBVVsSplitBenchmarks|TestBBVConformanceAcrossStrategies|TestBBVFaultDifferential|TestBBVVersionCapBound|TestBBVShapeInvalidation' .
+
 # Server smoke: boot selfserved on an ephemeral port and drive it with
 # selfload over >= 8 concurrent connections. Asserts, from the server's
 # own /metrics: compile-once under steady load (codecache misses stop
@@ -323,6 +331,28 @@ kill -TERM "$server_pid"
 wait "$server_pid" || { echo "ci: selfserved did not drain cleanly"; cat "$server_log"; exit 1; }
 trap - EXIT
 grep -q 'drained cleanly' "$server_log" || { echo "ci: no drain line in log"; cat "$server_log"; exit 1; }
+# bbv replica: the same eval traffic under -strategy bbv must hold
+# compile-once (cache keys carry the strategy, so bbv code shares
+# nothing with split code), compute the same values, and actually
+# version (selfgo_bbv_versions_total > 0).
+/tmp/ci-selfserved -addr 127.0.0.1:0 -strategy bbv -pool 4 -queue 16 2>"$server_log" &
+server_pid=$!
+trap 'kill "$server_pid" 2>/dev/null || true' EXIT
+for i in $(seq 1 50); do
+    url=$(grep -o 'http://[0-9.:]*' "$server_log" | head -1 || true)
+    [ -n "$url" ] && break
+    sleep 0.1
+done
+[ -n "$url" ] || { echo "ci: selfserved (bbv) never came up"; cat "$server_log"; exit 1; }
+/tmp/ci-selfload -url "$url" -c 8 -n 120 \
+    -expr '| s <- 0 | 1 upTo: 1000 Do: [ :i | s: s + i ]. s' \
+    -check-int -expect-int 499500 -fail-on-error -assert-compile-once -q
+bbv_vers=$(/tmp/ci-selfload -url "$url" -scrape selfgo_bbv_versions_total)
+[ "$bbv_vers" -ge 1 ] || { echo "ci: bbv replica materialized no versions"; exit 1; }
+kill -TERM "$server_pid"
+wait "$server_pid" || { echo "ci: selfserved (bbv) did not drain cleanly"; cat "$server_log"; exit 1; }
+trap - EXIT
+grep -q 'drained cleanly' "$server_log" || { echo "ci: no drain line in bbv log"; cat "$server_log"; exit 1; }
 # overload: tiny pool + queue, 16 connections — must shed with 429.
 /tmp/ci-selfserved -addr 127.0.0.1:0 -pool 2 -queue 2 2>"$server_log" &
 server_pid=$!
@@ -374,6 +404,8 @@ if [ "$short" != "-short" ]; then
     go test -run '^$' -fuzz '^FuzzDecodeRunRequest$' -fuzztime 5s ./internal/wire
     echo "== fuzz smoke: FuzzNativeDifferential"
     go test -run '^$' -fuzz '^FuzzNativeDifferential$' -fuzztime 10s .
+    echo "== fuzz smoke: FuzzBBVDifferential"
+    go test -run '^$' -fuzz '^FuzzBBVDifferential$' -fuzztime 10s .
     echo "== fuzz smoke: FuzzImageDecode"
     go test -run '^$' -fuzz '^FuzzImageDecode$' -fuzztime 10s ./internal/image
 fi

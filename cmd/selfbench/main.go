@@ -34,7 +34,7 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "table to print: all, speed-summary, compile-summary, speed, size, compile, ablation, guard, json")
+	table := flag.String("table", "all", "table to print: all, speed-summary, compile-summary, speed, size, compile, ablation, strategy, guard, json")
 	one := flag.String("bench", "", "run a single benchmark across every system")
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	quiet := flag.Bool("q", false, "suppress progress output")
@@ -42,6 +42,7 @@ func main() {
 	reps := flag.Int("reps", 4, "with -workers: benchmark runs per worker")
 	configName := flag.String("config", "new", "compiler config (new, new-multi, old89, old90, st80, c); used by -workers and -hostbench")
 	tierName := flag.String("tier", "opt", "tier schedule: opt (eager optimizing), baseline, adaptive, native (eager closure-threaded backend)")
+	strategyName := flag.String("strategy", "split", "specialization strategy for -workers/-hostbench/-bench/-tier runs: split, bbv, both")
 	promote := flag.Int64("promote", 0, "adaptive promotion threshold (invocations+backedges; 0 = default)")
 	assertPromoted := flag.Bool("assert-promoted", false, "with -tier adaptive: exit nonzero unless every measured benchmark installs >= 1 promotion")
 	assertNative := flag.Bool("assert-native", false, "with -tier adaptive: exit nonzero unless every measured benchmark climbs the second rung (>= 1 native-tier compile)")
@@ -68,6 +69,25 @@ func main() {
 		defer writeMemProfile(*memprofile)
 	}
 
+	strat, err := selfgo.StrategyByName(*strategyName)
+	if err != nil {
+		fatal(err)
+	}
+	// loadCfg resolves -config with -strategy applied (and the name
+	// suffixed so strategy-distinct runs never collide in caches or
+	// output labels).
+	loadCfg := func() (selfgo.Config, error) {
+		cfg, err := cli.ConfigByName(*configName)
+		if err != nil {
+			return cfg, err
+		}
+		if strat != selfgo.StrategySplit {
+			cfg.Strategy = strat
+			cfg.Name = fmt.Sprintf("%s (%s)", cfg.Name, strat)
+		}
+		return cfg, nil
+	}
+
 	if *list {
 		for _, b := range bench.All() {
 			safe := ""
@@ -80,7 +100,7 @@ func main() {
 	}
 
 	if *workers > 0 {
-		cfg, err := cli.ConfigByName(*configName)
+		cfg, err := loadCfg()
 		if err != nil {
 			fatal(err)
 		}
@@ -97,7 +117,7 @@ func main() {
 	}
 
 	if *hostbench {
-		cfg, err := cli.ConfigByName(*configName)
+		cfg, err := loadCfg()
 		if err != nil {
 			fatal(err)
 		}
@@ -108,7 +128,7 @@ func main() {
 	}
 
 	if mode != selfgo.ModeOpt {
-		cfg, err := cli.ConfigByName(*configName)
+		cfg, err := loadCfg()
 		if err != nil {
 			fatal(err)
 		}
@@ -185,6 +205,8 @@ func main() {
 		emit(r.CompileTimeTable)
 	case "ablation":
 		emit(r.AblationTable)
+	case "strategy":
+		emit(r.StrategyTable)
 	default:
 		fatal(fmt.Errorf("unknown table %q", *table))
 	}

@@ -29,6 +29,7 @@ import (
 func main() {
 	configName := flag.String("config", "new", "compiler: new, new-multi, old89, old90, st80, c")
 	tierName := flag.String("tier", "opt", "tier schedule: opt (eager optimizing), baseline, adaptive, native (eager closure-threaded backend)")
+	strategyName := flag.String("strategy", "split", "specialization strategy: split (iterative analysis + splitting), bbv (lazy basic-block versioning), both")
 	promote := flag.Int64("promote", 0, "adaptive promotion threshold (invocations+backedges; 0 = default)")
 	expr := flag.String("e", "", "evaluate an expression sequence instead of calling a selector")
 	argList := flag.String("args", "", "comma-separated integer arguments for the selector")
@@ -59,6 +60,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	strat, err := selfgo.StrategyByName(*strategyName)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Strategy = strat
 	mode, err := selfgo.TierModeByName(*tierName)
 	if err != nil {
 		fatal(err)
@@ -166,6 +172,10 @@ func main() {
 			res.Run.Cycles, res.Run.Instrs, res.Run.Sends, res.Run.ICHits, res.Run.ICMisses, res.Run.Calls)
 		fmt.Printf("typeTests=%d ovflChecks=%d boundsChecks=%d blockValues=%d allocs=%d maxDepth=%d\n",
 			res.Run.TypeTests, res.Run.OvflChecks, res.Run.BoundsChecks, res.Run.BlockValues, res.Run.Allocs, res.Run.MaxDepth)
+		if res.Run.BBVVersions > 0 || res.Run.BBVCapHits > 0 {
+			fmt.Printf("bbv: versions=%d capHits=%d elided(ctx)=%d elided(shape)=%d versionBytes=%d\n",
+				res.Run.BBVVersions, res.Run.BBVCapHits, res.Run.BBVElidedCtx, res.Run.BBVElidedShape, res.Run.BBVVersionBytes)
+		}
 		fmt.Printf("compiled %d methods, %d code bytes, in %v",
 			res.Compile.Methods, res.Compile.CodeBytes, res.CompileTime.Round(time.Microsecond))
 		if res.Compile.Degraded > 0 {

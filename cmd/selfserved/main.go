@@ -38,10 +38,11 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:8673", "listen address (use :0 for an ephemeral port)")
-		cfgName = flag.String("config", "new", "compiler configuration: "+strings.Join(cli.Names(), ", "))
-		tier    = flag.String("tier", "opt", "tier schedule: opt, baseline, adaptive or native")
-		promote = flag.Int64("promote", 0, "adaptive promotion threshold (0 = default)")
+		addr     = flag.String("addr", "127.0.0.1:8673", "listen address (use :0 for an ephemeral port)")
+		cfgName  = flag.String("config", "new", "compiler configuration: "+strings.Join(cli.Names(), ", "))
+		tier     = flag.String("tier", "opt", "tier schedule: opt, baseline, adaptive or native")
+		promote  = flag.Int64("promote", 0, "adaptive promotion threshold (0 = default)")
+		strategy = flag.String("strategy", "split", "specialization strategy: split, bbv or both")
 
 		pool  = flag.Int("pool", 4, "worker VMs sharing the world and code cache")
 		queue = flag.Int("queue", 16, "admission queue depth before shedding with 429")
@@ -70,6 +71,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	strat, err := selfgo.StrategyByName(*strategy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.Strategy = strat
 	mode, err := selfgo.TierModeByName(*tier)
 	if err != nil {
 		log.Fatal(err)

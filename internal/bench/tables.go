@@ -374,6 +374,96 @@ func (r *Runner) AblationTable() (*Table, error) {
 	return t, nil
 }
 
+// strategyConfigs returns new SELF under each specialization strategy.
+// The names differ so the runner caches them as distinct measurements.
+func strategyConfigs() []selfgo.Config {
+	split := selfgo.NewSELF
+	split.Name = "new SELF (split)"
+	bbv := selfgo.NewSELF
+	bbv.Name = "new SELF (bbv)"
+	bbv.Strategy = selfgo.StrategyBBV
+	both := selfgo.NewSELF
+	both.Name = "new SELF (both)"
+	both.Strategy = selfgo.StrategyBoth
+	return []selfgo.Config{split, bbv, both}
+}
+
+// strategyBaseline is new SELF with every type-derivation pass off —
+// the common no-specialization point the "tests removed" column is
+// measured against for all three strategies.
+func strategyBaseline() selfgo.Config {
+	c := selfgo.NewSELF
+	c.Name = "new SELF (no specialization)"
+	c.TypeAnalysis = false
+	c.RangeAnalysis = false
+	c.IterativeLoops = false
+	c.ExtendedSplitting = false
+	return c
+}
+
+// StrategySize is the modelled code size of a measurement under its
+// strategy: eager compiled bytes for split, the lazily materialized
+// version bytes for bbv (a lazy code generator emits only the regions
+// that actually ran), and their sum for both (versions specialize code
+// that was already compiled).
+func StrategySize(m *Measurement) int64 {
+	switch {
+	case m.Run.BBVVersions == 0:
+		return int64(m.CodeBytes)
+	case m.CodeBytes > 0 && strings.Contains(m.Config, "both"):
+		return int64(m.CodeBytes) + m.Run.BBVVersionBytes
+	default:
+		return m.Run.BBVVersionBytes
+	}
+}
+
+// StrategyTable is the E-BBV head-to-head: every benchmark under
+// splitting, lazy basic-block versioning, and both, with executed and
+// removed type-test counts, send counts, version/cap activity, and
+// modelled code size.
+func (r *Runner) StrategyTable() (*Table, error) {
+	base := strategyBaseline()
+	t := &Table{
+		Title: "Specialization strategies head-to-head: splitting vs lazy basic-block versioning  [E-BBV]",
+		Header: []string{"benchmark", "strategy", "cycles", "tests run", "tests removed",
+			"elided ctx", "elided shape", "sends", "versions", "cap hits", "size B"},
+	}
+	for _, b := range All() {
+		mb, err := r.Get(b, base)
+		if err != nil {
+			return nil, err
+		}
+		for _, cfg := range strategyConfigs() {
+			m, err := r.Get(b, cfg)
+			if err != nil {
+				return nil, err
+			}
+			if m.Value != mb.Value {
+				return nil, fmt.Errorf("%s under %s: value %d differs from baseline %d",
+					b.Name, cfg.Name, m.Value, mb.Value)
+			}
+			strat := strings.TrimSuffix(strings.TrimPrefix(cfg.Name, "new SELF ("), ")")
+			t.Rows = append(t.Rows, []string{
+				b.Name, strat,
+				fmt.Sprintf("%d", m.Cycles),
+				fmt.Sprintf("%d", m.Run.TypeTests),
+				fmt.Sprintf("%d", mb.Run.TypeTests-m.Run.TypeTests),
+				fmt.Sprintf("%d", m.Run.BBVElidedCtx),
+				fmt.Sprintf("%d", m.Run.BBVElidedShape),
+				fmt.Sprintf("%d", m.Run.Sends),
+				fmt.Sprintf("%d", m.Run.BBVVersions),
+				fmt.Sprintf("%d", m.Run.BBVCapHits),
+				fmt.Sprintf("%d", StrategySize(m)),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"tests removed = executed type tests under new SELF with all type-derivation passes off,",
+		"minus the strategy's executed tests. size: eager compiled bytes (split), lazily",
+		"materialized version bytes (bbv), or their sum (both).")
+	return t, nil
+}
+
 // JSON dumps every cached measurement as machine-readable records,
 // measuring any (benchmark, config) pairs not yet in the cache for the
 // standard table set first.

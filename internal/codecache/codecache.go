@@ -33,11 +33,15 @@ const numShards = 16
 
 // Key identifies one unit of compiled code: a method customized for a
 // receiver map (RMap nil when customization is off), or an out-of-line
-// block. Exactly one of Meth/Blk is set.
+// block. Exactly one of Meth/Blk is set. Strat is the specialization
+// strategy the code was compiled under (core.Strategy's numeric value):
+// replicas running different strategies in one process specialize the
+// same method differently, so they must not share entries.
 type Key struct {
-	Meth *obj.Method
-	RMap *obj.Map
-	Blk  *ast.Block
+	Meth  *obj.Method
+	RMap  *obj.Map
+	Blk   *ast.Block
+	Strat uint8
 }
 
 // shardIndex hashes the key's stable identity (selector text, map IDs,
@@ -70,6 +74,7 @@ func (k Key) shardIndex() int {
 		mixInt(k.Blk.P.Line)
 		mixInt(k.Blk.P.Col)
 	}
+	mix(k.Strat)
 	return int(h % numShards)
 }
 
@@ -153,7 +158,7 @@ type shard[V any] struct {
 	// false instead of starting a second compile.
 	promoting map[Key]bool
 
-	hits, misses, waits, evicted                int64
+	hits, misses, waits, evicted              int64
 	promotions, promoteFails, promoteDiscards int64
 }
 

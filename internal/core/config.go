@@ -8,7 +8,61 @@
 // pipeline reproduces the paper's five measured systems.
 package core
 
-import "time"
+import (
+	"fmt"
+	"time"
+)
+
+// Strategy selects how the system removes type tests: the paper's
+// eager iterative analysis + extended splitting, lazy basic-block
+// versioning (Chevalier-Boisvert & Feeley) with typed object shapes,
+// or both at once. It is an axis orthogonal to tiers: any tier of any
+// preset can run under any strategy.
+type Strategy uint8
+
+const (
+	// StrategySplit is the paper's system as measured: all
+	// specialization happens eagerly at compile time. The zero value,
+	// so every existing preset and saved config is unchanged.
+	StrategySplit Strategy = iota
+
+	// StrategyBBV turns the eager analysis off and relies on lazy
+	// basic-block versioning at run time: code compiles as an
+	// unspecialized stub and blocks specialize per entry type context
+	// on first execution (internal/bbv).
+	StrategyBBV
+
+	// StrategyBoth layers BBV on top of the full eager repertoire:
+	// splitting removes what analysis proves, versioning removes what
+	// only run-time contexts prove (shape facts, cross-merge facts the
+	// split budget dropped).
+	StrategyBoth
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case StrategySplit:
+		return "split"
+	case StrategyBBV:
+		return "bbv"
+	case StrategyBoth:
+		return "both"
+	}
+	return fmt.Sprintf("strategy(%d)", int(s))
+}
+
+// ParseStrategy maps a -strategy flag value to a Strategy.
+func ParseStrategy(name string) (Strategy, error) {
+	switch name {
+	case "split", "":
+		return StrategySplit, nil
+	case "bbv":
+		return StrategyBBV, nil
+	case "both":
+		return StrategyBoth, nil
+	}
+	return StrategySplit, fmt.Errorf("unknown strategy %q (want split, bbv or both)", name)
+}
 
 // Config selects the optimization repertoire. The presets below
 // correspond to the systems measured in §6 of the paper.
@@ -136,6 +190,48 @@ type Config struct {
 	// differential oracle). Off in every preset; TierNative turns it
 	// on (see tier.go).
 	NativeBackend bool
+
+	// Strategy selects the specialization strategy (see the Strategy
+	// type): eager splitting (the zero value — the paper's system),
+	// lazy basic-block versioning, or both. ApplyStrategy derives the
+	// per-strategy knob settings; the degraded tier forces split, the
+	// paper's well-exercised fallback.
+	Strategy Strategy
+
+	// MaxVers bounds the specialized versions BBV materializes per
+	// basic block before the generic fallback takes the tail
+	// (0 = the bbv package default). Ignored under StrategySplit.
+	MaxVers int
+}
+
+// ApplyStrategy derives the knob settings a strategy implies. Under
+// StrategyBBV the eager specialization machinery is switched off —
+// type and range analysis, splitting in both forms, iterative and
+// multi-version loops, comparison facts — leaving the '89-style
+// repertoire (customization, prediction, method and primitive
+// inlining) that BBV's run-time versioning then specializes; under
+// StrategyBoth the full eager repertoire stays on and versioning
+// removes what survives it. Both BBV strategies force the plain
+// unfused switch interpreter: versions anchor on per-instruction pcs,
+// so superinstruction fusion and the native backend are disabled (both
+// are host-speed engine selections with no modelled effect).
+func ApplyStrategy(c Config) Config {
+	switch c.Strategy {
+	case StrategyBBV:
+		c.TypeAnalysis = false
+		c.RangeAnalysis = false
+		c.LocalSplitting = false
+		c.ExtendedSplitting = false
+		c.IterativeLoops = false
+		c.MultiVersionLoops = false
+		c.ComparisonFacts = false
+		c.NoSuperinstructions = true
+		c.NativeBackend = false
+	case StrategyBoth:
+		c.NoSuperinstructions = true
+		c.NativeBackend = false
+	}
+	return c
 }
 
 // The five measured systems, plus the multi-version-loop ablation.

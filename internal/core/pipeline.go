@@ -107,9 +107,11 @@ type Pipeline struct {
 }
 
 // NewPipeline builds the pipeline for base's tier-resolved
-// configuration.
+// configuration. The strategy derivation runs after the tier's: a
+// degraded compile has already had Strategy forced back to split by
+// the tier table, so ApplyStrategy is the identity for it.
 func NewPipeline(w *obj.World, base Config, tier Tier) *Pipeline {
-	cfg := tier.Apply(base)
+	cfg := ApplyStrategy(tier.Apply(base))
 	return &Pipeline{Tier: tier, Cfg: cfg, compiler: New(w, cfg)}
 }
 
@@ -196,6 +198,9 @@ func (p *Pipeline) assemble(g *ir.Graph, st *Stats) (*vm.Code, error) {
 		if err := vm.PrepareNative(c); err != nil {
 			return nil, fmt.Errorf("lowering %s to the native backend: %w", c.Name, err)
 		}
+	}
+	if p.Cfg.Strategy != StrategySplit {
+		vm.EnableBBV(c, p.Cfg.MaxVers)
 	}
 	asm := time.Since(t0)
 	st.Duration += asm

@@ -119,6 +119,13 @@ var tierTable = []tierRule{
 	// the fault-containment path — both stay on the well-exercised
 	// switch loop.
 	{"NativeBackend", false, false, true},
+	// The degraded tier is the fault-containment path: it falls back
+	// to the eager-split world (no version tables, no run-time
+	// specialization machinery) so a bug in BBV materialization
+	// degrades code quality instead of the request. Baseline keeps the
+	// strategy: cheap stub code is exactly what BBV wants to version.
+	{"Strategy", keep, StrategySplit, keep},
+	{"MaxVers", keep, keep, keep},
 }
 
 // Apply derives the tier's configuration from base. TierOptimizing

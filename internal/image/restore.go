@@ -220,5 +220,15 @@ func Restore(img *Image, w *obj.World, evalMeths []*obj.Method) (*Restored, erro
 			maps[i].Slots[sv.Idx].Value = val(sv.V)
 		}
 	}
+	if w.ShapeTracking {
+		// The direct Fields writes above bypassed NoteFieldStore; seed
+		// the per-slot type tags from the restored values so typed-shape
+		// facts are available (and correct) from the first post-boot run.
+		for _, o := range objs {
+			for idx, f := range o.Fields {
+				w.NoteFieldStore(o.Map, idx, f)
+			}
+		}
+	}
 	return out, nil
 }

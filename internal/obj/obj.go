@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"unsafe"
 
 	"selfgo/internal/ast"
@@ -269,7 +270,23 @@ type Map struct {
 	// image boundary by their literal's position in the owning
 	// method's AST walk.
 	Lit *ast.ObjectLit
+
+	// Tags are the per-field typed-shape tags (one per assignable data
+	// slot, indexed like Object.Fields): nil = no store observed yet,
+	// PolyShape = stores of more than one map observed, any other map =
+	// every store so far held a value of that map. Maintained by
+	// World.NoteFieldStore on every field store while ShapeTracking is
+	// on; read by the BBV materializer, which turns a monomorphic tag
+	// into a type fact a slot load contributes for free. Entries are
+	// atomics because forked worker VMs store into clones sharing one
+	// map concurrently. The slice itself only grows during (single-
+	// threaded) source loading, in step with NFields.
+	Tags []atomic.Pointer[Map]
 }
+
+// PolyShape is the sentinel tag for a field that has held values of
+// more than one map: no type fact can be drawn from loading it.
+var PolyShape = &Map{Name: "<poly-shape>"}
 
 func (m *Map) String() string { return m.Name }
 

@@ -3,6 +3,7 @@ package obj
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"selfgo/internal/ast"
 )
@@ -51,8 +52,24 @@ type World struct {
 	// or a builtin parent patched by Finalize. The shared code cache
 	// registers here so customizations compiled against the old shape
 	// are invalidated. World mutation (and hence this hook) is
-	// single-threaded: sources are loaded before worker VMs start.
+	// single-threaded: sources are loaded before worker VMs start —
+	// with one exception: a typed-shape widening (see NoteFieldStore)
+	// fires the hook from whichever VM performed the widening store.
 	OnMapChange func(*Map)
+
+	// ShapeTracking turns on per-field typed-shape tag maintenance
+	// (Map.Tags). Systems running the BBV strategy set it before any
+	// source loads; the split strategy leaves it off, so the store fast
+	// path pays nothing.
+	ShapeTracking bool
+
+	// ShapeGen counts typed-shape widenings (any field tag going
+	// polymorphic, world-wide). BBV versions that consumed a shape fact
+	// record the generation they read it at; a moved generation means
+	// the fact may no longer hold and the version re-checks at run time
+	// and re-materializes on next entry. Coarse by design: widenings
+	// are rare (at most one per field, ever).
+	ShapeGen atomic.Uint64
 }
 
 // NewWorld creates a world with the built-in maps and singletons but an
@@ -128,6 +145,11 @@ func (w *World) addSlot(m *Map, s Slot) *Slot {
 	if s.Kind == DataSlot {
 		s.Index = m.NFields
 		m.NFields++
+		if w.ShapeTracking {
+			for len(m.Tags) < m.NFields {
+				m.Tags = append(m.Tags, atomic.Pointer[Map]{})
+			}
+		}
 	}
 	if w.OnMapChange != nil {
 		defer w.OnMapChange(m)
@@ -144,6 +166,59 @@ func (w *World) addSlot(m *Map, s Slot) *Slot {
 // DefineConst installs a constant slot in the lobby.
 func (w *World) DefineConst(name string, v Value) {
 	w.addSlot(w.Lobby.Map, Slot{Name: name, Kind: ConstSlot, Value: v})
+}
+
+// NoteFieldStore maintains m's typed-shape tag for field idx across a
+// store of v: the first store records v's map, matching stores are
+// free, and the first mismatching store widens the tag to PolyShape —
+// bumping ShapeGen (before the caller lands the value, so any load
+// observing the new value observes the moved generation too) and
+// firing OnMapChange, so shape-specialized code is dropped exactly
+// like any other customization of m. No-op unless ShapeTracking is on.
+func (w *World) NoteFieldStore(m *Map, idx int, v Value) {
+	if !w.ShapeTracking || m == nil || idx < 0 || idx >= len(m.Tags) {
+		return
+	}
+	t := &m.Tags[idx]
+	vm := w.MapOf(v)
+	old := t.Load()
+	if old == vm || old == PolyShape {
+		return
+	}
+	if old == nil {
+		if t.CompareAndSwap(nil, vm) {
+			return
+		}
+		if old = t.Load(); old == vm || old == PolyShape {
+			return
+		}
+	}
+	// Widening order matters: the tag goes polymorphic BEFORE the
+	// generation moves, and the caller stores the new field value only
+	// after this returns. A specializer that reads the generation first
+	// and the tag second therefore either sees PolyShape (no fact) or a
+	// generation the widening has already left behind (its guard fails)
+	// — it can never stamp a current generation on the stale tag.
+	t.Store(PolyShape)
+	w.ShapeGen.Add(1)
+	if w.OnMapChange != nil {
+		w.OnMapChange(m)
+	}
+}
+
+// SlotTypeTag reports the monomorphic typed-shape tag of m's field idx,
+// or nil when the field is untagged or polymorphic. The caller must
+// pair the read with a ShapeGen read taken beforehand to detect
+// widenings that race with it.
+func (w *World) SlotTypeTag(m *Map, idx int) *Map {
+	if m == nil || idx < 0 || idx >= len(m.Tags) {
+		return nil
+	}
+	p := m.Tags[idx].Load()
+	if p == PolyShape {
+		return nil
+	}
+	return p
 }
 
 // MapOf returns the map of any value.
@@ -226,6 +301,7 @@ func (w *World) installSlot(target *Object, s *ast.Slot) error {
 		for len(target.Fields) < m.NFields {
 			target.Fields = append(target.Fields, Nil())
 		}
+		w.NoteFieldStore(m, ds.Index, v)
 		target.Fields[ds.Index] = v
 	default:
 		return fmt.Errorf("slot %s: unknown kind %v", s.Name, s.Kind)

@@ -189,6 +189,8 @@ func (s *Server) runOnWorker(r *http.Request, budget *wire.Budget, deadlineMS in
 	s.m.guestSends.Add(res.Run.Sends)
 	s.m.guestAllocs.Add(res.Run.Allocs)
 	s.m.guestAllocBytes.Add(res.Run.AllocBytes)
+	s.m.bbvVersions.Add(res.Run.BBVVersions)
+	s.m.bbvCapHits.Add(res.Run.BBVCapHits)
 	return res, ctx, nil
 }
 
@@ -327,6 +329,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 type statuszView struct {
 	UptimeSeconds  float64              `json:"uptime_seconds"`
 	TierMode       string               `json:"tier_mode"`
+	Strategy       string               `json:"strategy"`
 	Pool           int                  `json:"pool"`
 	QueueDepth     int                  `json:"queue_depth"`
 	InFlight       int64                `json:"in_flight"`
@@ -340,6 +343,7 @@ type statuszView struct {
 	Cache          statuszCache         `json:"codecache"`
 	Tiers          map[string]int       `json:"tiers"`
 	Promotions     *wire.PromotionsJSON `json:"promotions"`
+	BBV            statuszBBV           `json:"bbv"`
 }
 
 type statuszCache struct {
@@ -348,6 +352,12 @@ type statuszCache struct {
 	Waits   int64 `json:"waits"`
 	Evicted int64 `json:"evicted"`
 	Entries int64 `json:"entries"`
+}
+
+// statuszBBV mirrors the selfgo_bbv_* metrics (zero under split).
+type statuszBBV struct {
+	Versions int64 `json:"versions"`
+	CapHits  int64 `json:"cap_hits"`
 }
 
 func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
@@ -361,6 +371,7 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, &statuszView{
 		UptimeSeconds:  time.Since(s.start).Seconds(),
 		TierMode:       s.cfg.Mode.String(),
+		Strategy:       s.cfg.Compiler.Strategy.String(),
 		Pool:           s.cfg.Pool,
 		QueueDepth:     s.cfg.QueueDepth,
 		InFlight:       s.inFlight.Load(),
@@ -377,6 +388,10 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 		Promotions: &wire.PromotionsJSON{
 			Installed: ps.Installed, Fails: ps.Fails, Discards: ps.Discards,
 			MeanLatencyMS: float64(ps.MeanLatency) / float64(time.Millisecond),
+		},
+		BBV: statuszBBV{
+			Versions: s.m.bbvVersions.Value(),
+			CapHits:  s.m.bbvCapHits.Value(),
 		},
 	})
 }

@@ -29,6 +29,10 @@ type serverMetrics struct {
 	guestAllocs     *metrics.Counter
 	guestAllocBytes *metrics.Counter
 	faults          *metrics.CounterVec // kind
+
+	// Basic-block versioning activity (zero under the split strategy).
+	bbvVersions *metrics.Counter
+	bbvCapHits  *metrics.Counter
 }
 
 func (s *Server) registerMetrics() {
@@ -62,6 +66,11 @@ func (s *Server) registerMetrics() {
 		"Modelled bytes of guest vector/clone storage across all requests.")
 	s.m.faults = r.CounterVec("selfserved_guest_faults_total",
 		"Guest runs that ended in a fault, by RuntimeError kind.", "kind")
+
+	s.m.bbvVersions = r.Counter("selfgo_bbv_versions_total",
+		"Basic-block versions materialized across all requests (0 under the split strategy).")
+	s.m.bbvCapHits = r.Counter("selfgo_bbv_cap_hits_total",
+		"Version-cap hits: block entries that fell back to the generic version.")
 
 	// Server gauges: read straight off the live state.
 	r.GaugeFunc("selfserved_in_flight",

@@ -303,6 +303,9 @@ func lowerInstrOp(c *Code, pc int, in *Instr) (nativeOp, error) {
 			if o.Ep != vm.curEp {
 				o = vm.storeSlow(o, fr.regs[b])
 			}
+			if vm.World.ShapeTracking {
+				vm.World.NoteFieldStore(o.Map, idx, fr.regs[b])
+			}
 			o.Fields[idx] = fr.regs[b]
 			return nFall, nil
 		}, nil

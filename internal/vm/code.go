@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"selfgo/internal/ast"
+	"selfgo/internal/bbv"
 	"selfgo/internal/ir"
 	"selfgo/internal/obj"
 )
@@ -194,6 +195,14 @@ type Code struct {
 	// bit-identical in every modelled quantity. Written once by
 	// PrepareNative before the Code is published, immutable after.
 	native *nativeCode
+
+	// bbv, when non-nil, is the lazy basic-block-versioning store for
+	// this code (see internal/bbv and vm/bbv.go): the run loop anchors
+	// a version at entry, advances it across branches, and elides type
+	// tests the current version proves. Written once by EnableBBV
+	// before the Code is published; the store itself is internally
+	// synchronized and shared by every VM running the code.
+	bbv *bbv.State
 }
 
 // Assemble linearizes a control flow graph: dead pure instructions are

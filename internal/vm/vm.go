@@ -43,6 +43,15 @@ type RunStats struct {
 	// RunStats across eager modes stay exact.
 	Promotions int64 // tier-promotion requests fired (OnHot accepted by the cache)
 	Harvests   int64 // type-feedback harvests taken from this VM's inline caches
+
+	// Lazy basic-block-versioning activity (vm/bbv.go); all zero under
+	// the split strategy, so whole-RunStats differentials there stay
+	// exact.
+	BBVVersions     int64 // block versions this VM materialized
+	BBVCapHits      int64 // specialized contexts served the generic fallback at the cap
+	BBVElidedCtx    int64 // type tests elided by a context-proven fact
+	BBVElidedShape  int64 // type tests elided by a typed-shape fact
+	BBVVersionBytes int64 // modelled bytes of the versions this VM materialized
 }
 
 // CompileRecord aggregates on-the-fly compilation work triggered by a
@@ -92,6 +101,12 @@ type VM struct {
 	// PICs enables polymorphic inline caches (up to picEntries maps
 	// per send site).
 	PICs bool
+
+	// Strategy distinguishes code compiled under different
+	// specialization strategies in the shared code cache (see
+	// core.Strategy; the numeric value is mixed into every cache key).
+	// Execution itself keys off Code.bbv, not this field.
+	Strategy uint8
 
 	// OnHot, when non-nil, enables hotness tracking: every invocation
 	// and loop backedge charges one atomic add on the executed Code's
@@ -265,7 +280,7 @@ func (vm *VM) CodeFor(meth *obj.Method, rmap *obj.Map) (*Code, error) {
 		if c, ok := vm.methodCache[key]; ok {
 			return c, nil
 		}
-		c, err := vm.sharedGet(codecache.Key{Meth: meth, RMap: key.rmap}, func() (*Code, error) {
+		c, err := vm.sharedGet(codecache.Key{Meth: meth, RMap: key.rmap, Strat: vm.Strategy}, func() (*Code, error) {
 			return vm.CompileMethod(meth, key.rmap)
 		})
 		if err != nil {
@@ -295,7 +310,7 @@ func (vm *VM) blockCodeFor(cl *obj.Closure) (*Code, error) {
 		if c, ok := vm.blockCache[b]; ok {
 			return c, nil
 		}
-		c, err := vm.sharedGet(codecache.Key{Blk: b}, func() (*Code, error) {
+		c, err := vm.sharedGet(codecache.Key{Blk: b, Strat: vm.Strategy}, func() (*Code, error) {
 			return vm.CompileBlock(b, upNamesOf(cl))
 		})
 		if err != nil {
@@ -542,6 +557,16 @@ func (vm *VM) runFast(code *Code, fr *frame, pc int) (val obj.Value, err error) 
 	extra := vm.InstrExtra
 	trackHot := vm.OnHot != nil
 	cowEp := vm.cowEp // non-zero only on copy-on-write forks
+	shapes := vm.World.ShapeTracking
+	// Lazy basic-block versioning (vm/bbv.go): anchor a version at the
+	// method entry and advance it across every branch; ver is nil when
+	// the code is unversioned or control resumed at a landing pad (the
+	// first branch re-anchors).
+	bbvOn := code.bbv != nil
+	var ver *bbvVersion
+	if bbvOn && pc == 0 {
+		ver = vm.bbvAnchor(code)
+	}
 	for pc >= 0 && pc < len(code.Instrs) {
 		in := &code.Instrs[pc]
 		st.Instrs += int64(in.N)
@@ -558,6 +583,9 @@ func (vm *VM) runFast(code *Code, fr *frame, pc int) (val obj.Value, err error) 
 		case opJmp:
 			if trackHot && in.T <= pc {
 				vm.noteBackedge(code)
+			}
+			if bbvOn {
+				ver = vm.bbvEdge(code, ver, pc, true, in.T)
 			}
 			pc = in.T
 			continue
@@ -581,6 +609,9 @@ func (vm *VM) runFast(code *Code, fr *frame, pc int) (val obj.Value, err error) 
 			}
 			if o.Ep != vm.curEp {
 				o = vm.storeSlow(o, fr.regs[in.B])
+			}
+			if shapes {
+				vm.World.NoteFieldStore(o.Map, in.Index, fr.regs[in.B])
 			}
 			o.Fields[in.Index] = fr.regs[in.B]
 		case ir.LoadE:
@@ -636,19 +667,38 @@ func (vm *VM) runFast(code *Code, fr *frame, pc int) (val obj.Value, err error) 
 			if in.bounds {
 				st.BoundsChecks++
 			}
-			if cmpTaken(in.COp, fr.regs[in.A], fr.regs[in.B]) {
-				pc = in.T
-			} else {
-				pc = in.F
+			taken := cmpTaken(in.COp, fr.regs[in.A], fr.regs[in.B])
+			target := in.F
+			if taken {
+				target = in.T
 			}
+			if bbvOn {
+				ver = vm.bbvEdge(code, ver, pc, taken, target)
+			}
+			pc = target
 			continue
 		case ir.TypeTest:
-			st.TypeTests++
-			if vm.World.MapOf(fr.regs[in.A]) == in.TestMap {
-				pc = in.T
-			} else {
-				pc = in.F
+			if bbvOn && ver != nil && ver.BranchPC == pc && ver.Elide != bbvElideNone {
+				if taken, ok := vm.bbvElide(st, ver, in); ok {
+					target := in.F
+					if taken {
+						target = in.T
+					}
+					ver = vm.bbvEdge(code, ver, pc, taken, target)
+					pc = target
+					continue
+				}
 			}
+			st.TypeTests++
+			taken := vm.World.MapOf(fr.regs[in.A]) == in.TestMap
+			target := in.F
+			if taken {
+				target = in.T
+			}
+			if bbvOn {
+				ver = vm.bbvEdge(code, ver, pc, taken, target)
+			}
+			pc = target
 			continue
 		case ir.Send:
 			v, serr := vm.execSend(in, fr, code)
@@ -854,6 +904,12 @@ func (vm *VM) runTraced(code *Code, fr *frame, pc int) (val obj.Value, err error
 	extra := vm.InstrExtra
 	trackHot := vm.OnHot != nil
 	cowEp := vm.cowEp // non-zero only on copy-on-write forks
+	shapes := vm.World.ShapeTracking
+	bbvOn := code.bbv != nil
+	var ver *bbvVersion
+	if bbvOn && pc == 0 {
+		ver = vm.bbvAnchor(code)
+	}
 	for pc >= 0 && pc < len(code.Instrs) {
 		in := &code.Instrs[pc]
 		fmt.Fprintf(vm.Trace, "%*s%s @%d: %s\n", vm.depth, "", code.Name, pc, in)
@@ -871,6 +927,9 @@ func (vm *VM) runTraced(code *Code, fr *frame, pc int) (val obj.Value, err error
 		case opJmp:
 			if trackHot && in.T <= pc {
 				vm.noteBackedge(code)
+			}
+			if bbvOn {
+				ver = vm.bbvEdge(code, ver, pc, true, in.T)
 			}
 			pc = in.T
 			continue
@@ -894,6 +953,9 @@ func (vm *VM) runTraced(code *Code, fr *frame, pc int) (val obj.Value, err error
 			}
 			if o.Ep != vm.curEp {
 				o = vm.storeSlow(o, fr.regs[in.B])
+			}
+			if shapes {
+				vm.World.NoteFieldStore(o.Map, in.Index, fr.regs[in.B])
 			}
 			o.Fields[in.Index] = fr.regs[in.B]
 		case ir.LoadE:
@@ -949,19 +1011,38 @@ func (vm *VM) runTraced(code *Code, fr *frame, pc int) (val obj.Value, err error
 			if in.bounds {
 				st.BoundsChecks++
 			}
-			if cmpTaken(in.COp, fr.regs[in.A], fr.regs[in.B]) {
-				pc = in.T
-			} else {
-				pc = in.F
+			taken := cmpTaken(in.COp, fr.regs[in.A], fr.regs[in.B])
+			target := in.F
+			if taken {
+				target = in.T
 			}
+			if bbvOn {
+				ver = vm.bbvEdge(code, ver, pc, taken, target)
+			}
+			pc = target
 			continue
 		case ir.TypeTest:
-			st.TypeTests++
-			if vm.World.MapOf(fr.regs[in.A]) == in.TestMap {
-				pc = in.T
-			} else {
-				pc = in.F
+			if bbvOn && ver != nil && ver.BranchPC == pc && ver.Elide != bbvElideNone {
+				if taken, ok := vm.bbvElide(st, ver, in); ok {
+					target := in.F
+					if taken {
+						target = in.T
+					}
+					ver = vm.bbvEdge(code, ver, pc, taken, target)
+					pc = target
+					continue
+				}
 			}
+			st.TypeTests++
+			taken := vm.World.MapOf(fr.regs[in.A]) == in.TestMap
+			target := in.F
+			if taken {
+				target = in.T
+			}
+			if bbvOn {
+				ver = vm.bbvEdge(code, ver, pc, taken, target)
+			}
+			pc = target
 			continue
 		case ir.Send:
 			v, serr := vm.execSend(in, fr, code)
@@ -1510,6 +1591,9 @@ func (vm *VM) execSend(in *Instr, fr *frame, code *Code) (obj.Value, error) {
 		}
 		if target.Ep != vm.curEp {
 			target = vm.storeSlow(target, args[0])
+		}
+		if vm.World.ShapeTracking {
+			vm.World.NoteFieldStore(target.Map, slot.Index, args[0])
 		}
 		target.Fields[slot.Index] = args[0]
 		return args[0], nil

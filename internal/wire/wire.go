@@ -340,6 +340,13 @@ type RunStatsJSON struct {
 	MaxDepth     int   `json:"max_depth"`
 	Promotions   int64 `json:"promotions"`
 	Harvests     int64 `json:"harvests"`
+
+	// Basic-block-versioning counters (zero under the split strategy).
+	BBVVersions     int64 `json:"bbv_versions"`
+	BBVCapHits      int64 `json:"bbv_cap_hits"`
+	BBVElidedCtx    int64 `json:"bbv_elided_ctx"`
+	BBVElidedShape  int64 `json:"bbv_elided_shape"`
+	BBVVersionBytes int64 `json:"bbv_version_bytes"`
 }
 
 // NewRunStats converts the VM's counters.
@@ -351,6 +358,9 @@ func NewRunStats(st vm.RunStats) *RunStatsJSON {
 		BoundsChecks: st.BoundsChecks, BlockValues: st.BlockValues,
 		Allocs: st.Allocs, AllocBytes: st.AllocBytes, MaxDepth: st.MaxDepth,
 		Promotions: st.Promotions, Harvests: st.Harvests,
+		BBVVersions: st.BBVVersions, BBVCapHits: st.BBVCapHits,
+		BBVElidedCtx: st.BBVElidedCtx, BBVElidedShape: st.BBVElidedShape,
+		BBVVersionBytes: st.BBVVersionBytes,
 	}
 }
 

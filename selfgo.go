@@ -77,7 +77,24 @@ type (
 	RuntimeError = vm.RuntimeError
 	// ErrKind classifies a RuntimeError.
 	ErrKind = vm.ErrKind
+	// Strategy selects how compiled code specializes on types:
+	// iterative analysis + splitting (the paper's system), lazy
+	// basic-block versioning with typed shapes, or both.
+	Strategy = core.Strategy
 )
+
+// Specialization strategies, re-exported from core.
+const (
+	StrategySplit = core.StrategySplit
+	StrategyBBV   = core.StrategyBBV
+	StrategyBoth  = core.StrategyBoth
+)
+
+// StrategyByName resolves the -strategy flag spellings ("split", "bbv",
+// "both"; empty means split).
+func StrategyByName(name string) (Strategy, error) {
+	return core.ParseStrategy(name)
+}
 
 // Compilation tiers, re-exported from core.
 const (
@@ -378,11 +395,18 @@ func newSystem(cfg Config, shared *codecache.Cache[*vm.Code], mode TierMode, pro
 		return nil, fmt.Errorf("adaptive mode requires a shared code cache")
 	}
 	w := obj.NewWorld()
+	if cfg.Strategy != core.StrategySplit {
+		// Typed shapes must observe every field store from the first
+		// prelude assignment on, so tracking turns on before any code
+		// runs. Split-strategy systems leave it off: zero overhead and
+		// bit-identical behavior to the pre-BBV system.
+		w.ShapeTracking = true
+	}
 	s := &System{
 		Cfg: cfg, Mode: mode, world: w, shared: shared,
 		promoteThreshold: promoteThreshold,
 		prom:             &promAgg{}, log: &compileLog{},
-		sources:          &sourceLog{},
+		sources: &sourceLog{},
 	}
 	s.pipeOpt = core.NewPipeline(w, cfg, core.TierOptimizing)
 	s.pipeNative = core.NewPipeline(w, cfg, core.TierNative)
@@ -486,6 +510,7 @@ func (s *System) newVM() *vm.VM {
 		InstrExtra:   int64(cfg.PerInstrOverhead),
 		MissHandlers: cfg.CallSiteICMissHandlers,
 		PICs:         cfg.PolymorphicInlineCaches,
+		Strategy:     uint8(cfg.Strategy),
 		Shared:       s.shared,
 		Arena:        obj.NewArena(),
 	}
@@ -543,7 +568,7 @@ func (s *System) onHot(m *vm.VM, code *vm.Code) {
 	meth, rmap := code.Origin.Meth, code.Origin.RMap
 	t0 := time.Now()
 	started := s.shared.Promote(
-		codecache.Key{Meth: meth, RMap: rmap},
+		codecache.Key{Meth: meth, RMap: rmap, Strat: uint8(s.Cfg.Strategy)},
 		func() (*vm.Code, error) {
 			return s.compileMethodAt(target, meth, rmap, fb)
 		},
@@ -825,10 +850,11 @@ func (s *System) DropEvalProgram(p *EvalProgram) {
 	if s.shared == nil || p == nil {
 		return
 	}
-	s.shared.Invalidate(codecache.Key{Meth: p.meth, RMap: s.world.Lobby.Map})
-	s.shared.Invalidate(codecache.Key{Meth: p.meth}) // customization off
+	strat := uint8(s.Cfg.Strategy)
+	s.shared.Invalidate(codecache.Key{Meth: p.meth, RMap: s.world.Lobby.Map, Strat: strat})
+	s.shared.Invalidate(codecache.Key{Meth: p.meth, Strat: strat}) // customization off
 	for _, b := range p.blocks {
-		s.shared.Invalidate(codecache.Key{Blk: b})
+		s.shared.Invalidate(codecache.Key{Blk: b, Strat: strat})
 	}
 }
 

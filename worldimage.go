@@ -269,13 +269,14 @@ func (s *System) pipelineFor(tier string) *core.Pipeline {
 
 func (s *System) prepromoteOne(ent image.RestoredManifest) bool {
 	p := s.pipelineFor(ent.Tier)
+	strat := uint8(s.Cfg.Strategy)
 	var key codecache.Key
 	var compile func() (*vm.Code, error)
 	if ent.Blk != nil {
-		key = codecache.Key{Blk: ent.Blk}
+		key = codecache.Key{Blk: ent.Blk, Strat: strat}
 		compile = func() (*vm.Code, error) { return s.compileBlockAt(p, ent.Blk, ent.UpNames) }
 	} else {
-		key = codecache.Key{Meth: ent.Meth, RMap: ent.RMap}
+		key = codecache.Key{Meth: ent.Meth, RMap: ent.RMap, Strat: strat}
 		compile = func() (*vm.Code, error) { return s.compileMethodAt(p, ent.Meth, ent.RMap, nil) }
 	}
 	c, _, err := s.shared.Get(key, compile)
